@@ -1,0 +1,587 @@
+// Benchmarks regenerating the paper's evaluation (Figures 7-21) at
+// testing.B scale, one benchmark (or family) per figure, plus the ablations
+// DESIGN.md calls out. cmd/benchfig runs the same experiments at full size
+// with narrative output; these benches keep per-iteration cost low enough
+// for `go test -bench=. -benchmem`.
+package stablerank_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/core"
+	"stablerank/internal/datagen"
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/lp"
+	"stablerank/internal/mc"
+	"stablerank/internal/md"
+	"stablerank/internal/rank"
+	"stablerank/internal/sampling"
+	"stablerank/internal/twod"
+)
+
+const benchSeed = 42
+
+func benchDiamonds(n, d int) *dataset.Dataset {
+	ds := datagen.Diamonds(rand.New(rand.NewSource(benchSeed)), n)
+	p, err := ds.Project(d)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func benchEqual(d int) []float64 {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func benchPool(roi geom.Region, n int, seed int64) []geom.Vector {
+	s, err := sampling.ForRegion(roi, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(err)
+	}
+	pool := make([]geom.Vector, n)
+	for i := range pool {
+		w, err := s.Sample()
+		if err != nil {
+			panic(err)
+		}
+		pool[i] = w
+	}
+	return pool
+}
+
+func clonePool(pool []geom.Vector) []geom.Vector {
+	out := make([]geom.Vector, len(pool))
+	for i, w := range pool {
+		out[i] = w.Clone()
+	}
+	return out
+}
+
+// BenchmarkFig07CSMetricsEnumerateAll: full exact enumeration of every
+// ranking of the simulated CSMetrics top-100 (the Figure 7 distribution).
+func BenchmarkFig07CSMetricsEnumerateAll(b *testing.B) {
+	ds := datagen.CSMetrics(rand.New(rand.NewSource(benchSeed)), 100)
+	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := twod.EnumerateAll(ds, full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig08CSMetricsConeEnumerate: the same enumeration restricted to
+// 0.998 cosine similarity around the reference weights (Figure 8).
+func BenchmarkFig08CSMetricsConeEnumerate(b *testing.B) {
+	ds := datagen.CSMetrics(rand.New(rand.NewSource(benchSeed)), 100)
+	a, err := core.New(ds, core.WithCosineSimilarity(datagen.CSMetricsReferenceWeights(), 0.998))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.TopH(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig09FIFAGetNextMD: top-10 stable rankings of the simulated FIFA
+// table in the 0.999-cosine cone via delayed arrangement (Figure 9 uses 100
+// GET-NEXT calls; 10 keeps iterations short with the same code path).
+func BenchmarkFig09FIFAGetNextMD(b *testing.B) {
+	ds := datagen.FIFA(rand.New(rand.NewSource(benchSeed)), 100)
+	cone, err := geom.NewConeFromCosine(geom.NewVector(datagen.FIFAReferenceWeights()...), 0.999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := benchPool(cone, 10000, benchSeed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		own := clonePool(pool)
+		b.StartTimer()
+		engine, err := md.NewEngine(ds, cone, own, md.SamplePartition)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := md.TopH(engine, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10SV2D: exact 2D stability verification vs n (Figure 10; the
+// paper reports linear time, 0.12 s at n=100k in Python).
+func BenchmarkFig10SV2D(b *testing.B) {
+	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := benchDiamonds(n, 2)
+			r := core.RankingOf(ds, []float64{1, 1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := twod.Verify(ds, r, full); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11GetNext2D: the first GET-NEXT2D call (ray sweep) and
+// subsequent calls vs n (Figure 11). The simulated catalog is
+// anti-correlated in its first two attributes — the Theta(n^2)-exchange
+// worst case — so the sweep tier stops at n=5000.
+func BenchmarkFig11GetNext2D(b *testing.B) {
+	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	for _, n := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("first/n=%d", n), func(b *testing.B) {
+			ds := benchDiamonds(n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err := twod.NewEnumerator(ds, full)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("next/n=%d", n), func(b *testing.B) {
+			ds := benchDiamonds(n, 2)
+			e, err := twod.NewEnumerator(ds, full)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Next(); errors.Is(err, twod.ErrExhausted) {
+					b.StopTimer()
+					e, err = twod.NewEnumerator(ds, full)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12SVMD: multi-dimensional stability verification (SV +
+// Monte-Carlo oracle) vs n at d=3 (Figure 12; the paper uses 1M samples,
+// here 100k keeps iterations ~1 s at n=10k with identical scaling).
+func BenchmarkFig12SVMD(b *testing.B) {
+	pool := benchPool(geom.FullSpace{D: 3}, 100000, benchSeed)
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := benchDiamonds(n, 3)
+			r := core.RankingOf(ds, benchEqual(3))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := md.Verify(ds, r, pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// mdTopTen runs engine construction plus ten GET-NEXT calls, the unit of
+// Figures 13-15.
+func mdTopTen(b *testing.B, ds *dataset.Dataset, cone geom.Cone, pool []geom.Vector) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		own := clonePool(pool)
+		b.StartTimer()
+		engine, err := md.NewEngine(ds, cone, own, md.SamplePartition)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := md.TopH(engine, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13GetNextMD: GET-NEXTmd top-10 vs n (Figure 13).
+func BenchmarkFig13GetNextMD(b *testing.B) {
+	cone, err := geom.NewCone(geom.NewVector(benchEqual(3)...), math.Pi/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := benchPool(cone, 20000, benchSeed)
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			mdTopTen(b, benchDiamonds(n, 3), cone, pool)
+		})
+	}
+}
+
+// BenchmarkFig14GetNextMD: GET-NEXTmd top-10 vs d (Figure 14).
+func BenchmarkFig14GetNextMD(b *testing.B) {
+	for _, d := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			cone, err := geom.NewCone(geom.NewVector(benchEqual(d)...), math.Pi/100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool := benchPool(cone, 20000, benchSeed)
+			mdTopTen(b, benchDiamonds(100, d), cone, pool)
+		})
+	}
+}
+
+// BenchmarkFig15GetNextMD: GET-NEXTmd top-10 vs region width theta
+// (Figure 15).
+func BenchmarkFig15GetNextMD(b *testing.B) {
+	for _, th := range []struct {
+		name  string
+		theta float64
+	}{{"pi10", math.Pi / 10}, {"pi50", math.Pi / 50}, {"pi100", math.Pi / 100}} {
+		b.Run("theta="+th.name, func(b *testing.B) {
+			cone, err := geom.NewCone(geom.NewVector(benchEqual(3)...), th.theta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool := benchPool(cone, 20000, benchSeed)
+			mdTopTen(b, benchDiamonds(100, 3), cone, pool)
+		})
+	}
+}
+
+// randomizedFirstCall builds the operator and performs the 5,000-sample
+// first GET-NEXTr call, the unit of Figures 16, 18 and 19.
+func randomizedFirstCall(b *testing.B, ds *dataset.Dataset, mode mc.Mode, k int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.New(ds,
+			core.WithCone(benchEqual(ds.D()), math.Pi/50),
+			core.WithSeed(benchSeed+int64(i)),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		op, err := a.Randomized(mode, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := op.NextFixedBudget(5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16RandomizedFirstCall: first GET-NEXTr call vs n, ranked
+// top-10 (Figure 16).
+func BenchmarkFig16RandomizedFirstCall(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			randomizedFirstCall(b, benchDiamonds(n, 3), mc.TopKRanked, 10)
+		})
+	}
+}
+
+// BenchmarkFig17TopKSemantics: top-10 stable partial rankings under set vs
+// ranked semantics (Figure 17's series).
+func BenchmarkFig17TopKSemantics(b *testing.B) {
+	ds := benchDiamonds(10000, 3)
+	for _, m := range []struct {
+		name string
+		mode mc.Mode
+	}{{"set", mc.TopKSet}, {"ranked", mc.TopKRanked}} {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := core.New(ds,
+					core.WithCone(benchEqual(3), math.Pi/50),
+					core.WithSeed(benchSeed+int64(i)),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				op, err := a.Randomized(m.mode, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := op.TopH(10, 5000, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig18FlightsScale: the DoT scalability sweep (Figure 18). The
+// full 1M tier runs in cmd/benchfig; the bench stops at 100k to keep
+// `go test -bench` wall time sane while exercising the identical code path.
+func BenchmarkFig18FlightsScale(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := datagen.Flights(rand.New(rand.NewSource(benchSeed)), n)
+			randomizedFirstCall(b, ds, mc.TopKSet, 10)
+		})
+	}
+}
+
+// BenchmarkFig19RandomizedByD: first GET-NEXTr call vs d at n=10k
+// (Figure 19).
+func BenchmarkFig19RandomizedByD(b *testing.B) {
+	for _, d := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			randomizedFirstCall(b, benchDiamonds(10000, d), mc.TopKRanked, 10)
+		})
+	}
+}
+
+// BenchmarkFig20TopKByD: top-10 partial rankings vs d under both semantics
+// (Figure 20's series).
+func BenchmarkFig20TopKByD(b *testing.B) {
+	for _, d := range []int{3, 4, 5} {
+		for _, m := range []struct {
+			name string
+			mode mc.Mode
+		}{{"set", mc.TopKSet}, {"ranked", mc.TopKRanked}} {
+			b.Run(fmt.Sprintf("d=%d/%s", d, m.name), func(b *testing.B) {
+				ds := benchDiamonds(10000, d)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a, err := core.New(ds,
+						core.WithCone(benchEqual(d), math.Pi/50),
+						core.WithSeed(benchSeed+int64(i)),
+					)
+					if err != nil {
+						b.Fatal(err)
+					}
+					op, err := a.Randomized(m.mode, 10)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := op.TopH(10, 5000, 1000); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig21Correlation: top-10 stable top-k sets over the synthetic
+// correlation workloads (Figure 21; theta=pi/10 as in cmd/benchfig — see
+// the fig21 comment there).
+func BenchmarkFig21Correlation(b *testing.B) {
+	for _, kind := range []datagen.CorrelationKind{
+		datagen.KindAntiCorrelated, datagen.KindIndependent, datagen.KindCorrelated,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			ds := datagen.Synthetic(rand.New(rand.NewSource(benchSeed)), kind, 10000, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := core.New(ds,
+					core.WithCone(benchEqual(3), math.Pi/10),
+					core.WithSeed(benchSeed+int64(i)),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				op, err := a.Randomized(mc.TopKSet, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := op.TopH(10, 5000, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPassThrough: sample-partition vs exact-LP intersection
+// testing inside GET-NEXTmd (Section 5.4 vs Section 4.2).
+func BenchmarkAblationPassThrough(b *testing.B) {
+	ds := benchDiamonds(60, 3)
+	cone, err := geom.NewCone(geom.NewVector(benchEqual(3)...), math.Pi/20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := benchPool(cone, 20000, benchSeed)
+	for _, m := range []struct {
+		name string
+		mode md.IntersectionMode
+	}{{"sample-partition", md.SamplePartition}, {"lp-exact", md.LPExact}} {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				own := clonePool(pool)
+				b.StartTimer()
+				engine, err := md.NewEngine(ds, cone, own, m.mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := md.TopH(engine, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCapSampling: inverse-CDF cap sampling vs
+// acceptance-rejection from U at narrow and wide regions (Section 5.2).
+func BenchmarkAblationCapSampling(b *testing.B) {
+	d := 4
+	for _, th := range []struct {
+		name  string
+		theta float64
+	}{{"wide-pi4", math.Pi / 4}, {"narrow-pi100", math.Pi / 100}} {
+		cone, err := geom.NewCone(geom.NewVector(benchEqual(d)...), th.theta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("inverse-cdf/"+th.name, func(b *testing.B) {
+			s, err := sampling.NewCap(cone, rand.New(rand.NewSource(benchSeed)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Sample(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("rejection/"+th.name, func(b *testing.B) {
+			u, err := sampling.NewUniform(d, rand.New(rand.NewSource(benchSeed)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := sampling.NewRejection(u, cone, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Sample(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDelayedVsFull: time-to-first-ranking under the delayed
+// arrangement vs full construction (the Section 4.2 argument).
+func BenchmarkAblationDelayedVsFull(b *testing.B) {
+	ds := benchDiamonds(40, 3)
+	cone, err := geom.NewCone(geom.NewVector(benchEqual(3)...), math.Pi/20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := benchPool(cone, 20000, benchSeed)
+	b.Run("delayed-first", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			own := clonePool(pool)
+			b.StartTimer()
+			engine, err := md.NewEngine(ds, cone, own, md.SamplePartition)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Next(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-arrangement", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			own := clonePool(pool)
+			b.StartTimer()
+			if _, err := md.FullArrangement(ds, cone, own, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCoreRanking: the hot inner loop shared by every operator —
+// ranking n items for one weight vector, full sort vs top-k selection.
+func BenchmarkCoreRanking(b *testing.B) {
+	ds := benchDiamonds(100000, 3)
+	w := geom.NewVector(benchEqual(3)...)
+	b.Run("full-sort", func(b *testing.B) {
+		c := rank.NewComputer(ds)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Compute(w)
+		}
+	})
+	b.Run("topk-select", func(b *testing.B) {
+		c := rank.NewComputer(ds)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.TopKSelect(w, 10)
+		}
+	})
+}
+
+// BenchmarkLPIntersection: the exact hyperplane-region LP test in isolation.
+func BenchmarkLPIntersection(b *testing.B) {
+	rr := rand.New(rand.NewSource(benchSeed))
+	d := 4
+	var normals []geom.Vector
+	for i := 0; i < 10; i++ {
+		n := make(geom.Vector, d)
+		for j := range n {
+			n[j] = rr.NormFloat64()
+		}
+		normals = append(normals, n)
+	}
+	h := geom.Hyperplane{Normal: geom.Vector{1, -1, 0.5, -0.5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.HyperplaneIntersects(d, h, normals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

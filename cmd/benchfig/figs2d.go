@@ -1,0 +1,183 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"stablerank/internal/core"
+	"stablerank/internal/datagen"
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+	"stablerank/internal/twod"
+)
+
+// fig7 reproduces Figure 7: the stability distribution of every feasible
+// ranking of the (simulated) CSMetrics top-100, plus the in-text statistics
+// of Section 6.2 (total ranking count, reference stability and its position,
+// most-stable vs reference ratio).
+func fig7(r run) {
+	n := 100
+	if r.quick {
+		n = 60
+	}
+	ds := datagen.CSMetrics(rand.New(rand.NewSource(r.seed)), n)
+	ref := datagen.CSMetricsReferenceWeights()
+	reference := core.RankingOf(ds, ref)
+	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	all, err := twod.EnumerateAll(ds, full)
+	if err != nil {
+		fatal(err)
+	}
+	refPos, refStab := -1, 0.0
+	for i, s := range all {
+		if s.Ranking.Equal(reference) {
+			refPos, refStab = i+1, s.Stability
+		}
+	}
+	fmt.Printf("n=%d  feasible rankings=%d  uniform baseline=%.4f\n",
+		n, len(all), 1/float64(len(all)))
+	fmt.Printf("reference: stability=%.4f position=%d   most stable=%.4f (%.1fx reference)\n",
+		refStab, refPos, all[0].Stability, all[0].Stability/refStab)
+	fmt.Printf("%8s %12s\n", "rank", "stability")
+	for i := 0; i < len(all); i++ {
+		if i < 10 || i%25 == 0 || i == refPos-1 || i == len(all)-1 {
+			marker := ""
+			if i == refPos-1 {
+				marker = "  <- reference"
+			}
+			fmt.Printf("%8d %12.5f%s\n", i+1, all[i].Stability, marker)
+		}
+	}
+}
+
+// fig8 reproduces Figure 8: the same distribution within 0.998 cosine
+// similarity of the reference weight vector (the paper finds 22 rankings).
+func fig8(r run) {
+	n := 100
+	if r.quick {
+		n = 60
+	}
+	ds := datagen.CSMetrics(rand.New(rand.NewSource(r.seed)), n)
+	ref := datagen.CSMetricsReferenceWeights()
+	reference := core.RankingOf(ds, ref)
+	a, err := core.New(ds, core.WithCosineSimilarity(ref, 0.998))
+	if err != nil {
+		fatal(err)
+	}
+	all, err := a.TopH(1 << 20)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("n=%d  rankings within cos>=0.998 of reference: %d\n", n, len(all))
+	fmt.Printf("%8s %12s\n", "rank", "stability")
+	for i, s := range all {
+		marker := ""
+		if s.Ranking.Equal(reference) {
+			marker = "  <- reference"
+		}
+		fmt.Printf("%8d %12.5f%s\n", i+1, s.Stability, marker)
+	}
+}
+
+// diamonds2D returns the simulated Blue Nile catalog projected to its first
+// two attributes, the dataset Figures 10-11 sweep.
+func diamonds2D(seed int64, n int) *dataset.Dataset {
+	ds := datagen.Diamonds(rand.New(rand.NewSource(seed)), n)
+	p, err := ds.Project(2)
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+// fig10 reproduces Figure 10: SV2D running time and the stability of the
+// default (equal-weights) ranking as n grows. The paper: time linear in n;
+// stability drops from ~1e-2 at n=100 to <1e-6 at n=100k.
+func fig10(r run) {
+	sizes := []int{100, 1000, 10000, 100000}
+	if r.quick {
+		sizes = []int{100, 1000, 10000}
+	}
+	fmt.Printf("%10s %14s %14s\n", "n", "SV2D time", "stability")
+	for _, n := range sizes {
+		ds := diamonds2D(r.seed, n)
+		ranking := core.RankingOf(ds, []float64{1, 1})
+		full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+		var res twod.VerifyResult
+		var err error
+		dur := timed(func() { res, err = twod.Verify(ds, ranking, full) })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10d %14s %14.3e\n", n, dur, res.Stability)
+	}
+}
+
+// fig11 reproduces Figure 11: the first GET-NEXT2D call (which runs the ray
+// sweep) against subsequent calls, as n grows.
+func fig11(r run) {
+	// The simulated catalog is anti-correlated in its first two attributes
+	// (cheapness vs carat), the worst case for the sweep: Theta(n^2)
+	// regions. The paper's crawl has far fewer exchanges, letting it sweep
+	// n=100k; the n growth trend and first-vs-next gap reproduce below.
+	sizes := []int{100, 1000, 5000}
+	if r.quick {
+		sizes = []int{100, 1000}
+	}
+	fmt.Printf("%10s %14s %14s %10s\n", "n", "first call", "next call", "regions")
+	for _, n := range sizes {
+		ds := diamonds2D(r.seed, n)
+		full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+		var e *twod.Enumerator
+		var err error
+		first := timed(func() {
+			e, err = twod.NewEnumerator(ds, full)
+			if err == nil {
+				_, err = e.Next()
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		regions := e.Remaining() + 1
+		// Average ten subsequent calls.
+		var next time.Duration
+		calls := 0
+		for i := 0; i < 10; i++ {
+			d := timed(func() {
+				_, err = e.Next()
+			})
+			if errors.Is(err, twod.ErrExhausted) {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			next += d
+			calls++
+		}
+		if calls > 0 {
+			next /= time.Duration(calls)
+		}
+		fmt.Printf("%10d %14s %14s %10d\n", n, first, next, regions)
+	}
+}
+
+// refDistance prints the rank-distance diagnostics used in the Section 6.2
+// discussion (shared by fig9).
+func refDistance(ds *dataset.Dataset, reference, best rank.Ranking) {
+	tau, err := rank.KendallTau(reference, best)
+	if err != nil {
+		return
+	}
+	item, delta, err := rank.MaxDisplacement(reference, best)
+	if err != nil {
+		return
+	}
+	fmt.Printf("reference vs most stable: kendall-tau=%d, max move=%s by %d positions\n",
+		tau, ds.Item(item).ID, delta)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"stablerank/internal/core"
+)
+
+// The export subcommand emits the stability decomposition of a dataset as
+// JSON, the machine-readable form of the Figure 7-9 distributions: one
+// record per ranking region with its stability, representative weights, and
+// (optionally truncated) ranking, ready for external plotting.
+
+// exportRecord is one ranking region in the JSON output.
+type exportRecord struct {
+	Rank      int       `json:"rank"`
+	Stability float64   `json:"stability"`
+	Exact     bool      `json:"exact"`
+	Weights   []float64 `json:"weights"`
+	ItemIDs   []string  `json:"items"`
+}
+
+// exportDoc is the top-level JSON document.
+type exportDoc struct {
+	N        int            `json:"n"`
+	D        int            `json:"d"`
+	Region   string         `json:"region"`
+	Rankings []exportRecord `json:"rankings"`
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	c := addCommon(fs)
+	h := fs.Int("h", 100, "maximum rankings to export")
+	show := fs.Int("show", 10, "ranked items to include per record (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := c.load()
+	if err != nil {
+		return err
+	}
+	w, err := c.parseWeights(ds.D())
+	if err != nil {
+		return err
+	}
+	opts, err := c.analyzerOptions(w)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(ds, opts...)
+	if err != nil {
+		return err
+	}
+	results, err := a.TopH(*h)
+	if err != nil {
+		return err
+	}
+	doc := exportDoc{
+		N:      ds.N(),
+		D:      ds.D(),
+		Region: fmt.Sprintf("%T", a.Region()),
+	}
+	for i, s := range results {
+		limit := len(s.Ranking.Order)
+		if *show > 0 && *show < limit {
+			limit = *show
+		}
+		ids := make([]string, limit)
+		for j := 0; j < limit; j++ {
+			ids[j] = ds.Item(s.Ranking.Order[j]).ID
+		}
+		doc.Rankings = append(doc.Rankings, exportRecord{
+			Rank:      i + 1,
+			Stability: s.Stability,
+			Exact:     s.Exact,
+			Weights:   s.Weights,
+			ItemIDs:   ids,
+		})
+	}
+	if len(doc.Rankings) == 0 {
+		return errors.New("no rankings found in the region of interest")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,346 @@
+// Command stablerank is the command-line interface to the stable-ranking
+// library. It operates on CSV datasets (first column: item id; remaining
+// columns: scoring attributes, already normalized so larger is better) and
+// exposes the paper's three problems:
+//
+//	stablerank verify    -data items.csv -weights 1,1      # Problem 1
+//	stablerank enumerate -data items.csv -h 10             # Problems 2-3
+//	stablerank random    -data items.csv -k 10 -mode set   # Section 4.3
+//	stablerank skyline   -data items.csv                   # Section 2.2.5
+//	stablerank gen       -kind csmetrics -n 100 > out.csv  # simulators
+//
+// Regions of interest are set with -weights plus either -theta (radians) or
+// -cosine (minimum cosine similarity); with neither, the whole function
+// space is used.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"stablerank/internal/core"
+	"stablerank/internal/datagen"
+	"stablerank/internal/dataset"
+	"stablerank/internal/mc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "enumerate":
+		err = cmdEnumerate(os.Args[2:])
+	case "random":
+		err = cmdRandom(os.Args[2:])
+	case "skyline":
+		err = cmdSkyline(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "stablerank: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stablerank:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: stablerank <command> [flags]
+
+commands:
+  verify     compute the stability of the ranking induced by -weights
+  enumerate  list the most stable rankings in the region of interest
+  random     randomized top-k stable ranking enumeration
+  skyline    print the skyline (non-dominated items)
+  export     emit the stability decomposition as JSON
+  gen        generate a simulated dataset as CSV on stdout
+
+run 'stablerank <command> -h' for command flags`)
+}
+
+// commonFlags holds the flags shared by the analysis commands.
+type commonFlags struct {
+	data    string
+	header  bool
+	weights string
+	theta   float64
+	cosine  float64
+	seed    int64
+	samples int
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.data, "data", "", "CSV dataset path (required)")
+	fs.BoolVar(&c.header, "header", true, "CSV has a header row")
+	fs.StringVar(&c.weights, "weights", "", "comma-separated reference weights")
+	fs.Float64Var(&c.theta, "theta", 0, "region half-angle around -weights (radians)")
+	fs.Float64Var(&c.cosine, "cosine", 0, "minimum cosine similarity with -weights")
+	fs.Int64Var(&c.seed, "seed", 1, "random seed")
+	fs.IntVar(&c.samples, "samples", 100000, "Monte-Carlo sample pool size")
+	return c
+}
+
+func (c *commonFlags) load() (*dataset.Dataset, error) {
+	if c.data == "" {
+		return nil, errors.New("-data is required")
+	}
+	f, err := os.Open(c.data)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, c.header)
+}
+
+func (c *commonFlags) parseWeights(d int) ([]float64, error) {
+	if c.weights == "" {
+		return nil, nil
+	}
+	parts := strings.Split(c.weights, ",")
+	if len(parts) != d {
+		return nil, fmt.Errorf("-weights has %d values, dataset has %d attributes", len(parts), d)
+	}
+	w := make([]float64, d)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %v", p, err)
+		}
+		w[i] = v
+	}
+	return w, nil
+}
+
+func (c *commonFlags) analyzerOptions(w []float64) ([]core.Option, error) {
+	opts := []core.Option{core.WithSeed(c.seed), core.WithSampleCount(c.samples)}
+	switch {
+	case c.theta > 0 && c.cosine > 0:
+		return nil, errors.New("use only one of -theta and -cosine")
+	case c.theta > 0:
+		if w == nil {
+			return nil, errors.New("-theta requires -weights")
+		}
+		opts = append(opts, core.WithCone(w, c.theta))
+	case c.cosine > 0:
+		if w == nil {
+			return nil, errors.New("-cosine requires -weights")
+		}
+		opts = append(opts, core.WithCosineSimilarity(w, c.cosine))
+	}
+	return opts, nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	c := addCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := c.load()
+	if err != nil {
+		return err
+	}
+	w, err := c.parseWeights(ds.D())
+	if err != nil {
+		return err
+	}
+	if w == nil {
+		return errors.New("verify requires -weights")
+	}
+	opts, err := c.analyzerOptions(w)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(ds, opts...)
+	if err != nil {
+		return err
+	}
+	r := core.RankingOf(ds, w)
+	v, err := a.VerifyStability(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ranking: %s\n", r.Describe(ds, 10))
+	if v.Exact {
+		fmt.Printf("stability: %.6f (exact)\n", v.Stability)
+		fmt.Printf("region angles: [%.6f, %.6f]\n", v.Interval.Lo, v.Interval.Hi)
+	} else {
+		fmt.Printf("stability: %.6f ± %.6f (Monte-Carlo, %d samples)\n",
+			v.Stability, v.ConfidenceError, c.samples)
+		fmt.Printf("region constraints: %d ordering-exchange halfspaces\n", len(v.Constraints))
+	}
+	return nil
+}
+
+func cmdEnumerate(args []string) error {
+	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
+	c := addCommon(fs)
+	h := fs.Int("h", 10, "number of stable rankings to report")
+	threshold := fs.Float64("threshold", 0, "report all rankings with stability >= threshold instead of -h")
+	show := fs.Int("show", 5, "ranked items to print per result")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := c.load()
+	if err != nil {
+		return err
+	}
+	w, err := c.parseWeights(ds.D())
+	if err != nil {
+		return err
+	}
+	opts, err := c.analyzerOptions(w)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(ds, opts...)
+	if err != nil {
+		return err
+	}
+	var results []core.Stable
+	if *threshold > 0 {
+		results, err = a.AboveThreshold(*threshold)
+	} else {
+		results, err = a.TopH(*h)
+	}
+	if err != nil {
+		return err
+	}
+	for i, s := range results {
+		kind := "mc"
+		if s.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("%3d. stability %.6f (%s)  %s\n", i+1, s.Stability, kind, s.Ranking.Describe(ds, *show))
+	}
+	if len(results) == 0 {
+		fmt.Println("no rankings found in the region of interest")
+	}
+	return nil
+}
+
+func cmdRandom(args []string) error {
+	fs := flag.NewFlagSet("random", flag.ExitOnError)
+	c := addCommon(fs)
+	k := fs.Int("k", 10, "top-k size")
+	mode := fs.String("mode", "set", "top-k semantics: set, ranked, or complete")
+	h := fs.Int("h", 5, "results to report")
+	first := fs.Int("first", 5000, "sampling budget of the first call")
+	step := fs.Int("step", 1000, "sampling budget of subsequent calls")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := c.load()
+	if err != nil {
+		return err
+	}
+	w, err := c.parseWeights(ds.D())
+	if err != nil {
+		return err
+	}
+	opts, err := c.analyzerOptions(w)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(ds, opts...)
+	if err != nil {
+		return err
+	}
+	var m mc.Mode
+	switch *mode {
+	case "set":
+		m = mc.TopKSet
+	case "ranked":
+		m = mc.TopKRanked
+	case "complete":
+		m = mc.Complete
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	r, err := a.Randomized(m, *k)
+	if err != nil {
+		return err
+	}
+	results, err := r.TopH(*h, *first, *step)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		ids := make([]string, len(res.Items))
+		for j, idx := range res.Items {
+			ids[j] = ds.Item(idx).ID
+		}
+		fmt.Printf("%3d. stability %.5f ± %.5f  [%s]\n",
+			i+1, res.Stability, res.ConfidenceError, strings.Join(ids, ", "))
+	}
+	fmt.Printf("total samples: %d\n", r.TotalSamples())
+	return nil
+}
+
+func cmdSkyline(args []string) error {
+	fs := flag.NewFlagSet("skyline", flag.ExitOnError)
+	c := addCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := c.load()
+	if err != nil {
+		return err
+	}
+	sky := ds.Skyline()
+	fmt.Printf("skyline: %d of %d items\n", len(sky), ds.N())
+	for _, i := range sky {
+		fmt.Println(ds.Item(i).ID)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "independent", "csmetrics|fifa|diamonds|flights|independent|correlated|anticorrelated")
+	n := fs.Int("n", 100, "items to generate")
+	d := fs.Int("d", 3, "attributes (synthetic kinds only)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var ds *dataset.Dataset
+	switch *kind {
+	case "csmetrics":
+		ds = datagen.CSMetrics(rng, *n)
+	case "fifa":
+		ds = datagen.FIFA(rng, *n)
+	case "diamonds":
+		ds = datagen.Diamonds(rng, *n)
+	case "flights":
+		ds = datagen.Flights(rng, *n)
+	case "independent":
+		ds = datagen.Independent(rng, *n, *d)
+	case "correlated":
+		ds = datagen.Correlated(rng, *n, *d)
+	case "anticorrelated":
+		ds = datagen.AntiCorrelated(rng, *n, *d)
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+	return ds.WriteCSV(os.Stdout, true)
+}

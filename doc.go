@@ -1,0 +1,24 @@
+// Package stablerank is a from-scratch Go reproduction of
+//
+//	Abolfazl Asudeh, H. V. Jagadish, Gerome Miklau, Julia Stoyanovich.
+//	"On Obtaining Stable Rankings." PVLDB 12(3): 237-250, VLDB 2018.
+//
+// A ranking produced by a linear weighting of item attributes is STABLE if a
+// large fraction of the weight space induces it. This module implements the
+// paper's full framework — exact 2D verification and enumeration, the
+// multi-dimensional delayed arrangement construction, unbiased function-
+// space samplers, and randomized top-k operators — together with the
+// substrate it needs (geometry, simplex LP, statistics, data generators) and
+// a benchmark harness regenerating every figure of the paper's evaluation.
+//
+// Entry points:
+//
+//   - internal/core: the Analyzer facade (verify / enumerate / randomized)
+//   - cmd/stablerank: CSV-driven command-line interface
+//   - cmd/benchfig: regenerates Figures 7-21 as text tables
+//   - examples/: five runnable scenarios from the paper
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for measured-vs-paper results. The root-level benchmarks in
+// bench_test.go mirror cmd/benchfig at testing.B scale.
+package stablerank

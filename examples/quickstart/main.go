@@ -1,0 +1,108 @@
+// Quickstart: the paper's running example (Example 2 / Figure 1).
+//
+// A human-resources department ranks five candidates on an aptitude score x1
+// and an experience score x2 using the equal-weight function f = x1 + x2.
+// This program answers the two stakeholder questions of the paper:
+//
+//   - the consumer's question (Problem 1): how stable is the published
+//     ranking — what fraction of reasonable weight choices produce it?
+//   - the producer's question (Problems 2-3): which rankings are the most
+//     stable ones, overall and within an acceptable region around the
+//     current weights?
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"stablerank/internal/core"
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+	ds := dataset.Figure1()
+
+	fmt.Println("Candidates (aptitude x1, experience x2):")
+	for i := 0; i < ds.N(); i++ {
+		it := ds.Item(i)
+		fmt.Printf("  %-3s x1=%.2f x2=%.2f\n", it.ID, it.Attrs[0], it.Attrs[1])
+	}
+
+	// The published ranking under f = x1 + x2.
+	published := core.RankingOf(ds, []float64{1, 1})
+	fmt.Printf("\nPublished ranking (f = x1 + x2): %s\n", published.Describe(ds, 0))
+
+	// Consumer: verify its stability over ALL weight choices.
+	a, err := core.New(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := a.VerifyStability(published)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Stability over the whole weight space: %.4f (exact; region angles [%.4f, %.4f])\n",
+		v.Stability, v.Interval.Lo, v.Interval.Hi)
+
+	// Producer: enumerate every feasible ranking in decreasing stability.
+	fmt.Println("\nAll feasible rankings, most stable first:")
+	e, err := a.Enumerator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; ; i++ {
+		s, err := e.Next()
+		if errors.Is(err, core.ErrExhausted) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if s.Ranking.Equal(published) {
+			marker = "   <- published"
+		}
+		fmt.Printf("  %2d. stability %.4f  %s%s\n", i, s.Stability, s.Ranking.Describe(ds, 0), marker)
+	}
+
+	// Producer with taste constraints: the HR officer believes aptitude
+	// should count for about twice experience — accept weights within an
+	// angle of the ray (2, 1) (Example 3).
+	restricted, err := core.New(ds, WithTwiceAptitude()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMost stable rankings with aptitude ~2x experience (±20%):")
+	for i, s := range mustTopH(restricted, 3) {
+		fmt.Printf("  %2d. stability %.4f  %s  (weights %.3f, %.3f)\n",
+			i+1, s.Stability, s.Ranking.Describe(ds, 0), s.Weights[0], s.Weights[1])
+	}
+}
+
+// WithTwiceAptitude encodes Example 3: any weight ratio w1/w2 within 20% of
+// 2 is acceptable, expressed as the constraint region
+// 1.6 w2 <= w1 <= 2.4 w2.
+func WithTwiceAptitude() []core.Option {
+	return []core.Option{core.WithConstraints(2,
+		halfspace(1, -1.6), // w1 >= 1.6 w2
+		halfspace(-1, 2.4), // w1 <= 2.4 w2
+	)}
+}
+
+// halfspace builds the constraint a*w1 + b*w2 >= 0.
+func halfspace(a, b float64) geom.Halfspace {
+	return geom.Halfspace{Normal: geom.Vector{a, b}, Positive: true}
+}
+
+func mustTopH(a *core.Analyzer, h int) []core.Stable {
+	out, err := a.TopH(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

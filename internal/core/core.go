@@ -1,0 +1,464 @@
+// Package core is the public face of the library: it ties the exact 2D
+// algorithms, the multi-dimensional delayed-arrangement engine, and the
+// randomized Monte-Carlo operators behind one Analyzer with the three
+// problem interfaces of Section 2.2 — stability verification for consumers
+// (Problem 1) and batch / iterative stable-ranking enumeration for producers
+// (Problems 2 and 3) — over an acceptable region of scoring functions
+// (Section 2.2.2).
+//
+// Typical use:
+//
+//	a, _ := core.New(ds, core.WithCosineSimilarity([]float64{1, 1}, 0.998))
+//	v, _ := a.VerifyStability(core.RankingOf(ds, []float64{1, 1}))
+//	e, _ := a.Enumerator()
+//	first, _ := e.Next() // the most stable ranking in the region
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/mc"
+	"stablerank/internal/md"
+	"stablerank/internal/rank"
+	"stablerank/internal/sampling"
+	"stablerank/internal/stats"
+	"stablerank/internal/twod"
+)
+
+// Sentinel errors, re-exported so callers depend only on this package.
+var (
+	// ErrInfeasibleRanking reports that no scoring function in the region of
+	// interest induces the given ranking.
+	ErrInfeasibleRanking = errors.New("core: ranking is not achievable in the region of interest")
+	// ErrExhausted reports that enumeration has produced every ranking.
+	ErrExhausted = errors.New("core: no further rankings")
+)
+
+// Analyzer answers stability questions about one dataset within one region
+// of interest. It is not safe for concurrent use; create one per goroutine.
+type Analyzer struct {
+	ds          *dataset.Dataset
+	roi         geom.Region
+	seed        int64
+	sampleCount int
+	alpha       float64
+
+	samples []geom.Vector // drawn lazily, reused by verification calls
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer) error
+
+// WithRegion sets the acceptable region U* directly.
+func WithRegion(r geom.Region) Option {
+	return func(a *Analyzer) error {
+		if r == nil {
+			return errors.New("core: nil region")
+		}
+		a.roi = r
+		return nil
+	}
+}
+
+// WithCone restricts scoring functions to a hypercone of half-angle theta
+// around the reference weight vector.
+func WithCone(weights []float64, theta float64) Option {
+	return func(a *Analyzer) error {
+		c, err := geom.NewCone(geom.NewVector(weights...), theta)
+		if err != nil {
+			return err
+		}
+		a.roi = c
+		return nil
+	}
+}
+
+// WithCosineSimilarity restricts scoring functions to those within the given
+// minimum cosine similarity of the reference weight vector, as in the
+// paper's "0.998 cosine similarity around the CSMetrics weights".
+func WithCosineSimilarity(weights []float64, minCosine float64) Option {
+	return func(a *Analyzer) error {
+		c, err := geom.NewConeFromCosine(geom.NewVector(weights...), minCosine)
+		if err != nil {
+			return err
+		}
+		a.roi = c
+		return nil
+	}
+}
+
+// WithConstraints restricts scoring functions to a convex cone of linear
+// weight constraints, e.g. "w2 at most w1".
+func WithConstraints(d int, constraints ...geom.Halfspace) Option {
+	return func(a *Analyzer) error {
+		r, err := geom.NewConstraintRegion(d, constraints...)
+		if err != nil {
+			return err
+		}
+		a.roi = r
+		return nil
+	}
+}
+
+// WithSeed fixes the random seed of every sampler the analyzer creates
+// (default 1). Identical seeds give identical results.
+func WithSeed(seed int64) Option {
+	return func(a *Analyzer) error {
+		a.seed = seed
+		return nil
+	}
+}
+
+// WithSampleCount sets the Monte-Carlo sample pool used by verification and
+// the multi-dimensional enumerator (default 100,000, the paper's Section 6.3
+// choice for GET-NEXTmd).
+func WithSampleCount(n int) Option {
+	return func(a *Analyzer) error {
+		if n < 1 {
+			return fmt.Errorf("core: sample count %d < 1", n)
+		}
+		a.sampleCount = n
+		return nil
+	}
+}
+
+// WithConfidenceLevel sets 1-alpha for reported confidence errors (default
+// alpha = 0.05).
+func WithConfidenceLevel(alpha float64) Option {
+	return func(a *Analyzer) error {
+		if alpha <= 0 || alpha >= 1 {
+			return fmt.Errorf("core: alpha %v out of (0,1)", alpha)
+		}
+		a.alpha = alpha
+		return nil
+	}
+}
+
+// New builds an Analyzer over the dataset. Without options the region of
+// interest is the whole function space U.
+func New(ds *dataset.Dataset, opts ...Option) (*Analyzer, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, dataset.ErrEmptyDataset
+	}
+	if ds.D() < 2 {
+		return nil, fmt.Errorf("core: dataset needs >= 2 scoring attributes, has %d", ds.D())
+	}
+	a := &Analyzer{
+		ds:          ds,
+		roi:         geom.FullSpace{D: ds.D()},
+		seed:        1,
+		sampleCount: 100_000,
+		alpha:       0.05,
+	}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	if a.roi.Dim() != ds.D() {
+		return nil, fmt.Errorf("core: region dimension %d != dataset dimension %d", a.roi.Dim(), ds.D())
+	}
+	return a, nil
+}
+
+// Dataset returns the analyzed dataset.
+func (a *Analyzer) Dataset() *dataset.Dataset { return a.ds }
+
+// Region returns the region of interest.
+func (a *Analyzer) Region() geom.Region { return a.roi }
+
+// RankingOf returns the ranking the weight vector induces on ds, the
+// nabla_f(D) operator.
+func RankingOf(ds *dataset.Dataset, weights []float64) rank.Ranking {
+	return rank.Compute(ds, geom.NewVector(weights...))
+}
+
+// sampler returns a fresh unbiased sampler for the region of interest.
+func (a *Analyzer) sampler(seedOffset int64) (sampling.Sampler, error) {
+	return sampling.ForRegion(a.roi, rand.New(rand.NewSource(a.seed+seedOffset)))
+}
+
+// samplePool lazily draws the shared Monte-Carlo sample pool.
+func (a *Analyzer) samplePool() ([]geom.Vector, error) {
+	if a.samples != nil {
+		return a.samples, nil
+	}
+	s, err := a.sampler(0)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]geom.Vector, a.sampleCount)
+	for i := range pool {
+		w, err := s.Sample()
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = w
+	}
+	a.samples = pool
+	return pool, nil
+}
+
+// is2D reports whether the exact 2D machinery applies.
+func (a *Analyzer) is2D() bool { return a.ds.D() == 2 }
+
+func (a *Analyzer) interval() (geom.Interval2D, error) {
+	return geom.Interval2DOf(a.roi)
+}
+
+// Verification is the answer to the consumer's stability question
+// (Problem 1).
+type Verification struct {
+	// Stability is the fraction of the region of interest generating the
+	// ranking: exact in 2D, a Monte-Carlo estimate otherwise.
+	Stability float64
+	// ConfidenceError is the half-width of the confidence interval around a
+	// Monte-Carlo estimate; 0 when Exact.
+	ConfidenceError float64
+	// Exact reports whether Stability is exact (2D) or estimated.
+	Exact bool
+	// Interval describes the ranking region in 2D (nil otherwise).
+	Interval *geom.Interval2D
+	// Constraints describes the ranking region in higher dimensions as
+	// ordering-exchange halfspaces (nil in 2D).
+	Constraints []geom.Halfspace
+}
+
+// VerifyStability computes the stability of ranking r in the region of
+// interest: the exact SV2D scan in two dimensions, the sampled SV oracle
+// otherwise. It returns ErrInfeasibleRanking when no acceptable function
+// induces r.
+func (a *Analyzer) VerifyStability(r rank.Ranking) (Verification, error) {
+	if a.is2D() {
+		iv, err := a.interval()
+		if err != nil {
+			return Verification{}, err
+		}
+		res, err := twod.Verify(a.ds, r, iv)
+		if errors.Is(err, twod.ErrInfeasibleRanking) {
+			return Verification{}, ErrInfeasibleRanking
+		}
+		if err != nil {
+			return Verification{}, err
+		}
+		region := res.Region
+		return Verification{Stability: res.Stability, Exact: true, Interval: &region}, nil
+	}
+	pool, err := a.samplePool()
+	if err != nil {
+		return Verification{}, err
+	}
+	res, err := md.Verify(a.ds, r, pool)
+	if errors.Is(err, md.ErrInfeasibleRanking) {
+		return Verification{}, ErrInfeasibleRanking
+	}
+	if err != nil {
+		return Verification{}, err
+	}
+	// A feasible-by-dominance ranking with zero samples may still be
+	// infeasible in the region; report stability 0 rather than an error, as
+	// the Monte-Carlo evidence cannot distinguish the two.
+	return Verification{
+		Stability:       res.Stability,
+		ConfidenceError: confidenceOf(res.Stability, res.SampleCount, a.alpha),
+		Constraints:     res.Constraints,
+	}, nil
+}
+
+// Stable is one enumerated ranking with its stability.
+type Stable struct {
+	// Ranking is the full ranking of the dataset.
+	Ranking rank.Ranking
+	// Stability is exact in 2D, Monte-Carlo otherwise.
+	Stability float64
+	// Weights is a representative acceptable scoring function inducing the
+	// ranking.
+	Weights geom.Vector
+	// Exact reports whether Stability is exact.
+	Exact bool
+}
+
+// Enumerator yields rankings in decreasing stability (the GET-NEXT operator
+// of Problem 3). In 2D it is exact; otherwise it runs the delayed
+// arrangement construction over the Monte-Carlo sample pool.
+type Enumerator struct {
+	twoD *twod.Enumerator
+	mdE  *md.Engine
+}
+
+// Enumerator prepares the iterative stable-region enumeration.
+func (a *Analyzer) Enumerator() (*Enumerator, error) {
+	if a.is2D() {
+		iv, err := a.interval()
+		if err != nil {
+			return nil, err
+		}
+		e, err := twod.NewEnumerator(a.ds, iv)
+		if err != nil {
+			return nil, err
+		}
+		return &Enumerator{twoD: e}, nil
+	}
+	pool, err := a.samplePool()
+	if err != nil {
+		return nil, err
+	}
+	// The engine partitions the pool in place; hand it a copy so verification
+	// calls on the analyzer keep their own ordering (contents are identical).
+	own := make([]geom.Vector, len(pool))
+	copy(own, pool)
+	e, err := md.NewEngine(a.ds, a.roi, own, md.SamplePartition)
+	if err != nil {
+		return nil, err
+	}
+	return &Enumerator{mdE: e}, nil
+}
+
+// Next returns the next most stable ranking, or ErrExhausted.
+func (e *Enumerator) Next() (Stable, error) {
+	if e.twoD != nil {
+		r, err := e.twoD.Next()
+		if errors.Is(err, twod.ErrExhausted) {
+			return Stable{}, ErrExhausted
+		}
+		if err != nil {
+			return Stable{}, err
+		}
+		return Stable{Ranking: r.Ranking, Stability: r.Stability, Weights: r.Region.Midpoint(), Exact: true}, nil
+	}
+	r, err := e.mdE.Next()
+	if errors.Is(err, md.ErrExhausted) {
+		return Stable{}, ErrExhausted
+	}
+	if err != nil {
+		return Stable{}, err
+	}
+	return Stable{Ranking: r.Ranking, Stability: r.Stability, Weights: r.Weights}, nil
+}
+
+// TopH returns the h most stable rankings (batch Problem 2, count form).
+func (a *Analyzer) TopH(h int) ([]Stable, error) {
+	e, err := a.Enumerator()
+	if err != nil {
+		return nil, err
+	}
+	var out []Stable
+	for len(out) < h {
+		s, err := e.Next()
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AboveThreshold returns every ranking with stability >= s (batch Problem 2,
+// threshold form), in decreasing stability order.
+func (a *Analyzer) AboveThreshold(s float64) ([]Stable, error) {
+	e, err := a.Enumerator()
+	if err != nil {
+		return nil, err
+	}
+	var out []Stable
+	for {
+		r, err := e.Next()
+		if errors.Is(err, ErrExhausted) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if r.Stability < s {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// Randomized wraps the Monte-Carlo GET-NEXTr operator (Section 4.3) for
+// complete rankings or top-k partial rankings.
+type Randomized struct {
+	op *mc.Operator
+}
+
+// Randomized builds the randomized operator with the given semantics; k is
+// ignored for mc.Complete.
+func (a *Analyzer) Randomized(mode mc.Mode, k int) (*Randomized, error) {
+	s, err := a.sampler(1)
+	if err != nil {
+		return nil, err
+	}
+	op, err := mc.NewOperator(a.ds, s,
+		mc.WithMode(mode, k), mc.WithConfidenceLevel(a.alpha))
+	if err != nil {
+		return nil, err
+	}
+	return &Randomized{op: op}, nil
+}
+
+// NextFixedBudget draws n fresh samples and returns the most frequent
+// undiscovered ranking (Algorithm 7).
+func (r *Randomized) NextFixedBudget(n int) (mc.Result, error) {
+	res, err := r.op.NextFixedBudget(n)
+	if errors.Is(err, mc.ErrExhausted) {
+		return mc.Result{}, ErrExhausted
+	}
+	return res, err
+}
+
+// NextFixedError samples until the next ranking's stability estimate reaches
+// confidence error e (Algorithm 8).
+func (r *Randomized) NextFixedError(e float64, maxSamples int) (mc.Result, error) {
+	res, err := r.op.NextFixedError(e, maxSamples)
+	if errors.Is(err, mc.ErrExhausted) {
+		return mc.Result{}, ErrExhausted
+	}
+	return res, err
+}
+
+// TopH returns the h most stable rankings with the paper's budget schedule.
+func (r *Randomized) TopH(h, firstBudget, stepBudget int) ([]mc.Result, error) {
+	return r.op.TopH(h, firstBudget, stepBudget)
+}
+
+// TotalSamples reports the cumulative number of samples drawn.
+func (r *Randomized) TotalSamples() int { return r.op.TotalSamples() }
+
+// ItemRankDistribution samples the region of interest n times and returns
+// the distribution of the given item's rank — the distributional form of
+// Example 1's consumer question ("does Cornell make the top-10 under
+// acceptable weights?").
+func (a *Analyzer) ItemRankDistribution(item, n int) (mc.RankDistribution, error) {
+	s, err := a.sampler(2)
+	if err != nil {
+		return mc.RankDistribution{}, err
+	}
+	return mc.ItemRankDistribution(a.ds, s, item, n)
+}
+
+// Boundary returns the non-redundant boundary facets of ranking r's region:
+// the item pairs whose exchange a weight perturbation can realize first
+// (the Section 8 "characterize the boundaries" future work; see
+// md.Boundary). It works in any dimension.
+func (a *Analyzer) Boundary(r rank.Ranking) ([]md.BoundaryFacet, error) {
+	facets, err := md.Boundary(a.ds, r)
+	if errors.Is(err, md.ErrInfeasibleRanking) {
+		return nil, ErrInfeasibleRanking
+	}
+	return facets, err
+}
+
+func confidenceOf(s float64, n int, alpha float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return stats.ConfidenceError(s, n, alpha)
+}

@@ -1,0 +1,225 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/dataset"
+)
+
+func pearson(ds *dataset.Dataset, j, k int) float64 {
+	n := float64(ds.N())
+	var mj, mk float64
+	for i := 0; i < ds.N(); i++ {
+		mj += ds.Attrs(i)[j]
+		mk += ds.Attrs(i)[k]
+	}
+	mj /= n
+	mk /= n
+	var sjk, sj, sk float64
+	for i := 0; i < ds.N(); i++ {
+		a := ds.Attrs(i)[j] - mj
+		b := ds.Attrs(i)[k] - mk
+		sjk += a * b
+		sj += a * a
+		sk += b * b
+	}
+	if sj == 0 || sk == 0 {
+		return 0
+	}
+	return sjk / math.Sqrt(sj*sk)
+}
+
+func inUnitBox(t *testing.T, ds *dataset.Dataset) {
+	t.Helper()
+	for i := 0; i < ds.N(); i++ {
+		for j, v := range ds.Attrs(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("item %d attr %d = %v outside [0,1]", i, j, v)
+			}
+		}
+	}
+}
+
+func TestIndependentShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	ds := Independent(rng, 5000, 3)
+	if ds.N() != 5000 || ds.D() != 3 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+	inUnitBox(t, ds)
+	if r := pearson(ds, 0, 1); math.Abs(r) > 0.05 {
+		t.Errorf("independent correlation = %v, want ~0", r)
+	}
+}
+
+func TestCorrelatedHasPositiveCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	ds := Correlated(rng, 5000, 3)
+	inUnitBox(t, ds)
+	for j := 0; j < 3; j++ {
+		for k := j + 1; k < 3; k++ {
+			if r := pearson(ds, j, k); r < 0.5 {
+				t.Errorf("correlated attrs (%d,%d) correlation = %v, want > 0.5", j, k, r)
+			}
+		}
+	}
+}
+
+func TestAntiCorrelatedHasNegativeCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ds := AntiCorrelated(rng, 5000, 2)
+	inUnitBox(t, ds)
+	if r := pearson(ds, 0, 1); r > -0.5 {
+		t.Errorf("anti-correlated correlation = %v, want < -0.5", r)
+	}
+	// In higher d, pairwise correlation is milder but still negative.
+	ds3 := AntiCorrelated(rng, 5000, 3)
+	if r := pearson(ds3, 0, 1); r > -0.2 {
+		t.Errorf("anti-correlated d=3 correlation = %v, want < -0.2", r)
+	}
+}
+
+func TestSyntheticDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for _, kind := range []CorrelationKind{KindIndependent, KindCorrelated, KindAntiCorrelated} {
+		ds := Synthetic(rng, kind, 100, 3)
+		if ds.N() != 100 || ds.D() != 3 {
+			t.Errorf("%v: shape %dx%d", kind, ds.N(), ds.D())
+		}
+	}
+	if KindCorrelated.String() != "correlated" || KindAntiCorrelated.String() != "anti-correlated" ||
+		KindIndependent.String() != "independent" {
+		t.Error("CorrelationKind.String wrong")
+	}
+	if CorrelationKind(99).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	a := CSMetrics(rand.New(rand.NewSource(7)), 50)
+	b := CSMetrics(rand.New(rand.NewSource(7)), 50)
+	for i := 0; i < a.N(); i++ {
+		if !a.Attrs(i).Equal(b.Attrs(i), 0) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := CSMetrics(rand.New(rand.NewSource(8)), 50)
+	same := true
+	for i := 0; i < a.N(); i++ {
+		if !a.Attrs(i).Equal(c.Attrs(i), 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestCSMetricsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ds := CSMetrics(rng, 100)
+	if ds.N() != 100 || ds.D() != 2 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+	inUnitBox(t, ds)
+	// Measured and predicted citations must be strongly correlated.
+	if r := pearson(ds, 0, 1); r < 0.7 {
+		t.Errorf("CSMetrics M/P correlation = %v, want > 0.7", r)
+	}
+	// Top institutions should generally dominate bottom ones: the data has a
+	// strong quality gradient.
+	top, bottom := 0, 0
+	for i := 0; i < 10; i++ {
+		if ds.Attrs(i)[0] > ds.Attrs(90 + i)[0] {
+			top++
+		} else {
+			bottom++
+		}
+	}
+	if top < 8 {
+		t.Errorf("quality gradient weak: top wins %d/10", top)
+	}
+	w := CSMetricsReferenceWeights()
+	if len(w) != 2 || w[0] != 0.3 || w[1] != 0.7 {
+		t.Errorf("reference weights = %v", w)
+	}
+}
+
+func TestFIFAShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	ds := FIFA(rng, 100)
+	if ds.N() != 100 || ds.D() != 4 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+	inUnitBox(t, ds)
+	// Yearly performances of the same team are positively correlated.
+	if r := pearson(ds, 0, 3); r < 0.2 {
+		t.Errorf("FIFA year correlation = %v, want > 0.2", r)
+	}
+	w := FIFAReferenceWeights()
+	if len(w) != 4 || w[0] != 1 || w[3] != 0.2 {
+		t.Errorf("reference weights = %v", w)
+	}
+}
+
+func TestDiamondsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	ds := Diamonds(rng, 2000)
+	if ds.N() != 2000 || ds.D() != 5 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+	inUnitBox(t, ds)
+	// After the lower-better flip, normalized price and carat must be
+	// anti-correlated (big diamonds cost more, so cheapness anti-tracks
+	// carat).
+	if r := pearson(ds, 0, 1); r > -0.3 {
+		t.Errorf("flipped price vs carat correlation = %v, want strongly negative", r)
+	}
+}
+
+func TestFlightsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	ds := Flights(rng, 5000)
+	if ds.N() != 5000 || ds.D() != 3 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.D())
+	}
+	inUnitBox(t, ds)
+	// Air time is bimodal: the middle of the range is sparse relative to the
+	// two humps. Check variance is substantial (mixture, not point mass).
+	var mean, m2 float64
+	for i := 0; i < ds.N(); i++ {
+		mean += ds.Attrs(i)[0]
+	}
+	mean /= float64(ds.N())
+	for i := 0; i < ds.N(); i++ {
+		d := ds.Attrs(i)[0] - mean
+		m2 += d * d
+	}
+	if sd := math.Sqrt(m2 / float64(ds.N())); sd < 0.1 {
+		t.Errorf("air-time stddev = %v, want a spread mixture", sd)
+	}
+}
+
+func TestGeneratorsUniqueIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for name, ds := range map[string]*dataset.Dataset{
+		"csmetrics": CSMetrics(rng, 50),
+		"fifa":      FIFA(rng, 50),
+		"diamonds":  Diamonds(rng, 50),
+		"flights":   Flights(rng, 50),
+		"synthetic": Independent(rng, 50, 3),
+	} {
+		seen := map[string]bool{}
+		for i := 0; i < ds.N(); i++ {
+			id := ds.Item(i).ID
+			if seen[id] {
+				t.Errorf("%s: duplicate id %q", name, id)
+			}
+			seen[id] = true
+		}
+	}
+}

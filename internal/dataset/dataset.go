@@ -1,0 +1,270 @@
+// Package dataset implements the data model of Section 2.1.1: a fixed
+// database of n items, each a d-length vector of scoring attributes,
+// together with the preprocessing the paper assumes (min-max normalization
+// with per-attribute preference direction, variance standardization),
+// dominance tests, the skyline operator used for comparison in Section
+// 2.2.5, and CSV input/output for the command-line tools.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stablerank/internal/geom"
+)
+
+// Item is a database item: an identifier plus its d scoring attributes.
+// Non-scoring attributes are outside the model's concern (Section 2.1.1).
+type Item struct {
+	ID    string
+	Attrs geom.Vector
+}
+
+// Dataset is an immutable-after-build collection of items sharing a common
+// attribute dimension.
+type Dataset struct {
+	d     int
+	items []Item
+}
+
+// New returns an empty dataset over d scoring attributes. d must be >= 1
+// (the algorithms themselves require >= 2; 1 is permitted so projections can
+// be built incrementally).
+func New(d int) (*Dataset, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("dataset: dimension %d < 1", d)
+	}
+	return &Dataset{d: d}, nil
+}
+
+// MustNew is New for statically-correct dimensions; it panics on error.
+func MustNew(d int) *Dataset {
+	ds, err := New(d)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Add appends an item. The attribute vector must have the dataset dimension
+// and contain only finite values (NaN or infinite attributes would poison
+// every downstream score comparison silently).
+func (ds *Dataset) Add(id string, attrs geom.Vector) error {
+	if len(attrs) != ds.d {
+		return fmt.Errorf("dataset: item %q has %d attributes, want %d", id, len(attrs), ds.d)
+	}
+	for j, v := range attrs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: item %q attribute %d is not finite (%v)", id, j, v)
+		}
+	}
+	ds.items = append(ds.items, Item{ID: id, Attrs: attrs.Clone()})
+	return nil
+}
+
+// MustAdd is Add that panics on dimension mismatch, for fixtures.
+func (ds *Dataset) MustAdd(id string, attrs ...float64) {
+	if err := ds.Add(id, geom.Vector(attrs)); err != nil {
+		panic(err)
+	}
+}
+
+// N returns the number of items.
+func (ds *Dataset) N() int { return len(ds.items) }
+
+// D returns the attribute dimension.
+func (ds *Dataset) D() int { return ds.d }
+
+// Item returns the i-th item (0-indexed insertion order).
+func (ds *Dataset) Item(i int) Item { return ds.items[i] }
+
+// Attrs returns the attribute vector of the i-th item without copying;
+// callers must not modify it.
+func (ds *Dataset) Attrs(i int) geom.Vector { return ds.items[i].Attrs }
+
+// Score returns the linear score w . attrs of item i (Definition 1).
+func (ds *Dataset) Score(w geom.Vector, i int) float64 {
+	return w.Dot(ds.items[i].Attrs)
+}
+
+// Clone returns a deep copy.
+func (ds *Dataset) Clone() *Dataset {
+	out := &Dataset{d: ds.d, items: make([]Item, len(ds.items))}
+	for i, it := range ds.items {
+		out.items[i] = Item{ID: it.ID, Attrs: it.Attrs.Clone()}
+	}
+	return out
+}
+
+// Project returns a new dataset keeping only the first k attributes, the
+// device the paper's experiments use to vary d over the Blue Nile data.
+func (ds *Dataset) Project(k int) (*Dataset, error) {
+	if k < 1 || k > ds.d {
+		return nil, fmt.Errorf("dataset: cannot project %d attributes to %d", ds.d, k)
+	}
+	out := &Dataset{d: k, items: make([]Item, len(ds.items))}
+	for i, it := range ds.items {
+		out.items[i] = Item{ID: it.ID, Attrs: it.Attrs[:k].Clone()}
+	}
+	return out, nil
+}
+
+// Head returns a new dataset containing the first n items.
+func (ds *Dataset) Head(n int) (*Dataset, error) {
+	if n < 0 || n > len(ds.items) {
+		return nil, fmt.Errorf("dataset: head %d out of range [0, %d]", n, len(ds.items))
+	}
+	out := &Dataset{d: ds.d, items: make([]Item, n)}
+	copy(out.items, ds.items[:n])
+	return out, nil
+}
+
+// Dominates reports whether item a dominates item b (Section 3): a is at
+// least as good on every attribute and strictly better on at least one,
+// larger values preferred.
+func Dominates(a, b Item) bool {
+	strict := false
+	for j := range a.Attrs {
+		if b.Attrs[j] > a.Attrs[j] {
+			return false
+		}
+		if a.Attrs[j] > b.Attrs[j] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// DominatesIdx reports whether item i dominates item j in the dataset.
+func (ds *Dataset) DominatesIdx(i, j int) bool {
+	return Dominates(ds.items[i], ds.items[j])
+}
+
+// ErrEmptyDataset is returned by operations requiring at least one item.
+var ErrEmptyDataset = errors.New("dataset: empty dataset")
+
+// AttrRange returns the min and max of attribute j across the dataset.
+func (ds *Dataset) AttrRange(j int) (lo, hi float64, err error) {
+	if len(ds.items) == 0 {
+		return 0, 0, ErrEmptyDataset
+	}
+	if j < 0 || j >= ds.d {
+		return 0, 0, fmt.Errorf("dataset: attribute %d out of range", j)
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, it := range ds.items {
+		v := it.Attrs[j]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, nil
+}
+
+// Direction states whether larger or smaller raw values of an attribute are
+// preferred, controlling the min-max transform of Section 6.1.
+type Direction int
+
+const (
+	// HigherBetter normalizes v to (v-min)/(max-min).
+	HigherBetter Direction = iota
+	// LowerBetter normalizes v to (max-v)/(max-min), as the paper does for
+	// diamond Price.
+	LowerBetter
+)
+
+// Normalize returns a new dataset with every attribute min-max normalized to
+// [0, 1] respecting the given preference directions (one per attribute, or
+// nil meaning all HigherBetter). Constant attributes map to 0.
+func (ds *Dataset) Normalize(dirs []Direction) (*Dataset, error) {
+	if len(ds.items) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if dirs != nil && len(dirs) != ds.d {
+		return nil, fmt.Errorf("dataset: %d directions for %d attributes", len(dirs), ds.d)
+	}
+	lows := make([]float64, ds.d)
+	spans := make([]float64, ds.d)
+	for j := 0; j < ds.d; j++ {
+		lo, hi, err := ds.AttrRange(j)
+		if err != nil {
+			return nil, err
+		}
+		lows[j] = lo
+		spans[j] = hi - lo
+	}
+	out := &Dataset{d: ds.d, items: make([]Item, len(ds.items))}
+	for i, it := range ds.items {
+		attrs := make(geom.Vector, ds.d)
+		for j := 0; j < ds.d; j++ {
+			var v float64
+			if spans[j] > 0 {
+				v = (it.Attrs[j] - lows[j]) / spans[j]
+				if dirs != nil && dirs[j] == LowerBetter {
+					v = 1 - v
+				}
+			}
+			attrs[j] = v
+		}
+		out.items[i] = Item{ID: it.ID, Attrs: attrs}
+	}
+	return out, nil
+}
+
+// Standardize returns a new dataset where each attribute has been scaled to
+// unit standard deviation and then shifted so its minimum is zero — the
+// "standardized to have equivalent variance" preprocessing of Section 2.1.1
+// while keeping all values non-negative as the algorithms assume. Constant
+// attributes map to 0.
+func (ds *Dataset) Standardize() (*Dataset, error) {
+	if len(ds.items) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	n := float64(len(ds.items))
+	means := make([]float64, ds.d)
+	for _, it := range ds.items {
+		for j, v := range it.Attrs {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= n
+	}
+	sds := make([]float64, ds.d)
+	for _, it := range ds.items {
+		for j, v := range it.Attrs {
+			d := v - means[j]
+			sds[j] += d * d
+		}
+	}
+	for j := range sds {
+		sds[j] = math.Sqrt(sds[j] / n)
+	}
+	out := &Dataset{d: ds.d, items: make([]Item, len(ds.items))}
+	mins := make([]float64, ds.d)
+	for j := range mins {
+		mins[j] = math.Inf(1)
+	}
+	for i, it := range ds.items {
+		attrs := make(geom.Vector, ds.d)
+		for j, v := range it.Attrs {
+			if sds[j] > 0 {
+				attrs[j] = v / sds[j]
+			}
+			if attrs[j] < mins[j] {
+				mins[j] = attrs[j]
+			}
+		}
+		out.items[i] = Item{ID: it.ID, Attrs: attrs}
+	}
+	for i := range out.items {
+		for j := range out.items[i].Attrs {
+			out.items[i].Attrs[j] -= mins[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,365 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stablerank/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("dimension 0 accepted")
+	}
+	ds, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D() != 3 || ds.N() != 0 {
+		t.Errorf("D=%d N=%d", ds.D(), ds.N())
+	}
+}
+
+func TestAddAndAccessors(t *testing.T) {
+	ds := MustNew(2)
+	if err := ds.Add("a", geom.Vector{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Add("b", geom.Vector{1, 2, 3}); err == nil {
+		t.Error("wrong-dimension item accepted")
+	}
+	if ds.N() != 1 {
+		t.Errorf("N = %d", ds.N())
+	}
+	it := ds.Item(0)
+	if it.ID != "a" || !it.Attrs.Equal(geom.Vector{1, 2}, 0) {
+		t.Errorf("Item(0) = %+v", it)
+	}
+	// Add must copy the caller's slice.
+	v := geom.Vector{5, 6}
+	ds.Add("c", v)
+	v[0] = 99
+	if ds.Attrs(1)[0] != 5 {
+		t.Error("Add aliases caller storage")
+	}
+	// Non-finite attributes are rejected.
+	if err := ds.Add("nan", geom.Vector{math.NaN(), 1}); err == nil {
+		t.Error("NaN attribute accepted")
+	}
+	if err := ds.Add("inf", geom.Vector{1, math.Inf(1)}); err == nil {
+		t.Error("Inf attribute accepted")
+	}
+}
+
+func TestScore(t *testing.T) {
+	ds := Figure1()
+	w := geom.Vector{1, 1}
+	// Figure 1a scores.
+	wants := []float64{1.34, 1.48, 1.36, 1.38, 1.35}
+	for i, want := range wants {
+		if got := ds.Score(w, i); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Score(%s) = %v, want %v", ds.Item(i).ID, got, want)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b geom.Vector
+		want bool
+	}{
+		{"strictly better both", geom.Vector{2, 2}, geom.Vector{1, 1}, true},
+		{"equal one better other", geom.Vector{2, 1}, geom.Vector{1, 1}, true},
+		{"identical", geom.Vector{1, 1}, geom.Vector{1, 1}, false},
+		{"incomparable", geom.Vector{2, 0}, geom.Vector{0, 2}, false},
+		{"worse", geom.Vector{1, 1}, geom.Vector{2, 2}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Item{ID: "a", Attrs: tc.a}
+			b := Item{ID: "b", Attrs: tc.b}
+			if got := Dominates(a, b); got != tc.want {
+				t.Errorf("Dominates = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDominanceImpliesScoreOrder(t *testing.T) {
+	// Property: if a dominates b then every non-negative weight scores a at
+	// least as high as b.
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(31))}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 2 + rr.Intn(4)
+		a := make(geom.Vector, d)
+		b := make(geom.Vector, d)
+		for j := 0; j < d; j++ {
+			b[j] = rr.Float64()
+			a[j] = b[j] + rr.Float64()*0.5
+		}
+		w := make(geom.Vector, d)
+		for j := range w {
+			w[j] = rr.Float64()
+		}
+		if !Dominates(Item{Attrs: a}, Item{Attrs: b}) {
+			return true // a == b coordinate-wise with probability ~0
+		}
+		return w.Dot(a) >= w.Dot(b)-1e-12
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkylineToyExample(t *testing.T) {
+	// Section 2.2.5: skyline of the toy dataset is {t1, t2, t5}.
+	ds := Toy225()
+	got := ds.Skyline()
+	want := []int{0, 1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("skyline = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("skyline = %v, want %v", got, want)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if ds.IsSkylineMember(i) {
+			t.Errorf("item %d should be dominated", i)
+		}
+	}
+	if !ds.IsSkylineMember(1) {
+		t.Error("t2 should be on the skyline")
+	}
+}
+
+func TestSkylineAgainstBruteForce(t *testing.T) {
+	rr := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rr.Intn(3)
+		ds := MustNew(d)
+		n := 50 + rr.Intn(100)
+		for i := 0; i < n; i++ {
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = rr.Float64()
+			}
+			ds.MustAdd("", v...)
+		}
+		sky := ds.Skyline()
+		inSky := make(map[int]bool, len(sky))
+		for _, i := range sky {
+			inSky[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if got, want := inSky[i], ds.IsSkylineMember(i); got != want {
+				t.Fatalf("item %d: skyline membership %v, brute force %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	if got := MustNew(2).Skyline(); got != nil {
+		t.Errorf("empty skyline = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ds := MustNew(2)
+	ds.MustAdd("a", 10, 100)
+	ds.MustAdd("b", 20, 300)
+	ds.MustAdd("c", 15, 200)
+	norm, err := ds.Normalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !norm.Attrs(0).Equal(geom.Vector{0, 0}, 1e-12) {
+		t.Errorf("a normalized = %v", norm.Attrs(0))
+	}
+	if !norm.Attrs(1).Equal(geom.Vector{1, 1}, 1e-12) {
+		t.Errorf("b normalized = %v", norm.Attrs(1))
+	}
+	if !norm.Attrs(2).Equal(geom.Vector{0.5, 0.5}, 1e-12) {
+		t.Errorf("c normalized = %v", norm.Attrs(2))
+	}
+	// Lower-better flips.
+	flip, err := ds.Normalize([]Direction{LowerBetter, HigherBetter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flip.Attrs(0).Equal(geom.Vector{1, 0}, 1e-12) {
+		t.Errorf("a flipped = %v", flip.Attrs(0))
+	}
+	// Original untouched.
+	if ds.Attrs(0)[0] != 10 {
+		t.Error("Normalize mutated the source dataset")
+	}
+}
+
+func TestNormalizeEdgeCases(t *testing.T) {
+	if _, err := MustNew(2).Normalize(nil); err == nil {
+		t.Error("empty dataset normalized")
+	}
+	ds := MustNew(2)
+	ds.MustAdd("a", 5, 1)
+	ds.MustAdd("b", 5, 2)
+	norm, err := ds.Normalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Attrs(0)[0] != 0 || norm.Attrs(1)[0] != 0 {
+		t.Error("constant attribute should normalize to 0")
+	}
+	if _, err := ds.Normalize([]Direction{HigherBetter}); err == nil {
+		t.Error("wrong direction count accepted")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	ds := MustNew(2)
+	ds.MustAdd("a", 0, 0)
+	ds.MustAdd("b", 2, 20)
+	ds.MustAdd("c", 4, 40)
+	std, err := ds.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both attributes must end with equal variance and min 0.
+	for j := 0; j < 2; j++ {
+		var mean, m2, min float64
+		min = math.Inf(1)
+		for i := 0; i < std.N(); i++ {
+			v := std.Attrs(i)[j]
+			mean += v
+			if v < min {
+				min = v
+			}
+		}
+		mean /= float64(std.N())
+		for i := 0; i < std.N(); i++ {
+			d := std.Attrs(i)[j] - mean
+			m2 += d * d
+		}
+		sd := math.Sqrt(m2 / float64(std.N()))
+		if math.Abs(sd-1) > 1e-9 {
+			t.Errorf("attr %d stddev = %v, want 1", j, sd)
+		}
+		if math.Abs(min) > 1e-12 {
+			t.Errorf("attr %d min = %v, want 0", j, min)
+		}
+	}
+	if _, err := MustNew(1).Standardize(); err == nil {
+		t.Error("empty dataset standardized")
+	}
+}
+
+func TestProjectAndHead(t *testing.T) {
+	ds := MustNew(3)
+	ds.MustAdd("a", 1, 2, 3)
+	ds.MustAdd("b", 4, 5, 6)
+	p, err := ds.Project(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.D() != 2 || !p.Attrs(1).Equal(geom.Vector{4, 5}, 0) {
+		t.Errorf("projection wrong: %v", p.Attrs(1))
+	}
+	if _, err := ds.Project(4); err == nil {
+		t.Error("over-projection accepted")
+	}
+	h, err := ds.Head(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 1 || h.Item(0).ID != "a" {
+		t.Errorf("head wrong: %+v", h.Item(0))
+	}
+	if _, err := ds.Head(5); err == nil {
+		t.Error("oversized head accepted")
+	}
+}
+
+func TestAttrRange(t *testing.T) {
+	ds := MustNew(2)
+	ds.MustAdd("a", 1, -5)
+	ds.MustAdd("b", 3, 7)
+	lo, hi, err := ds.AttrRange(1)
+	if err != nil || lo != -5 || hi != 7 {
+		t.Errorf("AttrRange = (%v, %v, %v)", lo, hi, err)
+	}
+	if _, _, err := ds.AttrRange(2); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if _, _, err := MustNew(1).AttrRange(0); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := Figure1()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.D() != ds.D() {
+		t.Fatalf("round trip shape mismatch: %dx%d", back.N(), back.D())
+	}
+	for i := 0; i < ds.N(); i++ {
+		if back.Item(i).ID != ds.Item(i).ID || !back.Attrs(i).Equal(ds.Attrs(i), 1e-12) {
+			t.Errorf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"id only", "a\nb\n"},
+		{"bad float", "a,1,x\n"},
+		{"ragged handled by csv pkg", "a,1,2\nb,3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in), false); err == nil {
+				t.Errorf("input %q accepted", tc.in)
+			}
+		})
+	}
+	// Header-only file is empty after the header.
+	if _, err := ReadCSV(strings.NewReader("id,x1\n"), true); err == nil {
+		t.Error("header-only file accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ds := Figure1()
+	c := ds.Clone()
+	c.Attrs(0)[0] = 42
+	if ds.Attrs(0)[0] == 42 {
+		t.Error("Clone aliases item storage")
+	}
+}
+
+func TestFixtureShapes(t *testing.T) {
+	if ds := Figure1(); ds.N() != 5 || ds.D() != 2 {
+		t.Error("Figure1 shape wrong")
+	}
+	if ds := Toy225(); ds.N() != 5 || ds.D() != 2 {
+		t.Error("Toy225 shape wrong")
+	}
+}

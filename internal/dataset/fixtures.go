@@ -1,0 +1,29 @@
+package dataset
+
+// Fixtures from the paper, used across the test suites and examples.
+
+// Figure1 returns the five-candidate HR database of Example 2 / Figure 1a.
+// Under f = x1 + x2 the induced ranking is t2, t4, t3, t5, t1 and the full
+// function space splits into 11 ranking regions (Figure 1c).
+func Figure1() *Dataset {
+	ds := MustNew(2)
+	ds.MustAdd("t1", 0.63, 0.71)
+	ds.MustAdd("t2", 0.83, 0.65)
+	ds.MustAdd("t3", 0.58, 0.78)
+	ds.MustAdd("t4", 0.70, 0.68)
+	ds.MustAdd("t5", 0.53, 0.82)
+	return ds
+}
+
+// Toy225 returns the Section 2.2.5 example
+// D = {t1(1,0), t2(.99,.99), t3(.98,.98), t4(.97,.97), t5(0,1)} whose skyline
+// is {t1, t2, t5} while the most stable top-3 is {t2, t3, t4}.
+func Toy225() *Dataset {
+	ds := MustNew(2)
+	ds.MustAdd("t1", 1, 0)
+	ds.MustAdd("t2", 0.99, 0.99)
+	ds.MustAdd("t3", 0.98, 0.98)
+	ds.MustAdd("t4", 0.97, 0.97)
+	ds.MustAdd("t5", 0, 1)
+	return ds
+}

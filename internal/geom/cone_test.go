@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewConeValidation(t *testing.T) {
+	if _, err := NewCone(Vector{1, 1}, 0); err == nil {
+		t.Error("zero angle accepted")
+	}
+	if _, err := NewCone(Vector{1, 1}, 2); err == nil {
+		t.Error("angle > pi/2 accepted")
+	}
+	if _, err := NewCone(Vector{0, 0}, 0.1); err == nil {
+		t.Error("zero axis accepted")
+	}
+	if _, err := NewCone(Vector{-1, 1}, 0.1); err == nil {
+		t.Error("negative axis accepted")
+	}
+	c, err := NewCone(Vector{2, 2}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.Axis.Norm(), 1, 1e-12) {
+		t.Error("axis not normalized")
+	}
+}
+
+func TestNewConeFromCosine(t *testing.T) {
+	c, err := NewConeFromCosine(Vector{1, 1}, 0.998)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.Theta, math.Acos(0.998), 1e-12) {
+		t.Errorf("Theta = %v, want acos(0.998)", c.Theta)
+	}
+	if _, err := NewConeFromCosine(Vector{1, 1}, 1.5); err == nil {
+		t.Error("cosine > 1 accepted")
+	}
+	if _, err := NewConeFromCosine(Vector{1, 1}, 0); err == nil {
+		t.Error("cosine 0 accepted (use NewCone with pi/2 instead)")
+	}
+}
+
+func TestConeContains(t *testing.T) {
+	c, _ := NewCone(Vector{1, 1}, math.Pi/10)
+	if !c.Contains(Vector{1, 1}) {
+		t.Error("axis not contained")
+	}
+	if !c.Contains(Vector{5, 5}) {
+		t.Error("scaled axis not contained (rays, not points)")
+	}
+	if !c.Contains(Ray2D(math.Pi/4 + math.Pi/10 - 1e-6)) {
+		t.Error("boundary-adjacent ray rejected")
+	}
+	if c.Contains(Ray2D(math.Pi/4 + math.Pi/10 + 1e-3)) {
+		t.Error("outside ray accepted")
+	}
+	if c.Contains(Vector{1, -1}) {
+		t.Error("negative-component vector accepted")
+	}
+}
+
+func TestFullSpace(t *testing.T) {
+	f := FullSpace{D: 3}
+	if !f.Contains(Vector{1, 2, 3}) {
+		t.Error("orthant vector rejected")
+	}
+	if f.Contains(Vector{1, -2, 3}) {
+		t.Error("non-orthant vector accepted")
+	}
+	if f.Dim() != 3 {
+		t.Error("wrong dimension")
+	}
+}
+
+func TestConstraintRegion(t *testing.T) {
+	// w2 <= w1 and 2 w1 >= w2: the Example in Section 3.2 uses w1 <= w2 and
+	// 2 w1 >= w2, giving angles [pi/4, arctan 2].
+	r, err := NewConstraintRegion(2,
+		Halfspace{Normal: Vector{-1, 1}, Positive: true}, // w2 >= w1
+		Halfspace{Normal: Vector{2, -1}, Positive: true}, // 2 w1 >= w2
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(Vector{1, 1.5}) {
+		t.Error("interior point rejected")
+	}
+	if r.Contains(Vector{1, 0.5}) {
+		t.Error("w2 < w1 point accepted")
+	}
+	if r.Contains(Vector{1, 3}) {
+		t.Error("w2 > 2w1 point accepted")
+	}
+	iv, err := Interval2DOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(iv.Lo, math.Pi/4, 1e-9) {
+		t.Errorf("interval lo = %v, want pi/4", iv.Lo)
+	}
+	if !almostEqual(iv.Hi, math.Atan(2), 1e-9) {
+		t.Errorf("interval hi = %v, want atan 2", iv.Hi)
+	}
+}
+
+func TestNewConstraintRegionValidation(t *testing.T) {
+	if _, err := NewConstraintRegion(1); err == nil {
+		t.Error("dimension 1 accepted")
+	}
+	if _, err := NewConstraintRegion(2, Halfspace{Normal: Vector{1, 2, 3}}); err == nil {
+		t.Error("mismatched constraint dimension accepted")
+	}
+	if _, err := NewConstraintRegion(2, Halfspace{Normal: Vector{0, 0}}); err == nil {
+		t.Error("zero-normal constraint accepted")
+	}
+}
+
+func TestInterval2DOf(t *testing.T) {
+	iv, err := Interval2DOf(FullSpace{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 0 || !almostEqual(iv.Hi, math.Pi/2, 1e-12) {
+		t.Errorf("full space interval = %+v", iv)
+	}
+
+	// Cone around f = x1 + x2 with angle pi/10: [3pi/20, 7pi/20] per
+	// Section 3.2.
+	c, _ := NewCone(Vector{1, 1}, math.Pi/10)
+	iv, err = Interval2DOf(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(iv.Lo, 3*math.Pi/20, 1e-9) || !almostEqual(iv.Hi, 7*math.Pi/20, 1e-9) {
+		t.Errorf("cone interval = [%v, %v], want [3pi/20, 7pi/20]", iv.Lo, iv.Hi)
+	}
+
+	// Cone clipped by the orthant boundary.
+	edge, _ := NewCone(Vector{1, 0.02}, math.Pi/10)
+	iv, err = Interval2DOf(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 0 {
+		t.Errorf("clipped cone lo = %v, want 0", iv.Lo)
+	}
+
+	if _, err := Interval2DOf(FullSpace{D: 3}); err == nil {
+		t.Error("3D region accepted for 2D interval")
+	}
+}
+
+func TestInterval2DContains(t *testing.T) {
+	iv, _ := NewInterval2D(0.3, 0.9)
+	if !iv.Contains(Ray2D(0.5)) {
+		t.Error("interior ray rejected")
+	}
+	if iv.Contains(Ray2D(1.0)) {
+		t.Error("outside ray accepted")
+	}
+	if iv.Contains(Vector{1, 2, 3}) {
+		t.Error("wrong-dimension vector accepted")
+	}
+	if !almostEqual(iv.Width(), 0.6, 1e-12) {
+		t.Errorf("Width = %v", iv.Width())
+	}
+	if _, err := NewInterval2D(0.9, 0.3); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}

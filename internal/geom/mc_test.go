@@ -1,0 +1,86 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Monte-Carlo cross-checks of the closed-form areas: uniform points on the
+// full sphere (via normalized normals) land in a cap of half-angle theta
+// with probability CapFraction(d, theta).
+func TestCapFractionMonteCarlo(t *testing.T) {
+	rr := rand.New(rand.NewSource(251))
+	const n = 60000
+	for _, d := range []int{2, 3, 4, 5} {
+		for _, theta := range []float64{0.3, 0.8, 1.4} {
+			axis := Basis(d, 0)
+			hits := 0
+			for i := 0; i < n; i++ {
+				v := make(Vector, d)
+				for j := range v {
+					v[j] = rr.NormFloat64()
+				}
+				u, err := v.Normalize()
+				if err != nil {
+					i--
+					continue
+				}
+				a, err := Angle(u, axis)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a <= theta {
+					hits++
+				}
+			}
+			got := float64(hits) / n
+			want := CapFraction(d, theta)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("d=%d theta=%v: MC fraction %v vs closed form %v", d, theta, got, want)
+			}
+		}
+	}
+}
+
+// The 3D Girard oracle agrees with Monte Carlo on random cones.
+func TestSphericalPolygonAreaMonteCarlo(t *testing.T) {
+	rr := rand.New(rand.NewSource(252))
+	const n = 60000
+	for trial := 0; trial < 10; trial++ {
+		normals := orthantNormals3()
+		for j := 0; j < 1+rr.Intn(2); j++ {
+			normals = append(normals, randVec(rr, 3))
+		}
+		exact, err := SphericalPolygonArea3D(normals)
+		if err != nil {
+			continue // degenerate draw
+		}
+		hits := 0
+		for i := 0; i < n; i++ {
+			v := make(Vector, 3)
+			for j := range v {
+				v[j] = rr.NormFloat64()
+			}
+			u, err := v.Normalize()
+			if err != nil {
+				i--
+				continue
+			}
+			ok := true
+			for _, nm := range normals {
+				if nm.Dot(u) < 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hits++
+			}
+		}
+		mc := float64(hits) / n * SphereSurfaceArea(3, 1)
+		if math.Abs(mc-exact) > 0.05 {
+			t.Errorf("trial %d: MC area %v vs Girard %v", trial, mc, exact)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polar coordinates identify a ray in R^d by d-1 angles, following the
+// geometric view in Section 2.1.2 of the paper: a linear scoring function is
+// an origin-starting ray, and in the non-negative orthant every angle lies in
+// [0, pi/2].
+//
+// The convention used here is the standard hyperspherical one:
+//
+//	x_1 = r * cos(a_1)
+//	x_2 = r * sin(a_1) * cos(a_2)
+//	...
+//	x_{d-1} = r * sin(a_1)*...*sin(a_{d-2}) * cos(a_{d-1})
+//	x_d     = r * sin(a_1)*...*sin(a_{d-2}) * sin(a_{d-1})
+//
+// so that the all-angles-pi/2 point is the d-th axis and, for d = 2, a single
+// angle measured counterclockwise from the x1 axis (as in Section 3).
+
+// FromPolar converts a radius and d-1 angles to Cartesian coordinates in R^d.
+// len(angles)+1 is the dimension of the result; it panics on an empty angle
+// slice since R^1 has no angular coordinate.
+func FromPolar(r float64, angles []float64) Vector {
+	if len(angles) == 0 {
+		panic("geom: FromPolar requires at least one angle")
+	}
+	d := len(angles) + 1
+	v := make(Vector, d)
+	prod := r
+	for i := 0; i < d-1; i++ {
+		v[i] = prod * math.Cos(angles[i])
+		prod *= math.Sin(angles[i])
+	}
+	v[d-1] = prod
+	return v
+}
+
+// ToPolar converts a Cartesian vector to its radius and d-1 polar angles,
+// inverting FromPolar. For vectors in the non-negative orthant all returned
+// angles lie in [0, pi/2]. The zero vector yields radius 0 and zero angles.
+func ToPolar(v Vector) (r float64, angles []float64) {
+	d := len(v)
+	if d < 2 {
+		panic(fmt.Sprintf("geom: ToPolar requires dimension >= 2, got %d", d))
+	}
+	angles = make([]float64, d-1)
+	r = v.Norm()
+	if r == 0 {
+		return 0, angles
+	}
+	// tail[i] = sqrt(v[i]^2 + ... + v[d-1]^2)
+	tail := make([]float64, d)
+	tail[d-1] = math.Abs(v[d-1])
+	for i := d - 2; i >= 0; i-- {
+		tail[i] = math.Hypot(v[i], tail[i+1])
+	}
+	for i := 0; i < d-2; i++ {
+		angles[i] = math.Atan2(tail[i+1], v[i])
+	}
+	angles[d-2] = math.Atan2(v[d-1], v[d-2])
+	return r, angles
+}
+
+// Angle2D returns the single polar angle of a 2-dimensional vector, measured
+// from the x1 axis, in [0, pi/2] for vectors in the first quadrant. This is
+// the angle representation used by the exact 2D algorithms in Section 3.
+func Angle2D(v Vector) float64 {
+	if len(v) != 2 {
+		panic(fmt.Sprintf("geom: Angle2D requires dimension 2, got %d", len(v)))
+	}
+	return math.Atan2(v[1], v[0])
+}
+
+// Ray2D returns the unit vector at angle theta from the x1 axis in R^2.
+func Ray2D(theta float64) Vector {
+	return Vector{math.Cos(theta), math.Sin(theta)}
+}

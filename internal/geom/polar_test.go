@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromPolar2D(t *testing.T) {
+	tests := []struct {
+		name  string
+		theta float64
+		want  Vector
+	}{
+		{"x axis", 0, Vector{1, 0}},
+		{"y axis", math.Pi / 2, Vector{0, 1}},
+		{"45 deg", math.Pi / 4, Vector{math.Sqrt2 / 2, math.Sqrt2 / 2}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := FromPolar(1, []float64{tc.theta})
+			if !got.Equal(tc.want, 1e-12) {
+				t.Errorf("FromPolar = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 2 + rr.Intn(6)
+		// Non-negative orthant vectors, as used by the algorithms.
+		v := make(Vector, d)
+		for i := range v {
+			v[i] = rr.Float64() + 0.01
+		}
+		r, angles := ToPolar(v)
+		back := FromPolar(r, angles)
+		return back.Equal(v, 1e-9)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToPolarAnglesInRange(t *testing.T) {
+	rr := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		d := 2 + rr.Intn(5)
+		v := make(Vector, d)
+		for j := range v {
+			v[j] = rr.Float64()
+		}
+		if v.Norm() < 1e-9 {
+			continue
+		}
+		_, angles := ToPolar(v)
+		for _, a := range angles {
+			if a < -1e-12 || a > math.Pi/2+1e-12 {
+				t.Fatalf("angle %v outside [0, pi/2] for orthant vector %v", a, v)
+			}
+		}
+	}
+}
+
+func TestToPolarZeroVector(t *testing.T) {
+	r, angles := ToPolar(Vector{0, 0, 0})
+	if r != 0 {
+		t.Errorf("radius = %v, want 0", r)
+	}
+	if len(angles) != 2 {
+		t.Errorf("len(angles) = %d, want 2", len(angles))
+	}
+}
+
+func TestDthAxisIsAllRightAngles(t *testing.T) {
+	// With the package convention, FromPolar(1, [pi/2, ..., pi/2]) = e_d.
+	for d := 2; d <= 6; d++ {
+		angles := make([]float64, d-1)
+		for i := range angles {
+			angles[i] = math.Pi / 2
+		}
+		v := FromPolar(1, angles)
+		if !v.Equal(Basis(d, d-1), 1e-12) {
+			t.Errorf("d=%d: FromPolar(all pi/2) = %v, want e_d", d, v)
+		}
+	}
+}
+
+func TestAngle2DAndRay2D(t *testing.T) {
+	for _, theta := range []float64{0, 0.1, math.Pi / 4, 1.2, math.Pi / 2} {
+		v := Ray2D(theta)
+		if got := Angle2D(v); !almostEqual(got, theta, 1e-12) {
+			t.Errorf("Angle2D(Ray2D(%v)) = %v", theta, got)
+		}
+		if !almostEqual(v.Norm(), 1, 1e-12) {
+			t.Errorf("Ray2D(%v) not unit", theta)
+		}
+	}
+}

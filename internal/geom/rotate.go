@@ -1,0 +1,152 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Rotation support for the unbiased cap sampler (Algorithm 11). The sampler
+// draws points on a spherical cap centred on the d-th axis and must rotate
+// the coordinate system so the cap centre falls on the reference ray rho.
+// The paper's Appendix A builds the rotation from a chain of d-1 Givens
+// (plane) rotations; this package provides that chain (NewGivensRotation)
+// plus a closed-form rank-2 construction (NewAxisRotation) that is O(d^2) to
+// apply. The two are tested against each other.
+
+// Rotation is an orthogonal map R^d -> R^d with determinant +1 that carries
+// the d-th standard basis vector onto a chosen unit ray.
+type Rotation interface {
+	// Apply returns the rotated image of v as a new vector.
+	Apply(v Vector) Vector
+	// Dim returns the dimension the rotation operates in.
+	Dim() int
+}
+
+// axisRotation implements the textbook rank-2 update rotating unit vector p
+// onto unit vector q within their common plane and fixing the orthogonal
+// complement:
+//
+//	R = I - (p+q)(p+q)^T / (1 + p.q) + 2 q p^T
+type axisRotation struct {
+	p, q, pq Vector // pq = p+q
+	denom    float64
+	identity bool
+	flip     Vector // used when q = -p: 180-degree rotation in a fixed plane
+}
+
+// NewAxisRotation returns a Rotation mapping the d-th basis vector e_d onto
+// the unit ray through axis. axis is normalized internally; an error is
+// returned for the zero vector or dimension < 2.
+func NewAxisRotation(axis Vector) (Rotation, error) {
+	d := len(axis)
+	if d < 2 {
+		return nil, errors.New("geom: rotation requires dimension >= 2")
+	}
+	q, err := axis.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	p := Basis(d, d-1)
+	dot := p.Dot(q)
+	if dot > 1-Eps {
+		return &axisRotation{p: p, q: q, identity: true}, nil
+	}
+	if dot < -1+Eps {
+		// q = -e_d: rotate by pi in the (e_1, e_d) plane.
+		return &axisRotation{p: p, q: q, flip: Basis(d, 0)}, nil
+	}
+	return &axisRotation{p: p, q: q, pq: p.Add(q), denom: 1 + dot}, nil
+}
+
+func (r *axisRotation) Dim() int { return len(r.p) }
+
+func (r *axisRotation) Apply(v Vector) Vector {
+	if r.identity {
+		return v.Clone()
+	}
+	if r.flip != nil {
+		// 180-degree rotation in span(flip, p): negate both coordinates.
+		out := v.Clone()
+		a := r.flip.Dot(v)
+		b := r.p.Dot(v)
+		for i := range out {
+			out[i] -= 2 * (a*r.flip[i] + b*r.p[i])
+		}
+		return out
+	}
+	// R v = v - (p+q) * ((p+q).v)/(1+p.q) + 2 q (p.v)
+	s := r.pq.Dot(v) / r.denom
+	t := 2 * r.p.Dot(v)
+	out := v.Clone()
+	for i := range out {
+		out[i] += -s*r.pq[i] + t*r.q[i]
+	}
+	return out
+}
+
+// givensRotation composes plane rotations, mirroring Appendix A: it is built
+// by zeroing the components of the target ray one plane at a time and then
+// inverting the product, which maps e_d onto the ray.
+type givensRotation struct {
+	d int
+	// rotations to apply in order; each rotates the (i, j) plane by theta.
+	planes []planeRot
+}
+
+type planeRot struct {
+	i, j int
+	c, s float64 // cos/sin of the rotation angle
+}
+
+// NewGivensRotation returns a Rotation mapping e_d onto the unit ray through
+// axis, built as a chain of d-1 Givens rotations as in the paper's
+// Appendix A. It is O(d) to apply per plane, O(d^2) total; NewAxisRotation is
+// normally preferred, this construction exists for fidelity and testing.
+func NewGivensRotation(axis Vector) (Rotation, error) {
+	d := len(axis)
+	if d < 2 {
+		return nil, errors.New("geom: rotation requires dimension >= 2")
+	}
+	a, err := axis.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	// Forward pass: rotate a so that it becomes e_d, recording each plane
+	// rotation. Working copy w starts as a; rotate component i into
+	// component d-1 for i = 0..d-2.
+	w := a.Clone()
+	forward := make([]planeRot, 0, d-1)
+	for i := 0; i < d-1; i++ {
+		x, y := w[i], w[d-1]
+		r := math.Hypot(x, y)
+		if r < Eps {
+			continue
+		}
+		c, s := y/r, x/r
+		// Rotation sending (x, y) -> (0, r) in the (i, d-1) plane:
+		// [ c -s; s c ] applied as w_i' = c*x - s*y ... choose signs so
+		// w_i' = 0, w_{d-1}' = r.
+		w[i] = 0
+		w[d-1] = r
+		forward = append(forward, planeRot{i: i, j: d - 1, c: c, s: s})
+	}
+	// Inverse (transpose) in reverse order maps e_d back onto a.
+	planes := make([]planeRot, 0, len(forward))
+	for k := len(forward) - 1; k >= 0; k-- {
+		f := forward[k]
+		planes = append(planes, planeRot{i: f.i, j: f.j, c: f.c, s: -f.s})
+	}
+	return &givensRotation{d: d, planes: planes}, nil
+}
+
+func (g *givensRotation) Dim() int { return g.d }
+
+func (g *givensRotation) Apply(v Vector) Vector {
+	out := v.Clone()
+	for _, p := range g.planes {
+		x, y := out[p.i], out[p.j]
+		out[p.i] = p.c*x - p.s*y
+		out[p.j] = p.s*x + p.c*y
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randUnit(r *rand.Rand, d int) Vector {
+	for {
+		v := randVec(r, d)
+		if v.Norm() > 1e-6 {
+			return v.MustNormalize()
+		}
+	}
+}
+
+func randOrthantUnit(r *rand.Rand, d int) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = math.Abs(r.NormFloat64()) + 1e-3
+	}
+	return v.MustNormalize()
+}
+
+func rotationBuilders() map[string]func(Vector) (Rotation, error) {
+	return map[string]func(Vector) (Rotation, error){
+		"axis":   NewAxisRotation,
+		"givens": NewGivensRotation,
+	}
+}
+
+func TestRotationMapsAxisToTarget(t *testing.T) {
+	rr := rand.New(rand.NewSource(7))
+	for name, build := range rotationBuilders() {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 200; i++ {
+				d := 2 + rr.Intn(6)
+				target := randUnit(rr, d)
+				rot, err := build(target)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				got := rot.Apply(Basis(d, d-1))
+				if !got.Equal(target, 1e-9) {
+					t.Fatalf("d=%d: R(e_d) = %v, want %v", d, got, target)
+				}
+			}
+		})
+	}
+}
+
+func TestRotationPreservesNormAndAngles(t *testing.T) {
+	rr := rand.New(rand.NewSource(8))
+	for name, build := range rotationBuilders() {
+		t.Run(name, func(t *testing.T) {
+			cfg := &quick.Config{MaxCount: 200, Rand: rr}
+			prop := func(seed int64) bool {
+				r2 := rand.New(rand.NewSource(seed))
+				d := 2 + r2.Intn(5)
+				rot, err := build(randUnit(r2, d))
+				if err != nil {
+					return false
+				}
+				a, b := randVec(r2, d), randVec(r2, d)
+				ra, rb := rot.Apply(a), rot.Apply(b)
+				if !almostEqual(ra.Norm(), a.Norm(), 1e-9) {
+					return false
+				}
+				return almostEqual(ra.Dot(rb), a.Dot(b), 1e-9)
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestRotationImplementationsAgree(t *testing.T) {
+	rr := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		d := 2 + rr.Intn(6)
+		target := randUnit(rr, d)
+		ra, err := NewAxisRotation(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := NewGivensRotation(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The two constructions may differ on the orthogonal complement of
+		// span(e_d, target) in d > 3, but must agree on e_d and on any vector
+		// in that plane.
+		v := Basis(d, d-1)
+		if !ra.Apply(v).Equal(rg.Apply(v), 1e-9) {
+			t.Fatalf("d=%d: rotations disagree on e_d", d)
+		}
+	}
+}
+
+func TestRotationIdentityWhenTargetIsAxis(t *testing.T) {
+	for d := 2; d <= 5; d++ {
+		rot, err := NewAxisRotation(Basis(d, d-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := NewVector(make([]float64, d)...)
+		for i := range v {
+			v[i] = float64(i + 1)
+		}
+		if got := rot.Apply(v); !got.Equal(v, 1e-12) {
+			t.Errorf("d=%d: identity rotation moved %v to %v", d, v, got)
+		}
+	}
+}
+
+func TestRotationAntipodal(t *testing.T) {
+	d := 4
+	target := Basis(d, d-1).Scale(-1)
+	rot, err := NewAxisRotation(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rot.Apply(Basis(d, d-1))
+	if !got.Equal(target, 1e-9) {
+		t.Errorf("antipodal rotation: R(e_d) = %v, want %v", got, target)
+	}
+	// Still orthogonal.
+	a := Vector{1, 2, 3, 4}
+	if !almostEqual(rot.Apply(a).Norm(), a.Norm(), 1e-9) {
+		t.Error("antipodal rotation does not preserve norm")
+	}
+}
+
+func TestRotationErrors(t *testing.T) {
+	if _, err := NewAxisRotation(Vector{0, 0}); err == nil {
+		t.Error("expected error for zero axis")
+	}
+	if _, err := NewGivensRotation(Vector{0, 0, 0}); err == nil {
+		t.Error("expected error for zero axis")
+	}
+	if _, err := NewAxisRotation(Vector{1}); err == nil {
+		t.Error("expected error for dimension 1")
+	}
+}
+
+// Rotations of orthant axes keep cap samples near the target: a sanity check
+// of the sampler's main use.
+func TestRotationMovesCapOntoRay(t *testing.T) {
+	rr := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		d := 3 + rr.Intn(3)
+		target := randOrthantUnit(rr, d)
+		rot, err := NewAxisRotation(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A point at polar angle x from e_d maps to a point at angle x from
+		// the target.
+		x := rr.Float64() * 0.3
+		u := randUnit(rr, d-1)
+		p := make(Vector, d)
+		for j := 0; j < d-1; j++ {
+			p[j] = math.Sin(x) * u[j]
+		}
+		p[d-1] = math.Cos(x)
+		q := rot.Apply(p)
+		a, err := Angle(q, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(a, x, 1e-9) {
+			t.Fatalf("angle after rotation = %v, want %v", a, x)
+		}
+	}
+}

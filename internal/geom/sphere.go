@@ -1,0 +1,97 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hypersphere surface areas and spherical-cap areas, Equations 12-13 of the
+// paper. These normalize the stability measure: the volume of a region of
+// the function space is the surface area it carves out of the unit
+// (d-1)-sphere, and the stability of a ranking is that area divided by the
+// area of the region of interest.
+
+// SphereSurfaceArea returns the surface area of the (delta-1)-dimensional
+// boundary of the ball of radius r in R^delta (Equation 12):
+//
+//	A_delta(r) = 2 pi^{delta/2} / Gamma(delta/2) * r^{delta-1}
+//
+// For delta = 2 this is the circumference 2*pi*r; for delta = 3 the familiar
+// 4*pi*r^2.
+func SphereSurfaceArea(delta int, r float64) float64 {
+	if delta < 1 {
+		panic(fmt.Sprintf("geom: SphereSurfaceArea dimension %d < 1", delta))
+	}
+	return 2 * math.Pow(math.Pi, float64(delta)/2) / math.Gamma(float64(delta)/2) * math.Pow(r, float64(delta-1))
+}
+
+// SinPowIntegral returns the integral of sin^k(phi) dphi over [0, theta],
+// evaluated with closed forms for k <= 1 and composite Simpson's rule with
+// the given number of panels otherwise (steps is rounded up to the next even
+// number, minimum 2).
+func SinPowIntegral(k int, theta float64, steps int) float64 {
+	if theta <= 0 {
+		return 0
+	}
+	switch k {
+	case 0:
+		return theta
+	case 1:
+		return 1 - math.Cos(theta)
+	}
+	if steps < 2 {
+		steps = 2
+	}
+	if steps%2 == 1 {
+		steps++
+	}
+	h := theta / float64(steps)
+	f := func(x float64) float64 { return math.Pow(math.Sin(x), float64(k)) }
+	sum := f(0) + f(theta)
+	for i := 1; i < steps; i++ {
+		x := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// defaultSimpsonSteps balances accuracy (~1e-12 for smooth sin^k on
+// [0, pi/2]) against setup cost for cap-area queries.
+const defaultSimpsonSteps = 4096
+
+// CapArea returns the surface area of the spherical cap of half-angle theta
+// on the unit (d-1)-sphere in R^d (Equation 13):
+//
+//	A_cap = A_{d-1}(1) * Integral_0^theta sin^{d-2}(phi) dphi
+//
+// where A_{d-1}(1) is the surface area of the unit sphere in R^{d-1}.
+// theta = pi reproduces the full sphere area.
+func CapArea(d int, theta float64) float64 {
+	if d < 2 {
+		panic(fmt.Sprintf("geom: CapArea dimension %d < 2", d))
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > math.Pi {
+		theta = math.Pi
+	}
+	return SphereSurfaceArea(d-1, 1) * SinPowIntegral(d-2, theta, defaultSimpsonSteps)
+}
+
+// OrthantArea returns the surface area of the non-negative orthant of the
+// unit (d-1)-sphere in R^d: the full sphere area divided by 2^d. This is the
+// normalizing volume vol(U) of the whole function space.
+func OrthantArea(d int) float64 {
+	return SphereSurfaceArea(d, 1) / math.Pow(2, float64(d))
+}
+
+// CapFraction returns the fraction of the full unit-sphere surface covered by
+// a cap of half-angle theta in R^d.
+func CapFraction(d int, theta float64) float64 {
+	return CapArea(d, theta) / SphereSurfaceArea(d, 1)
+}

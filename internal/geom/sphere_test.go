@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSphereSurfaceArea(t *testing.T) {
+	tests := []struct {
+		name  string
+		delta int
+		r     float64
+		want  float64
+	}{
+		{"circle circumference", 2, 1, 2 * math.Pi},
+		{"circle radius 3", 2, 3, 6 * math.Pi},
+		{"sphere", 3, 1, 4 * math.Pi},
+		{"sphere radius 2", 3, 2, 16 * math.Pi},
+		{"3-sphere in R4", 4, 1, 2 * math.Pi * math.Pi},
+		{"interval endpoints", 1, 5, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SphereSurfaceArea(tc.delta, tc.r)
+			if math.Abs(got-tc.want) > 1e-9*math.Max(1, tc.want) {
+				t.Errorf("SphereSurfaceArea(%d, %v) = %v, want %v", tc.delta, tc.r, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSinPowIntegralClosedForms(t *testing.T) {
+	if got := SinPowIntegral(0, 1.3, 100); !almostEqual(got, 1.3, 1e-12) {
+		t.Errorf("integral sin^0 = %v, want 1.3", got)
+	}
+	want := 1 - math.Cos(0.7)
+	if got := SinPowIntegral(1, 0.7, 100); !almostEqual(got, want, 1e-12) {
+		t.Errorf("integral sin^1 = %v, want %v", got, want)
+	}
+	// sin^2 over [0, theta] = theta/2 - sin(2 theta)/4.
+	theta := 1.1
+	want2 := theta/2 - math.Sin(2*theta)/4
+	if got := SinPowIntegral(2, theta, 4096); !almostEqual(got, want2, 1e-10) {
+		t.Errorf("integral sin^2 = %v, want %v", got, want2)
+	}
+	// sin^3 over [0, pi] = 4/3.
+	if got := SinPowIntegral(3, math.Pi, 4096); !almostEqual(got, 4.0/3, 1e-9) {
+		t.Errorf("integral sin^3 over [0,pi] = %v, want 4/3", got)
+	}
+	if got := SinPowIntegral(5, -1, 10); got != 0 {
+		t.Errorf("negative theta should integrate to 0, got %v", got)
+	}
+}
+
+func TestCapAreaFullSphere(t *testing.T) {
+	// A cap of half-angle pi is the whole sphere.
+	for d := 2; d <= 6; d++ {
+		got := CapArea(d, math.Pi)
+		want := SphereSurfaceArea(d, 1)
+		if math.Abs(got-want)/want > 1e-8 {
+			t.Errorf("d=%d: CapArea(pi) = %v, want full sphere %v", d, got, want)
+		}
+	}
+}
+
+func TestCapAreaHemisphere(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		got := CapArea(d, math.Pi/2)
+		want := SphereSurfaceArea(d, 1) / 2
+		if math.Abs(got-want)/want > 1e-8 {
+			t.Errorf("d=%d: CapArea(pi/2) = %v, want hemisphere %v", d, got, want)
+		}
+	}
+}
+
+func TestCapArea3DClosedForm(t *testing.T) {
+	// In R^3 the cap area is 2*pi*(1-cos theta).
+	for _, theta := range []float64{0.1, 0.5, 1.0, 1.5} {
+		got := CapArea(3, theta)
+		want := 2 * math.Pi * (1 - math.Cos(theta))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("CapArea(3, %v) = %v, want %v", theta, got, want)
+		}
+	}
+}
+
+func TestCapAreaMonotone(t *testing.T) {
+	for d := 2; d <= 5; d++ {
+		prev := 0.0
+		for theta := 0.1; theta < math.Pi; theta += 0.1 {
+			a := CapArea(d, theta)
+			if a < prev {
+				t.Fatalf("d=%d: cap area not monotone at theta=%v", d, theta)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestOrthantArea(t *testing.T) {
+	// 2D: quarter circle = pi/2. 3D: octant = 4pi/8 = pi/2.
+	if got := OrthantArea(2); !almostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("OrthantArea(2) = %v, want pi/2", got)
+	}
+	if got := OrthantArea(3); !almostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("OrthantArea(3) = %v, want pi/2", got)
+	}
+}
+
+func TestCapFraction(t *testing.T) {
+	if got := CapFraction(3, math.Pi); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("full cap fraction = %v, want 1", got)
+	}
+	if got := CapFraction(4, math.Pi/2); !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("hemisphere fraction = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,124 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Exact spherical areas in R^3. A ranking region in three dimensions is a
+// convex cone bounded by origin hyperplanes; its stability volume is the
+// area of the convex spherical polygon the cone cuts from the unit sphere.
+// Girard's theorem gives that area exactly as the angle excess
+//
+//	area = sum(interior angles) - (m-2)*pi.
+//
+// The paper estimates these volumes by Monte Carlo (exact polytope volume is
+// #P-hard in general dimension); this 3D oracle is an extension used to
+// validate the Monte-Carlo stability oracle in tests and experiments.
+
+// ErrDegenerateCone is returned when a cone has an empty or lower-dimensional
+// intersection with the sphere (fewer than three distinct vertices).
+var ErrDegenerateCone = errors.New("geom: degenerate or empty spherical polygon")
+
+// SphericalPolygonArea3D returns the exact area of the convex region
+// {w on S^2 : n.w >= 0 for every n in normals}. The normals must include
+// every bounding plane of the cone (callers restricting to the function
+// space U pass the orthant constraints e_i explicitly). Redundant
+// constraints are tolerated.
+func SphericalPolygonArea3D(normals []Vector) (float64, error) {
+	const tol = 1e-9
+	for _, n := range normals {
+		if len(n) != 3 {
+			return 0, errors.New("geom: SphericalPolygonArea3D requires 3D normals")
+		}
+	}
+	// Candidate vertices: intersections of pairs of boundary planes.
+	var verts []Vector
+	for i := 0; i < len(normals); i++ {
+		for j := i + 1; j < len(normals); j++ {
+			dir := Cross(normals[i], normals[j])
+			if dir.Norm() < tol {
+				continue // parallel planes
+			}
+			u := dir.MustNormalize()
+			for _, cand := range []Vector{u, u.Scale(-1)} {
+				if satisfiesAll(cand, normals, tol) {
+					verts = appendUniqueVertex(verts, cand, 1e-7)
+				}
+			}
+		}
+	}
+	if len(verts) < 3 {
+		return 0, ErrDegenerateCone
+	}
+	// Order vertices around the interior direction (normalized centroid).
+	center := Zero(3)
+	for _, v := range verts {
+		center = center.Add(v)
+	}
+	c, err := center.Normalize()
+	if err != nil {
+		return 0, ErrDegenerateCone
+	}
+	// Tangent basis at c.
+	ref := Basis(3, 0)
+	if math.Abs(c.Dot(ref)) > 0.9 {
+		ref = Basis(3, 1)
+	}
+	e1 := ref.Sub(c.Scale(ref.Dot(c))).MustNormalize()
+	e2 := Cross(c, e1)
+	sort.Slice(verts, func(a, b int) bool {
+		va, vb := verts[a], verts[b]
+		return math.Atan2(va.Dot(e2), va.Dot(e1)) < math.Atan2(vb.Dot(e2), vb.Dot(e1))
+	})
+	// Girard's theorem.
+	m := len(verts)
+	var angleSum float64
+	for i := 0; i < m; i++ {
+		prev := verts[(i-1+m)%m]
+		cur := verts[i]
+		next := verts[(i+1)%m]
+		ta := tangentAt(cur, prev)
+		tb := tangentAt(cur, next)
+		if ta == nil || tb == nil {
+			return 0, ErrDegenerateCone
+		}
+		cosA := clamp(ta.Dot(tb), -1, 1)
+		angleSum += math.Acos(cosA)
+	}
+	area := angleSum - float64(m-2)*math.Pi
+	if area < 0 {
+		area = 0
+	}
+	return area, nil
+}
+
+// tangentAt returns the unit tangent at point v (on the sphere) toward point
+// w along the great circle through them, or nil if they are (anti)parallel.
+func tangentAt(v, w Vector) Vector {
+	t := w.Sub(v.Scale(w.Dot(v)))
+	u, err := t.Normalize()
+	if err != nil {
+		return nil
+	}
+	return u
+}
+
+func satisfiesAll(w Vector, normals []Vector, tol float64) bool {
+	for _, n := range normals {
+		if n.Dot(w) < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+func appendUniqueVertex(verts []Vector, v Vector, tol float64) []Vector {
+	for _, u := range verts {
+		if u.Equal(v, tol) {
+			return verts
+		}
+	}
+	return append(verts, v)
+}

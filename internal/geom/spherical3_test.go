@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func orthantNormals3() []Vector {
+	return []Vector{Basis(3, 0), Basis(3, 1), Basis(3, 2)}
+}
+
+func TestSphericalPolygonAreaOctant(t *testing.T) {
+	// The first octant of the sphere has area 4*pi/8 = pi/2.
+	got, err := SphericalPolygonArea3D(orthantNormals3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Pi/2, 1e-9) {
+		t.Errorf("octant area = %v, want pi/2", got)
+	}
+}
+
+func TestSphericalPolygonAreaHalfOctant(t *testing.T) {
+	// Cutting the octant with the plane x = y gives two congruent halves.
+	normals := append(orthantNormals3(), Vector{1, -1, 0})
+	got, err := SphericalPolygonArea3D(normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Pi/4, 1e-9) {
+		t.Errorf("half-octant area = %v, want pi/4", got)
+	}
+	// The complementary half.
+	normals[3] = Vector{-1, 1, 0}
+	got2, err := SphericalPolygonArea3D(normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got+got2, math.Pi/2, 1e-9) {
+		t.Errorf("halves sum to %v, want pi/2", got+got2)
+	}
+}
+
+func TestSphericalPolygonAreaThreeCuts(t *testing.T) {
+	// Splitting the octant by the three diagonal planes x=y, y=z, x=z yields
+	// six congruent cells of area pi/12 each. Take the cell x >= y >= z.
+	normals := append(orthantNormals3(),
+		Vector{1, -1, 0}, // x >= y
+		Vector{0, 1, -1}, // y >= z
+	)
+	got, err := SphericalPolygonArea3D(normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Pi/12, 1e-9) {
+		t.Errorf("cell area = %v, want pi/12", got)
+	}
+}
+
+func TestSphericalPolygonAreaEmpty(t *testing.T) {
+	// Contradictory constraints: x >= y and y >= x+ (strictly inside via a
+	// third plane that excludes the boundary region).
+	normals := []Vector{
+		Basis(3, 2),        // z >= 0
+		Vector{1, -1, -1},  // x >= y + z
+		Vector{-1, 1, -1},  // y >= x + z
+		Vector{-1, -1, 10}, // 10 z >= x + y ... combined leaves ~a point
+		Vector{0, 0, -1},   // z <= 0 -> contradiction with the cone interior
+	}
+	if _, err := SphericalPolygonArea3D(normals); !errors.Is(err, ErrDegenerateCone) {
+		t.Errorf("expected ErrDegenerateCone, got %v", err)
+	}
+}
+
+func TestSphericalPolygonAreaWrongDim(t *testing.T) {
+	if _, err := SphericalPolygonArea3D([]Vector{{1, 0}}); err == nil {
+		t.Error("2D normals accepted")
+	}
+}
+
+// Property: random partitions of the octant by a plane have areas that sum to
+// the octant area.
+func TestSphericalPolygonAreaAdditivity(t *testing.T) {
+	rr := rand.New(rand.NewSource(12))
+	for i := 0; i < 50; i++ {
+		n := randUnit(rr, 3)
+		a1, err1 := SphericalPolygonArea3D(append(orthantNormals3(), n))
+		a2, err2 := SphericalPolygonArea3D(append(orthantNormals3(), n.Scale(-1)))
+		v1, v2 := 0.0, 0.0
+		if err1 == nil {
+			v1 = a1
+		} else if !errors.Is(err1, ErrDegenerateCone) {
+			t.Fatal(err1)
+		}
+		if err2 == nil {
+			v2 = a2
+		} else if !errors.Is(err2, ErrDegenerateCone) {
+			t.Fatal(err2)
+		}
+		if v1 == 0 && v2 == 0 {
+			continue // plane missed the octant entirely in both orientations
+		}
+		if !almostEqual(v1+v2, math.Pi/2, 1e-6) {
+			t.Fatalf("partition areas %v + %v != pi/2 (normal %v)", v1, v2, n)
+		}
+	}
+}
+
+// Cross-check a cap-like wedge against the closed-form cap area is not
+// possible (caps are not polygons), but small random convex cones must have
+// area below the octant's and above zero.
+func TestSphericalPolygonAreaBounds(t *testing.T) {
+	rr := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		normals := orthantNormals3()
+		for j := 0; j < 2+rr.Intn(3); j++ {
+			normals = append(normals, randVec(rr, 3))
+		}
+		area, err := SphericalPolygonArea3D(normals)
+		if errors.Is(err, ErrDegenerateCone) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if area < 0 || area > math.Pi/2+1e-9 {
+			t.Fatalf("area %v outside [0, pi/2]", area)
+		}
+	}
+}

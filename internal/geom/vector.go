@@ -1,0 +1,210 @@
+// Package geom provides the d-dimensional geometric substrate used by the
+// stable-ranking algorithms: vectors, polar coordinates, rotations that map
+// the d-th axis onto an arbitrary ray (Appendix A of the paper), hyperplanes
+// and halfspaces through the origin (ordering exchanges), hypercones (regions
+// of interest), hyperspherical cap areas (Equations 12-13), and an exact
+// spherical-polygon area for 3-dimensional cones used as a validation oracle
+// for the Monte-Carlo stability estimates.
+//
+// Throughout the package, the "function space" U of the paper is identified
+// with the non-negative orthant of the unit (d-1)-sphere: every linear
+// scoring function corresponds to the unit ray through its weight vector.
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the default absolute tolerance for geometric predicates. Ordering
+// exchanges between near-duplicate items produce near-zero normals; any
+// comparison against zero in this package uses Eps unless stated otherwise.
+const Eps = 1e-12
+
+// ErrDimensionMismatch is returned by operations combining vectors of
+// different lengths.
+var ErrDimensionMismatch = errors.New("geom: dimension mismatch")
+
+// Vector is a point or direction in R^d. The zero-length vector is invalid
+// for all operations.
+type Vector []float64
+
+// NewVector returns a copy of xs as a Vector.
+func NewVector(xs ...float64) Vector {
+	v := make(Vector, len(xs))
+	copy(v, xs)
+	return v
+}
+
+// Zero returns the zero vector of dimension d.
+func Zero(d int) Vector { return make(Vector, d) }
+
+// Basis returns the i-th standard basis vector of dimension d (0-indexed).
+func Basis(d, i int) Vector {
+	v := make(Vector, d)
+	v[i] = 1
+	return v
+}
+
+// Dim returns the dimension of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dot returns the inner product of v and w. It panics if dimensions differ;
+// callers constructing vectors from user input should validate first.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("geom: Dot dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 {
+	// Two-pass scaling avoids overflow for extreme magnitudes.
+	var maxAbs float64
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		r := x / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// Normalize returns v scaled to unit length. It returns an error if v is
+// (numerically) the zero vector.
+func (v Vector) Normalize() (Vector, error) {
+	n := v.Norm()
+	if n < Eps {
+		return nil, errors.New("geom: cannot normalize zero vector")
+	}
+	return v.Scale(1 / n), nil
+}
+
+// MustNormalize is Normalize for inputs known to be nonzero; it panics on the
+// zero vector.
+func (v Vector) MustNormalize() Vector {
+	u, err := v.Normalize()
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Scale returns a*v as a new vector.
+func (v Vector) Scale(a float64) Vector {
+	w := make(Vector, len(v))
+	for i := range v {
+		w[i] = a * v[i]
+	}
+	return w
+}
+
+// Add returns v+w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("geom: Add dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	u := make(Vector, len(v))
+	for i := range v {
+		u[i] = v[i] + w[i]
+	}
+	return u
+}
+
+// Sub returns v-w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("geom: Sub dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	u := make(Vector, len(v))
+	for i := range v {
+		u[i] = v[i] - w[i]
+	}
+	return u
+}
+
+// Equal reports whether v and w agree component-wise within tol.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether every component of v is >= -tol.
+func (v Vector) NonNegative(tol float64) bool {
+	for _, x := range v {
+		if x < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// CosineSimilarity returns the cosine of the angle between v and w, clamped
+// to [-1, 1]. It returns an error if either vector is zero.
+func CosineSimilarity(v, w Vector) (float64, error) {
+	nv, nw := v.Norm(), w.Norm()
+	if nv < Eps || nw < Eps {
+		return 0, errors.New("geom: cosine similarity undefined for zero vector")
+	}
+	c := v.Dot(w) / (nv * nw)
+	return clamp(c, -1, 1), nil
+}
+
+// Angle returns the angle between v and w in radians, in [0, pi].
+func Angle(v, w Vector) (float64, error) {
+	c, err := CosineSimilarity(v, w)
+	if err != nil {
+		return 0, err
+	}
+	return math.Acos(c), nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Cross returns the 3D cross product of v and w. It panics unless both are
+// 3-dimensional; it is used only by the exact 3D spherical-area oracle.
+func Cross(v, w Vector) Vector {
+	if len(v) != 3 || len(w) != 3 {
+		panic("geom: Cross requires 3-dimensional vectors")
+	}
+	return Vector{
+		v[1]*w[2] - v[2]*w[1],
+		v[2]*w[0] - v[0]*w[2],
+		v[0]*w[1] - v[1]*w[0],
+	}
+}

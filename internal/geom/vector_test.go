@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want float64
+	}{
+		{"orthogonal", Vector{1, 0}, Vector{0, 1}, 0},
+		{"parallel", Vector{1, 2, 3}, Vector{2, 4, 6}, 28},
+		{"mixed signs", Vector{1, -1}, Vector{1, 1}, 0},
+		{"zero", Vector{0, 0, 0}, Vector{1, 2, 3}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Dot(tc.b); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Dot = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Vector{1, 2}.Dot(Vector{1, 2, 3})
+}
+
+func TestNorm(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{"unit", Vector{1, 0, 0}, 1},
+		{"345", Vector{3, 4}, 5},
+		{"zero", Vector{0, 0}, 0},
+		{"huge values no overflow", Vector{3e200, 4e200}, 5e200},
+		{"tiny values no underflow", Vector{3e-200, 4e-200}, 5e-200},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.v.Norm()
+			if tc.want == 0 {
+				if got != 0 {
+					t.Errorf("Norm = %v, want 0", got)
+				}
+				return
+			}
+			if math.Abs(got-tc.want)/tc.want > 1e-12 {
+				t.Errorf("Norm = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	u, err := v.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !u.Equal(Vector{0.6, 0.8}, 1e-12) {
+		t.Errorf("Normalize = %v, want (0.6, 0.8)", u)
+	}
+	if _, err := (Vector{0, 0}).Normalize(); err == nil {
+		t.Error("expected error normalizing zero vector")
+	}
+}
+
+func TestAddSubScaleClone(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	if got := a.Add(b); !got.Equal(Vector{5, 7, 9}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.Equal(Vector{3, 3, 3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !got.Equal(Vector{2, 4, 6}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestCosineSimilarityAndAngle(t *testing.T) {
+	tests := []struct {
+		name      string
+		a, b      Vector
+		wantCos   float64
+		wantAngle float64
+	}{
+		{"same direction", Vector{1, 1}, Vector{2, 2}, 1, 0},
+		{"orthogonal", Vector{1, 0}, Vector{0, 1}, 0, math.Pi / 2},
+		{"opposite", Vector{1, 0}, Vector{-1, 0}, -1, math.Pi},
+		{"45 degrees", Vector{1, 0}, Vector{1, 1}, math.Sqrt2 / 2, math.Pi / 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := CosineSimilarity(tc.a, tc.b)
+			if err != nil {
+				t.Fatalf("CosineSimilarity: %v", err)
+			}
+			if !almostEqual(c, tc.wantCos, 1e-12) {
+				t.Errorf("cos = %v, want %v", c, tc.wantCos)
+			}
+			a, err := Angle(tc.a, tc.b)
+			if err != nil {
+				t.Fatalf("Angle: %v", err)
+			}
+			if !almostEqual(a, tc.wantAngle, 1e-7) { // acos loses precision near cos = 1
+				t.Errorf("angle = %v, want %v", a, tc.wantAngle)
+			}
+		})
+	}
+	if _, err := CosineSimilarity(Vector{0, 0}, Vector{1, 0}); err == nil {
+		t.Error("expected error for zero vector")
+	}
+}
+
+func TestCross(t *testing.T) {
+	got := Cross(Vector{1, 0, 0}, Vector{0, 1, 0})
+	if !got.Equal(Vector{0, 0, 1}, 0) {
+		t.Errorf("Cross(e1, e2) = %v, want e3", got)
+	}
+	// Anticommutativity.
+	a := Vector{1, 2, 3}
+	b := Vector{-2, 0.5, 4}
+	ab := Cross(a, b)
+	ba := Cross(b, a)
+	if !ab.Equal(ba.Scale(-1), 1e-12) {
+		t.Error("cross product not anticommutative")
+	}
+	// Orthogonality.
+	if !almostEqual(ab.Dot(a), 0, 1e-12) || !almostEqual(ab.Dot(b), 0, 1e-12) {
+		t.Error("cross product not orthogonal to operands")
+	}
+}
+
+func TestBasisAndZero(t *testing.T) {
+	e2 := Basis(4, 2)
+	want := Vector{0, 0, 1, 0}
+	if !e2.Equal(want, 0) {
+		t.Errorf("Basis(4,2) = %v", e2)
+	}
+	if z := Zero(3); !z.Equal(Vector{0, 0, 0}, 0) {
+		t.Errorf("Zero(3) = %v", z)
+	}
+}
+
+func randVec(r *rand.Rand, d int) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// Property: Cauchy-Schwarz |a.b| <= |a||b| and triangle inequality.
+func TestVectorProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 2 + rr.Intn(6)
+		a, b := randVec(rr, d), randVec(rr, d)
+		if math.Abs(a.Dot(b)) > a.Norm()*b.Norm()+1e-9 {
+			return false
+		}
+		if a.Add(b).Norm() > a.Norm()+b.Norm()+1e-9 {
+			return false
+		}
+		// Scaling invariance of cosine similarity.
+		if a.Norm() > 1e-6 && b.Norm() > 1e-6 {
+			c1, _ := CosineSimilarity(a, b)
+			c2, _ := CosineSimilarity(a.Scale(3.7), b.Scale(0.2))
+			if !almostEqual(c1, c2, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	if !(Vector{0, 1, 2}).NonNegative(0) {
+		t.Error("non-negative vector rejected")
+	}
+	if (Vector{0, -1}).NonNegative(1e-9) {
+		t.Error("negative vector accepted")
+	}
+	if !(Vector{-1e-12, 1}).NonNegative(1e-9) {
+		t.Error("tolerance not applied")
+	}
+}

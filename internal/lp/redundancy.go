@@ -1,0 +1,76 @@
+package lp
+
+import (
+	"stablerank/internal/geom"
+)
+
+// Constraint-redundancy analysis, supporting the second future-work
+// direction of the paper's Section 8 ("it would be nice, for some
+// applications, to characterize the boundaries of the stable region"): a
+// ranking region arrives as O(n) ordering-exchange halfspaces, but most are
+// implied by the others; the non-redundant subset is exactly the region's
+// boundary description.
+
+// NonRedundant returns the indices of the normals that actually bound the
+// cone {x >= 0 : n_i . x >= 0}: normal i is kept iff the region defined by
+// the OTHER constraints (and the orthant) contains a point strictly
+// violating it. Each test is one LP; the total cost is O(len(normals)) LP
+// solves.
+func NonRedundant(d int, normals []geom.Vector) ([]int, error) {
+	var keep []int
+	// rest holds the currently-believed-essential constraints plus the
+	// not-yet-tested tail; testing against this (rather than all others)
+	// implements the standard sequential redundancy filter.
+	rest := make([]geom.Vector, len(normals))
+	copy(rest, normals)
+	for i := range normals {
+		// Candidate set: everything except constraint i that has not
+		// already been discarded.
+		others := make([]geom.Vector, 0, len(rest)-1)
+		for j, n := range rest {
+			if j != i && n != nil {
+				others = append(others, n)
+			}
+		}
+		violating, err := canViolate(d, normals[i], others)
+		if err != nil {
+			return nil, err
+		}
+		if violating {
+			keep = append(keep, i)
+		} else {
+			rest[i] = nil // redundant: drop from future tests
+		}
+	}
+	return keep, nil
+}
+
+// canViolate reports whether some x >= 0 with sum(x) = 1 satisfies every
+// constraint in others while strictly violating target (target . x < 0).
+func canViolate(d int, target geom.Vector, others []geom.Vector) (bool, error) {
+	tn, err := target.Normalize()
+	if err != nil {
+		return false, nil // zero normal bounds nothing
+	}
+	// maximize -target.x subject to others and the simplex normalization;
+	// strictly positive optimum means the constraint is binding somewhere.
+	nv := d
+	obj := make([]float64, nv)
+	for j := 0; j < d; j++ {
+		obj[j] = -tn[j]
+	}
+	var cons []Constraint
+	for _, n := range normalizeRows(others) {
+		cons = append(cons, Constraint{Coeffs: append([]float64{}, n...), Op: GE, RHS: 0})
+	}
+	sum := make([]float64, nv)
+	for j := 0; j < d; j++ {
+		sum[j] = 1
+	}
+	cons = append(cons, Constraint{Coeffs: sum, Op: EQ, RHS: 1})
+	res, err := Solve(Problem{NumVars: nv, Objective: obj, Constraints: cons})
+	if err != nil {
+		return false, err
+	}
+	return res.Status == Optimal && res.Objective > interiorEps, nil
+}

@@ -1,0 +1,133 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/geom"
+)
+
+func TestNonRedundantKeepsEssential(t *testing.T) {
+	// 2D cone [pi/6, pi/3] given by two binding constraints plus a redundant
+	// wider pair.
+	bind := func(theta float64, lower bool) geom.Vector {
+		// Feasible side is above (lower=true) or below the ray at theta.
+		n := geom.Vector{-math.Sin(theta), math.Cos(theta)}
+		if !lower {
+			n = n.Scale(-1)
+		}
+		return n
+	}
+	normals := []geom.Vector{
+		bind(math.Pi/6, true),    // angle >= pi/6 (essential)
+		bind(math.Pi/3, false),   // angle <= pi/3 (essential)
+		bind(math.Pi/12, true),   // angle >= pi/12 (implied)
+		bind(math.Pi/2.2, false), // angle <= ~pi/2.2 (implied)
+	}
+	keep, err := NonRedundant(2, normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 2 || keep[0] != 0 || keep[1] != 1 {
+		t.Errorf("kept %v, want [0 1]", keep)
+	}
+}
+
+func TestNonRedundantAllEssential(t *testing.T) {
+	// The three coordinate planes of a 3D cell cut by x>=y and y>=z: both
+	// are essential.
+	normals := []geom.Vector{
+		{1, -1, 0},
+		{0, 1, -1},
+	}
+	keep, err := NonRedundant(3, normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 2 {
+		t.Errorf("kept %v, want both", keep)
+	}
+}
+
+func TestNonRedundantDuplicates(t *testing.T) {
+	normals := []geom.Vector{
+		{1, -1},
+		{2, -2}, // same hyperplane, scaled
+		{1, -1}, // exact duplicate
+	}
+	keep, err := NonRedundant(2, normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 1 {
+		t.Errorf("kept %d of 3 duplicates, want 1 (%v)", len(keep), keep)
+	}
+}
+
+func TestNonRedundantZeroNormal(t *testing.T) {
+	keep, err := NonRedundant(2, []geom.Vector{{0, 0}, {1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 1 || keep[0] != 1 {
+		t.Errorf("kept %v, want [1]", keep)
+	}
+}
+
+// Property: the kept subset defines the same cone as the full set (checked
+// by sampling).
+func TestNonRedundantPreservesCone(t *testing.T) {
+	rr := rand.New(rand.NewSource(192))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rr.Intn(3)
+		// Random constraints through a common interior point -> nonempty.
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = rr.Float64() + 0.1
+		}
+		var normals []geom.Vector
+		for k := 0; k < 3+rr.Intn(6); k++ {
+			n := make(geom.Vector, d)
+			for j := range n {
+				n[j] = rr.NormFloat64()
+			}
+			if n.Dot(p) < 0 {
+				n = n.Scale(-1)
+			}
+			normals = append(normals, n)
+		}
+		keep, err := NonRedundant(d, normals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := make([]geom.Vector, len(keep))
+		for i, idx := range keep {
+			kept[i] = normals[idx]
+		}
+		for probe := 0; probe < 500; probe++ {
+			x := make(geom.Vector, d)
+			for j := range x {
+				x[j] = rr.Float64()
+			}
+			inFull := true
+			for _, n := range normals {
+				if n.Dot(x) < -1e-9 {
+					inFull = false
+					break
+				}
+			}
+			inKept := true
+			for _, n := range kept {
+				if n.Dot(x) < -1e-9 {
+					inKept = false
+					break
+				}
+			}
+			if inFull != inKept {
+				t.Fatalf("trial %d: point %v: full=%v kept=%v (kept %d of %d)",
+					trial, x, inFull, inKept, len(keep), len(normals))
+			}
+		}
+	}
+}

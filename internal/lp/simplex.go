@@ -1,0 +1,386 @@
+// Package lp implements a small dense two-phase simplex solver and the
+// cone-feasibility helpers built on it. GET-NEXTmd (Algorithm 6) tests
+// whether an ordering-exchange hyperplane intersects a ranking region by
+// "solving a linear program" (Section 4.2); this package provides that exact
+// test, an interior-point finder for choosing a representative scoring
+// function inside a region, and the central-ray computation used to bound
+// constraint-specified regions of interest by a cone.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	// LE is <=.
+	LE Op = iota
+	// GE is >=.
+	GE
+	// EQ is =.
+	EQ
+)
+
+// Constraint is a single linear constraint sum_j Coeffs[j] x_j  Op  RHS.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program in the conventional form
+//
+//	maximize  c . x   subject to   A x (<=|>=|=) b,  x >= 0.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set is empty.
+	Infeasible
+	// Unbounded means the objective is unbounded above on the feasible set.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result carries the solution of a linear program.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	pivotTol   = 1e-9
+	feasTol    = 1e-7
+	maxSimplex = 20000
+)
+
+// ErrMaxIterations is returned if the simplex fails to terminate within the
+// iteration budget (should not happen with Bland's rule; kept as a guard).
+var ErrMaxIterations = errors.New("lp: simplex iteration budget exhausted")
+
+// Solve runs two-phase primal simplex with Bland's anti-cycling rule.
+func Solve(p Problem) (Result, error) {
+	if p.NumVars <= 0 {
+		return Result{}, errors.New("lp: problem has no variables")
+	}
+	if len(p.Objective) != p.NumVars {
+		return Result{}, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return Result{}, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), p.NumVars)
+		}
+	}
+	t := newTableau(p)
+	// Phase 1: drive artificial variables to zero.
+	if t.numArtificial > 0 {
+		t.setPhase1Objective()
+		if err := t.iterate(); err != nil {
+			return Result{}, err
+		}
+		if t.objectiveValue() < -feasTol {
+			return Result{Status: Infeasible}, nil
+		}
+		t.removeArtificialsFromBasis()
+	}
+	// Phase 2: the real objective.
+	t.setPhase2Objective(p.Objective)
+	if err := t.iterate(); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return Result{Status: Unbounded}, nil
+		}
+		return Result{}, err
+	}
+	x := make([]float64, p.NumVars)
+	for row, col := range t.basis {
+		if col < p.NumVars {
+			x[col] = t.rhs(row)
+		}
+	}
+	var obj float64
+	for j, c := range p.Objective {
+		obj += c * x[j]
+	}
+	return Result{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is a dense simplex tableau. Columns are ordered: structural
+// variables, slack/surplus variables, artificial variables; the last column
+// is the right-hand side. The objective row is stored separately in obj
+// (reduced-cost row) with objConst the current objective value negated.
+type tableau struct {
+	m, n          int // constraint rows, total columns excluding RHS
+	numStruct     int
+	numArtificial int
+	artStart      int
+	a             [][]float64 // m rows, n+1 columns (last = RHS)
+	obj           []float64   // n reduced costs
+	objConst      float64
+	basis         []int // basis[row] = basic column of that row
+}
+
+func newTableau(p Problem) *tableau {
+	m := len(p.Constraints)
+	// Count extra columns.
+	slacks := 0
+	arts := 0
+	for _, c := range p.Constraints {
+		op := c.Op
+		if c.RHS < 0 {
+			op = flipOp(op)
+		}
+		switch op {
+		case LE:
+			slacks++
+		case GE:
+			slacks++
+			arts++
+		case EQ:
+			arts++
+		}
+	}
+	n := p.NumVars + slacks + arts
+	t := &tableau{
+		m:             m,
+		n:             n,
+		numStruct:     p.NumVars,
+		numArtificial: arts,
+		artStart:      p.NumVars + slacks,
+		a:             make([][]float64, m),
+		obj:           make([]float64, n),
+		basis:         make([]int, m),
+	}
+	slackCol := p.NumVars
+	artCol := t.artStart
+	for i, c := range p.Constraints {
+		row := make([]float64, n+1)
+		sign := 1.0
+		op := c.Op
+		if c.RHS < 0 {
+			sign = -1
+			op = flipOp(op)
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[n] = sign * c.RHS
+		switch op {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+func flipOp(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+func (t *tableau) rhs(row int) float64 { return t.a[row][t.n] }
+
+func (t *tableau) objectiveValue() float64 { return -t.objConst }
+
+// setPhase1Objective installs "maximize -sum(artificials)" and prices out
+// the basic artificial columns.
+func (t *tableau) setPhase1Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objConst = 0
+	for j := t.artStart; j < t.n; j++ {
+		t.obj[j] = -1
+	}
+	t.priceOutBasis()
+}
+
+// setPhase2Objective installs the real objective (artificial columns get a
+// strongly negative cost so they never re-enter) and prices out the basis.
+func (t *tableau) setPhase2Objective(c []float64) {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objConst = 0
+	copy(t.obj, c)
+	for j := t.artStart; j < t.n; j++ {
+		t.obj[j] = math.Inf(-1)
+	}
+	t.priceOutBasis()
+}
+
+// priceOutBasis makes reduced costs of basic columns zero by row operations
+// on the objective row.
+func (t *tableau) priceOutBasis() {
+	for row, col := range t.basis {
+		c := t.obj[col]
+		if c == 0 {
+			continue
+		}
+		if math.IsInf(c, -1) {
+			// Basic artificial with -inf cost: treat as cost 0 (it is basic
+			// at value >= 0 only transiently; removeArtificialsFromBasis
+			// handles the degenerate leftovers).
+			t.obj[col] = 0
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			if j < t.n {
+				t.obj[j] -= c * t.a[row][j]
+			}
+		}
+		t.objConst -= c * t.rhs(row)
+		t.obj[col] = 0
+	}
+}
+
+// iterate runs primal simplex pivots until optimality (no improving column)
+// using Bland's rule.
+func (t *tableau) iterate() error {
+	for iter := 0; iter < maxSimplex; iter++ {
+		// Entering: lowest-index column with positive reduced cost.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if t.obj[j] > pivotTol && !math.IsInf(t.obj[j], -1) {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving: min ratio, ties broken by lowest basic column (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > pivotTol {
+				ratio := t.rhs(i) / aij
+				if ratio < bestRatio-pivotTol ||
+					(ratio < bestRatio+pivotTol && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return ErrMaxIterations
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis
+// and objective row.
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := 0; j <= t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.a[row][col] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.a[i][col] = 0
+	}
+	c := t.obj[col]
+	if c != 0 && !math.IsInf(c, -1) {
+		for j := 0; j < t.n; j++ {
+			if math.IsInf(t.obj[j], -1) {
+				continue
+			}
+			t.obj[j] -= c * t.a[row][j]
+		}
+		t.objConst -= c * t.rhs(row)
+		t.obj[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// removeArtificialsFromBasis pivots degenerate artificial variables out of
+// the basis after phase 1 (they are basic at value zero). Rows whose
+// artificial cannot be replaced are redundant and are zeroed.
+func (t *tableau) removeArtificialsFromBasis() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Find any non-artificial column with a nonzero entry in this row.
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > pivotTol {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it; keep the artificial basic at 0.
+			for j := 0; j <= t.n; j++ {
+				t.a[i][j] = 0
+			}
+		}
+	}
+	// Freeze artificial columns so they never re-enter.
+	for i := 0; i < t.m; i++ {
+		for j := t.artStart; j < t.n; j++ {
+			t.a[i][j] = 0
+		}
+	}
+}

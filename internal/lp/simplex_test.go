@@ -1,0 +1,252 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveBasicMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Op: LE, RHS: 6},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !almostEqual(res.Objective, 12, 1e-8) {
+		t.Errorf("objective = %v, want 12", res.Objective)
+	}
+	if !almostEqual(res.X[0], 4, 1e-8) || !almostEqual(res.X[1], 0, 1e-8) {
+		t.Errorf("x = %v", res.X)
+	}
+}
+
+func TestSolveInteriorOptimum(t *testing.T) {
+	// max x + y s.t. x <= 2, y <= 3 -> (2, 3), obj 5.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 2},
+			{Coeffs: []float64{0, 1}, Op: LE, RHS: 3},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !almostEqual(res.Objective, 5, 1e-8) {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// max x s.t. x + y = 1, x - y <= 0 -> x = y = 0.5.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 1},
+			{Coeffs: []float64{1, -1}, Op: LE, RHS: 0},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !almostEqual(res.X[0], 0.5, 1e-8) || !almostEqual(res.X[1], 0.5, 1e-8) {
+		t.Errorf("x = %v", res.X)
+	}
+}
+
+func TestSolveWithGE(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 6  (maximize the negative).
+	// Optimum at intersection: x = 8/5, y = 6/5, obj -= 14/5.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Op: GE, RHS: 4},
+			{Coeffs: []float64{3, 1}, Op: GE, RHS: 6},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !almostEqual(res.Objective, -14.0/5, 1e-8) {
+		t.Errorf("objective = %v, want -2.8", res.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 5},
+			{Coeffs: []float64{1}, Op: LE, RHS: 3},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := Problem{
+		NumVars:     2,
+		Objective:   []float64{1, 0},
+		Constraints: []Constraint{{Coeffs: []float64{0, 1}, Op: LE, RHS: 1}},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x <= -2 means x >= 2; max -x -> x = 2.
+	p := Problem{
+		NumVars:     1,
+		Objective:   []float64{-1},
+		Constraints: []Constraint{{Coeffs: []float64{-1}, Op: LE, RHS: -2}},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !almostEqual(res.X[0], 2, 1e-8) {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Redundant constraints exercising the artificial cleanup.
+	p := Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coeffs: []float64{2, 2}, Op: EQ, RHS: 4}, // redundant
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 2},
+		},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !almostEqual(res.Objective, 2, 1e-8) {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Problem{NumVars: 0}); err == nil {
+		t.Error("no variables accepted")
+	}
+	if _, err := Solve(Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
+		t.Error("short objective accepted")
+	}
+	p := Problem{NumVars: 2, Objective: []float64{1, 1},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Op: LE, RHS: 1}}}
+	if _, err := Solve(p); err == nil {
+		t.Error("short constraint accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status should print")
+	}
+}
+
+// Randomized cross-check: for random feasible bounded LPs with box
+// constraints, compare against brute-force over a fine grid of the 2D
+// feasible region vertices.
+func TestSolveRandom2DAgainstEnumeration(t *testing.T) {
+	rr := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 200; trial++ {
+		// Box [0, bx] x [0, by] plus one random <= cut; objective random
+		// non-negative so the optimum is at a vertex of the cut box.
+		bx := 1 + rr.Float64()*4
+		by := 1 + rr.Float64()*4
+		a := rr.Float64()*2 - 1
+		b := rr.Float64()*2 - 1
+		c := rr.Float64()*4 + 0.5
+		obj := []float64{rr.Float64(), rr.Float64()}
+		p := Problem{
+			NumVars:   2,
+			Objective: obj,
+			Constraints: []Constraint{
+				{Coeffs: []float64{1, 0}, Op: LE, RHS: bx},
+				{Coeffs: []float64{0, 1}, Op: LE, RHS: by},
+				{Coeffs: []float64{a, b}, Op: LE, RHS: c},
+			},
+		}
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			// Could be unbounded only if the box fails, which it cannot.
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		// Brute force over candidate vertices: intersections of all
+		// constraint boundaries and axes.
+		lines := [][3]float64{
+			{1, 0, bx}, {0, 1, by}, {a, b, c}, {1, 0, 0}, {0, 1, 0},
+		}
+		best := math.Inf(-1)
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				a1, b1, c1 := lines[i][0], lines[i][1], lines[i][2]
+				a2, b2, c2 := lines[j][0], lines[j][1], lines[j][2]
+				det := a1*b2 - a2*b1
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (c1*b2 - c2*b1) / det
+				y := (a1*c2 - a2*c1) / det
+				if x < -1e-9 || y < -1e-9 || x > bx+1e-9 || y > by+1e-9 || a*x+b*y > c+1e-9 {
+					continue
+				}
+				if v := obj[0]*x + obj[1]*y; v > best {
+					best = v
+				}
+			}
+		}
+		if !almostEqual(res.Objective, best, 1e-6) {
+			t.Fatalf("trial %d: simplex %v vs enumeration %v", trial, res.Objective, best)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/sampling"
+)
+
+// Per-item rank distributions: Example 1's consumer question in
+// distributional form. CSMetrics places Cornell at rank 11 under alpha=0.3,
+// just missing the top-10; the natural follow-up is the probability, over
+// the acceptable weight region, that the item lands in the top-10 at all.
+// One sample costs O(n) — the item's rank is one plus the number of items
+// scoring strictly higher (or tying with a smaller index) — so no sorting is
+// involved.
+
+// RankDistribution summarizes the rank of one item across sampled scoring
+// functions.
+type RankDistribution struct {
+	// Item is the dataset index analyzed.
+	Item int
+	// Counts[r] is the number of samples placing the item at 1-based rank
+	// r+1... stored sparsely: Counts maps rank -> count.
+	Counts map[int]int
+	// Samples is the total number of samples drawn.
+	Samples int
+	// Best and Worst are the extreme observed ranks (1-based).
+	Best, Worst int
+}
+
+// ProbabilityTopK returns the fraction of samples placing the item within
+// the top k ranks.
+func (d RankDistribution) ProbabilityTopK(k int) float64 {
+	if d.Samples == 0 {
+		return 0
+	}
+	total := 0
+	for r, c := range d.Counts {
+		if r <= k {
+			total += c
+		}
+	}
+	return float64(total) / float64(d.Samples)
+}
+
+// Quantile returns the smallest rank r such that at least fraction q of the
+// samples place the item at rank <= r. q is clamped to (0, 1].
+func (d RankDistribution) Quantile(q float64) int {
+	if d.Samples == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-12
+	}
+	if q > 1 {
+		q = 1
+	}
+	ranks := make([]int, 0, len(d.Counts))
+	for r := range d.Counts {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	need := int(q * float64(d.Samples))
+	if need < 1 {
+		need = 1
+	}
+	acc := 0
+	for _, r := range ranks {
+		acc += d.Counts[r]
+		if acc >= need {
+			return r
+		}
+	}
+	return ranks[len(ranks)-1]
+}
+
+// Mode returns the most frequent rank (ties broken by the better rank).
+func (d RankDistribution) Mode() int {
+	best, bestCount := 0, -1
+	ranks := make([]int, 0, len(d.Counts))
+	for r := range d.Counts {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if d.Counts[r] > bestCount {
+			best, bestCount = r, d.Counts[r]
+		}
+	}
+	return best
+}
+
+// ItemRankDistribution samples the region of interest n times and returns
+// the distribution of the item's 1-based rank. Ranks use the same
+// deterministic tie-break as the ranking operator (score ties go to the
+// smaller index).
+func ItemRankDistribution(ds *dataset.Dataset, sampler sampling.Sampler, item, n int) (RankDistribution, error) {
+	if ds == nil || ds.N() == 0 {
+		return RankDistribution{}, dataset.ErrEmptyDataset
+	}
+	if sampler == nil {
+		return RankDistribution{}, fmt.Errorf("mc: nil sampler")
+	}
+	if sampler.Dim() != ds.D() {
+		return RankDistribution{}, fmt.Errorf("mc: sampler dimension %d != dataset dimension %d", sampler.Dim(), ds.D())
+	}
+	if item < 0 || item >= ds.N() {
+		return RankDistribution{}, fmt.Errorf("mc: item %d out of range [0, %d)", item, ds.N())
+	}
+	if n < 1 {
+		return RankDistribution{}, fmt.Errorf("mc: need >= 1 sample, got %d", n)
+	}
+	dist := RankDistribution{Item: item, Counts: make(map[int]int), Best: ds.N() + 1}
+	for i := 0; i < n; i++ {
+		w, err := sampler.Sample()
+		if err != nil {
+			return RankDistribution{}, err
+		}
+		r := rankOf(ds, w, item)
+		dist.Counts[r]++
+		if r < dist.Best {
+			dist.Best = r
+		}
+		if r > dist.Worst {
+			dist.Worst = r
+		}
+	}
+	dist.Samples = n
+	return dist, nil
+}
+
+// rankOf returns the 1-based rank of item under w in O(n).
+func rankOf(ds *dataset.Dataset, w geom.Vector, item int) int {
+	score := ds.Score(w, item)
+	rank := 1
+	for i := 0; i < ds.N(); i++ {
+		if i == item {
+			continue
+		}
+		s := ds.Score(w, i)
+		if s > score || (s == score && i < item) {
+			rank++
+		}
+	}
+	return rank
+}

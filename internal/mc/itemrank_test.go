@@ -1,0 +1,135 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+	"stablerank/internal/sampling"
+)
+
+func TestItemRankDistributionFigure1(t *testing.T) {
+	ds := dataset.Figure1()
+	s, err := sampling.NewUniform(2, rand.New(rand.NewSource(231)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t2 (index 1) is rank 1 whenever x1 matters and rank 5 under pure x2:
+	// its distribution spans the extremes.
+	dist, err := ItemRankDistribution(ds, s, 1, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Best != 1 {
+		t.Errorf("t2 best rank = %d, want 1", dist.Best)
+	}
+	if dist.Samples != 20000 || dist.Item != 1 {
+		t.Errorf("distribution metadata wrong: %+v", dist)
+	}
+	// From the Figure 1 regions: t2 is ranked first in regions up to angle
+	// ~0.983 (the exchange with t5 at atan((.83-.53)/(.82-.65))... measured
+	// against exact region spans instead: P(rank 1) equals the total span of
+	// regions whose midpoint ranks t2 first.
+	p1 := float64(dist.Counts[1]) / float64(dist.Samples)
+	want := exactProbTopK(t, ds, 1, 1)
+	if math.Abs(p1-want) > 0.02 {
+		t.Errorf("P(t2 first) = %v, exact %v", p1, want)
+	}
+	// ProbabilityTopK consistency.
+	if got := dist.ProbabilityTopK(ds.N()); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P(top-n) = %v, want 1", got)
+	}
+	if dist.ProbabilityTopK(0) != 0 {
+		t.Error("P(top-0) should be 0")
+	}
+}
+
+// exactProbTopK computes the exact probability that item lands in the top k
+// from the 2D region decomposition.
+func exactProbTopK(t *testing.T, ds *dataset.Dataset, item, k int) float64 {
+	t.Helper()
+	// Import cycle avoided: recompute spans by dense scan.
+	const steps = 20000
+	hits := 0
+	for i := 0; i < steps; i++ {
+		theta := (float64(i) + 0.5) / steps * math.Pi / 2
+		r := rank.Compute(ds, geom.Ray2D(theta))
+		if r.PositionOf(item) <= k {
+			hits++
+		}
+	}
+	return float64(hits) / steps
+}
+
+func TestItemRankDistributionDominatedItem(t *testing.T) {
+	ds := dataset.MustNew(2)
+	ds.MustAdd("top", 0.9, 0.9)
+	ds.MustAdd("bottom", 0.1, 0.1)
+	s, _ := sampling.NewUniform(2, rand.New(rand.NewSource(232)))
+	dist, err := ItemRankDistribution(ds, s, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Best != 2 || dist.Worst != 2 {
+		t.Errorf("dominated item rank range [%d, %d], want [2, 2]", dist.Best, dist.Worst)
+	}
+	if dist.ProbabilityTopK(1) != 0 {
+		t.Error("dominated item cannot be first")
+	}
+	if dist.Quantile(0.5) != 2 || dist.Mode() != 2 {
+		t.Errorf("quantile/mode wrong: %d, %d", dist.Quantile(0.5), dist.Mode())
+	}
+}
+
+func TestItemRankDistributionQuantiles(t *testing.T) {
+	d := RankDistribution{
+		Counts:  map[int]int{1: 50, 3: 30, 7: 20},
+		Samples: 100,
+	}
+	if q := d.Quantile(0.5); q != 1 {
+		t.Errorf("median = %d, want 1", q)
+	}
+	if q := d.Quantile(0.8); q != 3 {
+		t.Errorf("q80 = %d, want 3", q)
+	}
+	if q := d.Quantile(1.0); q != 7 {
+		t.Errorf("q100 = %d, want 7", q)
+	}
+	if q := d.Quantile(-1); q != 1 {
+		t.Errorf("clamped low quantile = %d", q)
+	}
+	if q := d.Quantile(2); q != 7 {
+		t.Errorf("clamped high quantile = %d", q)
+	}
+	if d.Mode() != 1 {
+		t.Errorf("mode = %d", d.Mode())
+	}
+	empty := RankDistribution{}
+	if empty.Quantile(0.5) != 0 || empty.ProbabilityTopK(3) != 0 {
+		t.Error("empty distribution should return zeros")
+	}
+}
+
+func TestItemRankDistributionValidation(t *testing.T) {
+	ds := dataset.Figure1()
+	s, _ := sampling.NewUniform(2, rand.New(rand.NewSource(233)))
+	if _, err := ItemRankDistribution(nil, s, 0, 10); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := ItemRankDistribution(ds, nil, 0, 10); err == nil {
+		t.Error("nil sampler accepted")
+	}
+	if _, err := ItemRankDistribution(ds, s, 99, 10); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if _, err := ItemRankDistribution(ds, s, 0, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	s3, _ := sampling.NewUniform(3, rand.New(rand.NewSource(233)))
+	if _, err := ItemRankDistribution(ds, s3, 0, 10); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+	"stablerank/internal/sampling"
+)
+
+// Parallel estimation, an engineering extension beyond the paper: the
+// Monte-Carlo sweep of Algorithm 7 is embarrassingly parallel, so the
+// distribution of ranking (or top-k) frequencies can be gathered on all
+// cores with deterministic per-worker seeds and merged. The result feeds
+// the same stability/confidence machinery as the sequential operator.
+
+// SamplerFactory builds one independent sampler per worker. Implementations
+// must give distinct workers statistically independent streams; the helper
+// ConeSamplers does this for the standard regions.
+type SamplerFactory func(worker int) (sampling.Sampler, error)
+
+// ConeSamplers returns a SamplerFactory drawing from the region of interest
+// with per-worker seeds baseSeed+worker.
+func ConeSamplers(region geom.Region, baseSeed int64) SamplerFactory {
+	return func(worker int) (sampling.Sampler, error) {
+		return sampling.ForRegion(region, rand.New(rand.NewSource(baseSeed+int64(worker))))
+	}
+}
+
+// Estimate is the merged outcome of a parallel sweep.
+type Estimate struct {
+	// Counts maps ranking keys to observation counts.
+	Counts map[string]int
+	// Total is the number of samples drawn across all workers.
+	Total int
+}
+
+// Stability returns the estimated stability of key.
+func (e Estimate) Stability(key string) float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.Counts[key]) / float64(e.Total)
+}
+
+// Top returns the h most frequent keys in decreasing count (ties broken by
+// key for determinism).
+func (e Estimate) Top(h int) []string {
+	keys := make([]string, 0, len(e.Counts))
+	for k := range e.Counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ci, cj := e.Counts[keys[i]], e.Counts[keys[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return keys[i] < keys[j]
+	})
+	if h > 0 && len(keys) > h {
+		keys = keys[:h]
+	}
+	return keys
+}
+
+// ParallelEstimate draws `total` samples split across `workers` goroutines
+// (workers <= 0 uses GOMAXPROCS) and returns the merged ranking-frequency
+// distribution under the given mode/k. The outcome is deterministic for a
+// fixed factory and worker count.
+func ParallelEstimate(ds *dataset.Dataset, factory SamplerFactory, mode Mode, k, total, workers int) (Estimate, error) {
+	if ds == nil || ds.N() == 0 {
+		return Estimate{}, dataset.ErrEmptyDataset
+	}
+	if factory == nil {
+		return Estimate{}, errors.New("mc: nil sampler factory")
+	}
+	if total < 0 {
+		return Estimate{}, fmt.Errorf("mc: negative total %d", total)
+	}
+	switch mode {
+	case Complete:
+	case TopKSet, TopKRanked:
+		if k < 1 {
+			return Estimate{}, fmt.Errorf("mc: top-k mode requires k >= 1, got %d", k)
+		}
+	default:
+		return Estimate{}, fmt.Errorf("mc: unknown mode %d", int(mode))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total && total > 0 {
+		workers = total
+	}
+	if total == 0 {
+		return Estimate{Counts: map[string]int{}}, nil
+	}
+
+	type partial struct {
+		counts map[string]int
+		err    error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := total / workers
+		if w < total%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			s, err := factory(w)
+			if err != nil {
+				parts[w] = partial{err: err}
+				return
+			}
+			if s.Dim() != ds.D() {
+				parts[w] = partial{err: fmt.Errorf("mc: sampler dimension %d != dataset dimension %d", s.Dim(), ds.D())}
+				return
+			}
+			comp := rank.NewComputer(ds)
+			counts := make(map[string]int)
+			for i := 0; i < share; i++ {
+				wv, err := s.Sample()
+				if err != nil {
+					parts[w] = partial{err: err}
+					return
+				}
+				var key string
+				switch mode {
+				case TopKSet:
+					key = comp.TopKSetKeyOf(wv, k)
+				case TopKRanked:
+					key = comp.TopKRankedKeyOf(wv, k)
+				default:
+					key = comp.Compute(wv).Key()
+				}
+				counts[key]++
+			}
+			parts[w] = partial{counts: counts}
+		}(w, share)
+	}
+	wg.Wait()
+	merged := make(map[string]int)
+	n := 0
+	for _, p := range parts {
+		if p.err != nil {
+			return Estimate{}, p.err
+		}
+		for k, c := range p.counts {
+			merged[k] += c
+			n += c
+		}
+	}
+	return Estimate{Counts: merged, Total: n}, nil
+}

@@ -1,0 +1,107 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/twod"
+)
+
+func TestParallelEstimateMatchesExact(t *testing.T) {
+	ds := dataset.Figure1()
+	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	exact, err := twod.EnumerateAll(ds, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 201),
+		Complete, 0, 80000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total != 80000 {
+		t.Errorf("total = %d", est.Total)
+	}
+	for _, s := range exact[:4] {
+		key := s.Ranking.Key()
+		if got := est.Stability(key); math.Abs(got-s.Stability) > 0.01 {
+			t.Errorf("key %s: parallel %v vs exact %v", key, got, s.Stability)
+		}
+	}
+	top := est.Top(3)
+	if len(top) != 3 || top[0] != exact[0].Ranking.Key() {
+		t.Errorf("Top(3) = %v, want leader %s", top, exact[0].Ranking.Key())
+	}
+}
+
+func TestParallelEstimateDeterministic(t *testing.T) {
+	ds := dataset.Figure1()
+	a, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 7), Complete, 0, 5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 7), Complete, 0, 5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatal("runs differ in key sets")
+	}
+	for k, c := range a.Counts {
+		if b.Counts[k] != c {
+			t.Fatalf("key %s: %d vs %d", k, c, b.Counts[k])
+		}
+	}
+}
+
+func TestParallelEstimateTopKModes(t *testing.T) {
+	ds := dataset.Toy225()
+	est, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 8), TopKSet, 3, 20000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 2.2.5: the dominant top-3 set is {t2, t3, t4} = indices 1,2,3.
+	if top := est.Top(1); len(top) != 1 || top[0] != "1,2,3" {
+		t.Errorf("dominant set = %v, want [1,2,3]", top)
+	}
+}
+
+func TestParallelEstimateValidation(t *testing.T) {
+	ds := dataset.Figure1()
+	f := ConeSamplers(geom.FullSpace{D: 2}, 1)
+	if _, err := ParallelEstimate(nil, f, Complete, 0, 10, 1); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := ParallelEstimate(ds, nil, Complete, 0, 10, 1); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := ParallelEstimate(ds, f, TopKSet, 0, 10, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ParallelEstimate(ds, f, Mode(9), 0, 10, 1); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := ParallelEstimate(ds, f, Complete, 0, -1, 1); err == nil {
+		t.Error("negative total accepted")
+	}
+	// Dimension mismatch surfaces from the worker.
+	bad := ConeSamplers(geom.FullSpace{D: 3}, 1)
+	if _, err := ParallelEstimate(ds, bad, Complete, 0, 10, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Zero samples: empty estimate.
+	est, err := ParallelEstimate(ds, f, Complete, 0, 0, 4)
+	if err != nil || est.Total != 0 || len(est.Counts) != 0 {
+		t.Errorf("zero-total estimate: %+v, %v", est, err)
+	}
+	if est.Stability("anything") != 0 {
+		t.Error("stability of empty estimate should be 0")
+	}
+	// More workers than samples.
+	est, err = ParallelEstimate(ds, f, Complete, 0, 3, 16)
+	if err != nil || est.Total != 3 {
+		t.Errorf("workers>total: %+v, %v", est, err)
+	}
+}

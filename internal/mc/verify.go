@@ -1,0 +1,83 @@
+package mc
+
+import (
+	"fmt"
+
+	"stablerank/internal/rank"
+	"stablerank/internal/stats"
+)
+
+// Top-k stability verification: the consumer's Problem 1 applied to partial
+// rankings. A published top-k list (or set) is verified by estimating the
+// fraction of the region of interest whose functions reproduce it — the
+// natural composition of Algorithm 12's counting with the Section 4.5.1
+// partial-ranking semantics, which the exact verifiers cannot provide
+// because distinct ranking regions share top-k outcomes.
+
+// VerifyResult is the outcome of randomized top-k verification.
+type VerifyResult struct {
+	// Stability is the estimated fraction of acceptable functions whose
+	// top-k matches the target.
+	Stability float64
+	// ConfidenceError is the Equation 10 half-width at the operator's
+	// confidence level.
+	ConfidenceError float64
+	// Samples is the number of samples drawn.
+	Samples int
+}
+
+// VerifyKey estimates the stability of the given target key (a ranking key,
+// top-k set key, or ranked top-k key matching the operator's mode) using n
+// fresh samples. The observations also feed the operator's aggregates for
+// subsequent Next* calls.
+func (o *Operator) VerifyKey(target string, n int) (VerifyResult, error) {
+	if target == "" {
+		return VerifyResult{}, fmt.Errorf("mc: empty target key")
+	}
+	if n < 1 {
+		return VerifyResult{}, fmt.Errorf("mc: verification needs >= 1 sample, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := o.observe(); err != nil {
+			return VerifyResult{}, err
+		}
+	}
+	s := float64(o.counts[target]) / float64(o.total)
+	return VerifyResult{
+		Stability:       s,
+		ConfidenceError: stats.ConfidenceError(s, o.total, o.alpha),
+		Samples:         o.total,
+	}, nil
+}
+
+// VerifyItems is VerifyKey for a target given as item indices: the indices
+// are encoded with the operator's mode semantics (sorted for TopKSet).
+func (o *Operator) VerifyItems(items []int, n int) (VerifyResult, error) {
+	key, err := o.encodeTarget(items)
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	return o.VerifyKey(key, n)
+}
+
+func (o *Operator) encodeTarget(items []int) (string, error) {
+	switch o.mode {
+	case TopKSet, TopKRanked:
+		if len(items) != o.k {
+			return "", fmt.Errorf("mc: target has %d items, operator k is %d", len(items), o.k)
+		}
+	case Complete:
+		if len(items) != o.ds.N() {
+			return "", fmt.Errorf("mc: target has %d items, dataset has %d", len(items), o.ds.N())
+		}
+	}
+	r := rank.Ranking{Order: items}
+	switch o.mode {
+	case TopKSet:
+		return r.TopKSetKey(o.k), nil
+	case TopKRanked:
+		return r.TopKRankedKey(o.k), nil
+	default:
+		return r.Key(), nil
+	}
+}

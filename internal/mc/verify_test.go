@@ -1,0 +1,84 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/twod"
+)
+
+func TestVerifyKeyMatchesExact(t *testing.T) {
+	ds := dataset.Figure1()
+	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	exact, err := twod.EnumerateAll(ds, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOp(t, ds, geom.FullSpace{D: 2}, 211)
+	for _, s := range exact[:3] {
+		res, err := o.VerifyKey(s.Ranking.Key(), 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Stability-s.Stability) > 0.02 {
+			t.Errorf("key %s: verified %v vs exact %v", s.Ranking.Key(), res.Stability, s.Stability)
+		}
+		if res.ConfidenceError <= 0 {
+			t.Error("confidence error should be positive")
+		}
+	}
+	// An impossible key has stability ~0.
+	res, err := o.VerifyKey("4,3,2,1,0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stability > 0.01 {
+		t.Errorf("impossible ranking stability = %v", res.Stability)
+	}
+}
+
+func TestVerifyItemsTopK(t *testing.T) {
+	ds := dataset.Toy225()
+	o := newOp(t, ds, geom.FullSpace{D: 2}, 212, WithMode(TopKSet, 3))
+	// The dominant top-3 set {t2, t3, t4} in any order.
+	res, err := o.VerifyItems([]int{3, 1, 2}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stability < 0.9 {
+		t.Errorf("dominant set stability = %v, want ~0.96+", res.Stability)
+	}
+	// Wrong cardinality.
+	if _, err := o.VerifyItems([]int{1, 2}, 100); err == nil {
+		t.Error("wrong k accepted")
+	}
+}
+
+func TestVerifyItemsComplete(t *testing.T) {
+	ds := dataset.Figure1()
+	o := newOp(t, ds, geom.FullSpace{D: 2}, 213)
+	if _, err := o.VerifyItems([]int{0, 1}, 100); err == nil {
+		t.Error("short complete target accepted")
+	}
+	res, err := o.VerifyItems([]int{1, 3, 2, 4, 0}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1's published ranking has exact stability 0.0880.
+	if math.Abs(res.Stability-0.088) > 0.02 {
+		t.Errorf("published ranking stability = %v, want ~0.088", res.Stability)
+	}
+}
+
+func TestVerifyKeyValidation(t *testing.T) {
+	ds := dataset.Figure1()
+	o := newOp(t, ds, geom.FullSpace{D: 2}, 214)
+	if _, err := o.VerifyKey("", 100); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := o.VerifyKey("0,1,2,3,4", 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package md
+
+import (
+	"fmt"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/lp"
+	"stablerank/internal/rank"
+)
+
+// Boundary characterization (the paper's Section 8 future work): reduce a
+// ranking region's O(n) ordering-exchange constraints to the non-redundant
+// subset that actually bounds it, and name each boundary by the item pair
+// whose exchange it is.
+
+// BoundaryFacet is one facet of a ranking region: crossing it swaps exactly
+// the named item pair.
+type BoundaryFacet struct {
+	// Upper and Lower are the dataset indices of the adjacent items whose
+	// exchange forms the facet: Upper outranks Lower inside the region.
+	Upper, Lower int
+	// Halfspace is the facet's constraint (positive side = inside).
+	Halfspace geom.Halfspace
+}
+
+// Describe formats the facet using item identifiers.
+func (f BoundaryFacet) Describe(ds *dataset.Dataset) string {
+	return fmt.Sprintf("%s <-> %s", ds.Item(f.Upper).ID, ds.Item(f.Lower).ID)
+}
+
+// Boundary returns the non-redundant facets of ranking r's region: the
+// adjacent-pair exchanges not implied by the remaining constraints and the
+// orthant. These are the swaps a weight perturbation can realize first —
+// the region's actual boundary. Cost: O(n) LP solves.
+func Boundary(ds *dataset.Dataset, r rank.Ranking) ([]BoundaryFacet, error) {
+	if len(r.Order) != ds.N() {
+		return nil, fmt.Errorf("md: ranking has %d items, dataset has %d", len(r.Order), ds.N())
+	}
+	// Collect the adjacent-pair constraints with their pair labels, mirroring
+	// RankingRegion but retaining provenance.
+	type labelled struct {
+		upper, lower int
+		normal       geom.Vector
+	}
+	var cons []labelled
+	for i := 0; i+1 < len(r.Order); i++ {
+		t := ds.Item(r.Order[i])
+		u := ds.Item(r.Order[i+1])
+		if equalAttrs(t.Attrs, u.Attrs) {
+			if r.Order[i] > r.Order[i+1] {
+				return nil, ErrInfeasibleRanking
+			}
+			continue
+		}
+		if dataset.Dominates(t, u) {
+			continue
+		}
+		if dataset.Dominates(u, t) {
+			return nil, ErrInfeasibleRanking
+		}
+		cons = append(cons, labelled{
+			upper:  r.Order[i],
+			lower:  r.Order[i+1],
+			normal: geom.OrderingExchange(t.Attrs, u.Attrs).Normal,
+		})
+	}
+	normals := make([]geom.Vector, len(cons))
+	for i, c := range cons {
+		normals[i] = c.normal
+	}
+	keep, err := lp.NonRedundant(ds.D(), normals)
+	if err != nil {
+		return nil, err
+	}
+	facets := make([]BoundaryFacet, len(keep))
+	for i, idx := range keep {
+		facets[i] = BoundaryFacet{
+			Upper:     cons[idx].upper,
+			Lower:     cons[idx].lower,
+			Halfspace: geom.Halfspace{Normal: cons[idx].normal, Positive: true},
+		}
+	}
+	return facets, nil
+}

@@ -1,0 +1,112 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+	"stablerank/internal/twod"
+)
+
+func TestBoundaryFigure1(t *testing.T) {
+	// In 2D a bounded ranking region has exactly two boundary facets (its
+	// two delimiting exchange angles); an edge region touching the orthant
+	// boundary has one.
+	ds := dataset.Figure1()
+	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	regions, err := twod.RaySweep(ds, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range regions {
+		r := rank.Compute(ds, reg.Midpoint())
+		facets, err := Boundary(ds, r)
+		if err != nil {
+			t.Fatalf("Boundary(%v): %v", r.Order, err)
+		}
+		interior := reg.Interval.Lo > 1e-9 && reg.Interval.Hi < math.Pi/2-1e-9
+		if interior && len(facets) != 2 {
+			t.Errorf("interior region %v has %d facets, want 2", reg.Interval, len(facets))
+		}
+		if !interior && (len(facets) < 1 || len(facets) > 2) {
+			t.Errorf("edge region %v has %d facets", reg.Interval, len(facets))
+		}
+		// Each facet's exchange angle must coincide with one of the region's
+		// two boundary angles.
+		for _, f := range facets {
+			theta, ok := twod.ExchangeAngle(ds.Attrs(f.Upper), ds.Attrs(f.Lower))
+			if !ok {
+				t.Fatalf("facet %s has no exchange", f.Describe(ds))
+			}
+			if math.Abs(theta-reg.Interval.Lo) > 1e-9 && math.Abs(theta-reg.Interval.Hi) > 1e-9 {
+				t.Errorf("facet %s angle %v matches neither boundary of %v",
+					f.Describe(ds), theta, reg.Interval)
+			}
+		}
+	}
+}
+
+func TestBoundaryFacetsAreSubsetOfRegion(t *testing.T) {
+	rr := rand.New(rand.NewSource(191))
+	ds := randDataset(rr, 12, 3)
+	r := rank.Compute(ds, geom.Vector{1, 1, 1})
+	full, err := RankingRegion(ds, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facets, err := Boundary(ds, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) == 0 || len(facets) > len(full) {
+		t.Fatalf("%d facets for %d constraints", len(facets), len(full))
+	}
+	// Every facet's constraint must appear among the region constraints.
+	for _, f := range facets {
+		found := false
+		for _, hs := range full {
+			if hs.Normal.Equal(f.Halfspace.Normal, 1e-12) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("facet %s not among region constraints", f.Describe(ds))
+		}
+	}
+	// Crossing a facet must actually change the ranking: perturb the weight
+	// across the facet's hyperplane and check the pair swaps.
+	for _, f := range facets {
+		w := geom.Vector{1, 1, 1}
+		// Move against the facet normal until outside.
+		n := f.Halfspace.Normal.MustNormalize()
+		step := 2 * w.Dot(n)
+		out := w.Sub(n.Scale(step))
+		if out.NonNegative(0) {
+			r2 := rank.Compute(ds, out)
+			if r2.PositionOf(f.Upper) < r2.PositionOf(f.Lower) {
+				t.Errorf("crossing facet %s did not swap the pair", f.Describe(ds))
+			}
+		}
+	}
+}
+
+func TestBoundaryInfeasible(t *testing.T) {
+	ds := dataset.MustNew(3)
+	ds.MustAdd("hi", 0.9, 0.9, 0.9)
+	ds.MustAdd("lo", 0.1, 0.1, 0.1)
+	if _, err := Boundary(ds, rank.Ranking{Order: []int{1, 0}}); err == nil {
+		t.Error("dominance-violating ranking accepted")
+	}
+	if _, err := Boundary(ds, rank.Ranking{Order: []int{0}}); err == nil {
+		t.Error("short ranking accepted")
+	}
+	// Dominance chain: no exchanges, no facets, no error.
+	facets, err := Boundary(ds, rank.Ranking{Order: []int{0, 1}})
+	if err != nil || len(facets) != 0 {
+		t.Errorf("dominance chain: %v facets, err %v", facets, err)
+	}
+}

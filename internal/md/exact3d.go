@@ -1,0 +1,49 @@
+package md
+
+import (
+	"errors"
+	"fmt"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+)
+
+// Exact three-dimensional stability, an extension beyond the paper: in R^3 a
+// ranking region is a convex cone and its spherical area has the closed
+// Girard form (see geom.SphericalPolygonArea3D). The paper estimates all
+// multi-dimensional volumes by Monte Carlo because exact polytope volume is
+// #P-hard in general dimension; for d = 3 the exact value is cheap and the
+// test suite uses it to validate the Monte-Carlo oracle end to end.
+
+// ErrNotThreeD is returned by VerifyExact3D on datasets with d != 3.
+var ErrNotThreeD = errors.New("md: exact verification requires exactly 3 attributes")
+
+// VerifyExact3D returns the exact stability of ranking r over the full
+// function space U in R^3: the spherical area of the ranking region divided
+// by the area of the orthant. Degenerate (empty-interior) regions yield
+// stability 0.
+func VerifyExact3D(ds *dataset.Dataset, r rank.Ranking) (float64, error) {
+	if ds.D() != 3 {
+		return 0, fmt.Errorf("%w (got %d)", ErrNotThreeD, ds.D())
+	}
+	constraints, err := RankingRegion(ds, r)
+	if err != nil {
+		return 0, err
+	}
+	normals := make([]geom.Vector, 0, len(constraints)+3)
+	for _, hs := range constraints {
+		normals = append(normals, hs.Oriented())
+	}
+	for i := 0; i < 3; i++ {
+		normals = append(normals, geom.Basis(3, i))
+	}
+	area, err := geom.SphericalPolygonArea3D(normals)
+	if errors.Is(err, geom.ErrDegenerateCone) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return area / geom.OrthantArea(3), nil
+}

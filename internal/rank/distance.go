@@ -1,0 +1,143 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rank-distance measures. The paper's closing remarks (Section 8) note that
+// its stability notion treats rankings differing in a single pair as
+// distinct and suggests allowing "minor changes" as future work; these
+// metrics quantify such changes and are used in the experiment reports to
+// compare reference rankings with most-stable rankings (e.g. the Cornell /
+// Toronto and Tunisia / Mexico swaps of Section 6.2).
+
+// KendallTau returns the number of discordant pairs between two rankings of
+// the same item set, computed via merge-sort inversion counting in
+// O(n log n). It returns an error if the rankings are not permutations of
+// the same items.
+func KendallTau(a, b Ranking) (int, error) {
+	n := len(a.Order)
+	if len(b.Order) != n {
+		return 0, fmt.Errorf("rank: rankings have different lengths %d, %d", n, len(b.Order))
+	}
+	pos := make(map[int]int, n)
+	for i, v := range b.Order {
+		pos[v] = i
+	}
+	seq := make([]int, n)
+	for i, v := range a.Order {
+		p, ok := pos[v]
+		if !ok {
+			return 0, fmt.Errorf("rank: item %d missing from second ranking", v)
+		}
+		seq[i] = p
+	}
+	if len(pos) != n {
+		return 0, fmt.Errorf("rank: second ranking contains duplicates")
+	}
+	buf := make([]int, n)
+	return countInversions(seq, buf), nil
+}
+
+func countInversions(a, buf []int) int {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := countInversions(a[:mid], buf) + countInversions(a[mid:], buf)
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			inv += mid - i
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, buf[:n])
+	return inv
+}
+
+// KendallTauNormalized returns the Kendall tau distance scaled to [0, 1] by
+// the maximum n(n-1)/2.
+func KendallTauNormalized(a, b Ranking) (float64, error) {
+	d, err := KendallTau(a, b)
+	if err != nil {
+		return 0, err
+	}
+	n := len(a.Order)
+	if n < 2 {
+		return 0, nil
+	}
+	return float64(d) / (float64(n) * float64(n-1) / 2), nil
+}
+
+// SpearmanFootrule returns the sum over items of the absolute difference of
+// their positions in the two rankings.
+func SpearmanFootrule(a, b Ranking) (int, error) {
+	n := len(a.Order)
+	if len(b.Order) != n {
+		return 0, fmt.Errorf("rank: rankings have different lengths %d, %d", n, len(b.Order))
+	}
+	pos := make(map[int]int, n)
+	for i, v := range b.Order {
+		pos[v] = i
+	}
+	if len(pos) != n {
+		return 0, fmt.Errorf("rank: second ranking contains duplicates")
+	}
+	var sum int
+	for i, v := range a.Order {
+		p, ok := pos[v]
+		if !ok {
+			return 0, fmt.Errorf("rank: item %d missing from second ranking", v)
+		}
+		sum += int(math.Abs(float64(i - p)))
+	}
+	return sum, nil
+}
+
+// MaxDisplacement returns the largest absolute position change of any item
+// between the two rankings, the quantity behind observations like
+// "Northeastern improves from 40 to 35" in Section 6.2.
+func MaxDisplacement(a, b Ranking) (item, delta int, err error) {
+	n := len(a.Order)
+	if len(b.Order) != n {
+		return 0, 0, fmt.Errorf("rank: rankings have different lengths %d, %d", n, len(b.Order))
+	}
+	pos := make(map[int]int, n)
+	for i, v := range b.Order {
+		pos[v] = i
+	}
+	best := -1
+	for i, v := range a.Order {
+		p, ok := pos[v]
+		if !ok {
+			return 0, 0, fmt.Errorf("rank: item %d missing from second ranking", v)
+		}
+		d := i - p
+		if d < 0 {
+			d = -d
+		}
+		if d > best {
+			best = d
+			item = v
+		}
+	}
+	return item, best, nil
+}

@@ -1,0 +1,192 @@
+// Package rank implements rankings induced by linear scoring functions
+// (Definition 1 and the ranking operator of Section 2.1.1), with the
+// deterministic tie-breaking the paper requires, plus the partial-ranking
+// keys used by the randomized top-k operators (Section 4.5.1) and classical
+// rank-distance measures used in the experiment reports.
+package rank
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+)
+
+// Ranking is a permutation of item indices, best first. It is produced by
+// scoring every item with a weight vector and sorting descending, breaking
+// ties consistently by item index (a proxy for the paper's "item
+// identifier" tie-break).
+type Ranking struct {
+	Order []int
+}
+
+// Compute returns the ranking of the dataset induced by the weight vector w.
+// It is the operator named nabla_f(D) in the paper.
+func Compute(ds *dataset.Dataset, w geom.Vector) Ranking {
+	r := Ranking{Order: make([]int, ds.N())}
+	scores := make([]float64, ds.N())
+	for i := range r.Order {
+		r.Order[i] = i
+		scores[i] = ds.Score(w, i)
+	}
+	sort.SliceStable(r.Order, func(a, b int) bool {
+		ia, ib := r.Order[a], r.Order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return ia < ib
+	})
+	return r
+}
+
+// buffersFor reuses allocations across repeated Compute calls; the Monte-
+// Carlo operators rank the same dataset tens of thousands of times.
+type Computer struct {
+	ds     *dataset.Dataset
+	order  []int
+	scores []float64
+}
+
+// NewComputer returns a reusable ranking computer over ds.
+func NewComputer(ds *dataset.Dataset) *Computer {
+	return &Computer{
+		ds:     ds,
+		order:  make([]int, ds.N()),
+		scores: make([]float64, ds.N()),
+	}
+}
+
+// Compute returns the ranking induced by w. The returned slice is owned by
+// the computer and overwritten on the next call; callers needing to retain
+// it must copy (or use Ranking.Clone).
+func (c *Computer) Compute(w geom.Vector) Ranking {
+	for i := range c.order {
+		c.order[i] = i
+		c.scores[i] = c.ds.Score(w, i)
+	}
+	sort.SliceStable(c.order, func(a, b int) bool {
+		ia, ib := c.order[a], c.order[b]
+		if c.scores[ia] != c.scores[ib] {
+			return c.scores[ia] > c.scores[ib]
+		}
+		return ia < ib
+	})
+	return Ranking{Order: c.order}
+}
+
+// TopK returns the first k entries of the ranking order; the computer owns
+// the storage (see Compute).
+func (c *Computer) TopK(w geom.Vector, k int) []int {
+	if k > len(c.order) {
+		k = len(c.order)
+	}
+	return c.Compute(w).Order[:k]
+}
+
+// Clone returns an independent copy of the ranking.
+func (r Ranking) Clone() Ranking {
+	o := make([]int, len(r.Order))
+	copy(o, r.Order)
+	return Ranking{Order: o}
+}
+
+// Equal reports whether two rankings order items identically.
+func (r Ranking) Equal(s Ranking) bool {
+	if len(r.Order) != len(s.Order) {
+		return false
+	}
+	for i := range r.Order {
+		if r.Order[i] != s.Order[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string key identifying the complete ranking, for use
+// as a hash-map key in the Monte-Carlo counters (Algorithms 7 and 8).
+func (r Ranking) Key() string { return encodeIndices(r.Order) }
+
+// TopKRankedKey returns a key identifying the ordered top-k prefix: two
+// weight vectors share it iff they select the same top-k items in the same
+// order (the "ranked top-k" semantics of Section 4.5.1).
+func (r Ranking) TopKRankedKey(k int) string {
+	if k > len(r.Order) {
+		k = len(r.Order)
+	}
+	return encodeIndices(r.Order[:k])
+}
+
+// TopKSetKey returns a key identifying the unordered top-k set: two weight
+// vectors share it iff they select the same set of top-k items in any order
+// (the "top-k set" semantics of Section 4.5.1).
+func (r Ranking) TopKSetKey(k int) string {
+	if k > len(r.Order) {
+		k = len(r.Order)
+	}
+	top := make([]int, k)
+	copy(top, r.Order[:k])
+	sort.Ints(top)
+	return encodeIndices(top)
+}
+
+func encodeIndices(idx []int) string {
+	var b strings.Builder
+	b.Grow(len(idx) * 4)
+	for i, v := range idx {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// DecodeKey parses a key produced by Key/TopK*Key back into item indices.
+func DecodeKey(key string) ([]int, error) {
+	if key == "" {
+		return nil, nil
+	}
+	parts := strings.Split(key, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("rank: bad key %q: %w", key, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// PositionOf returns the 1-based rank of item idx in the ranking, or 0 if it
+// does not appear.
+func (r Ranking) PositionOf(idx int) int {
+	for pos, v := range r.Order {
+		if v == idx {
+			return pos + 1
+		}
+	}
+	return 0
+}
+
+// Describe formats the ranking as item IDs, best first, up to limit entries
+// (limit <= 0 means all).
+func (r Ranking) Describe(ds *dataset.Dataset, limit int) string {
+	n := len(r.Order)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = ds.Item(r.Order[i]).ID
+	}
+	s := strings.Join(ids, " > ")
+	if n < len(r.Order) {
+		s += " > ..."
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+// Package sampling implements the unbiased function-space samplers of
+// Section 5: uniform sampling of the whole function space U (Algorithm 9,
+// normalized half-normal draws), the inverse-CDF spherical-cap sampler for a
+// hypercone region of interest (Algorithms 10, 11 and 13, with the d = 3
+// closed form of Equation 15), acceptance-rejection sampling for arbitrary
+// regions (Section 5.2), the biased angle-uniform sampler the paper shows as
+// a counterexample (Figure 3), and the cost model that selects between
+// rejection and inverse-CDF sampling.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stablerank/internal/geom"
+)
+
+// Sampler draws unit weight vectors uniformly at random from a region of the
+// function space. Implementations are deterministic given the injected
+// *rand.Rand.
+type Sampler interface {
+	// Sample returns a fresh unit vector in the region.
+	Sample() (geom.Vector, error)
+	// Dim returns the ambient dimension.
+	Dim() int
+}
+
+// ErrRejectionBudget is returned when acceptance-rejection sampling exceeds
+// its trial budget, which indicates a region of (near-)zero volume.
+var ErrRejectionBudget = errors.New("sampling: acceptance-rejection trial budget exhausted")
+
+// Uniform samples the whole function space U: uniform points on the
+// non-negative orthant of the unit (d-1)-sphere (Algorithm 9). Sampling the
+// absolute values of d standard normals and normalizing is uniform because
+// the spherical normal density is constant on spheres; taking absolute
+// values folds the sphere onto the orthant, which preserves uniformity.
+type Uniform struct {
+	d   int
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform sampler over U in R^d.
+func NewUniform(d int, rng *rand.Rand) (*Uniform, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("sampling: dimension %d < 2", d)
+	}
+	if rng == nil {
+		return nil, errors.New("sampling: nil rng")
+	}
+	return &Uniform{d: d, rng: rng}, nil
+}
+
+// Dim returns the ambient dimension.
+func (u *Uniform) Dim() int { return u.d }
+
+// Sample implements Algorithm 9 (SampleU).
+func (u *Uniform) Sample() (geom.Vector, error) {
+	v := make(geom.Vector, u.d)
+	for {
+		var norm2 float64
+		for i := range v {
+			x := math.Abs(u.rng.NormFloat64())
+			v[i] = x
+			norm2 += x * x
+		}
+		if norm2 > 1e-24 {
+			n := math.Sqrt(norm2)
+			for i := range v {
+				v[i] /= n
+			}
+			return v.Clone(), nil
+		}
+		// All-zero draw: astronomically unlikely; retry.
+	}
+}
+
+// BiasedAngles is the naive sampler of Figure 3: it draws the d-1 polar
+// angles uniformly in [0, pi/2] and converts to Cartesian coordinates. The
+// result is NOT uniform on the sphere for d > 2; it exists to demonstrate
+// and test that bias, exactly as the paper does.
+type BiasedAngles struct {
+	d   int
+	rng *rand.Rand
+}
+
+// NewBiasedAngles returns the angle-uniform (biased) sampler.
+func NewBiasedAngles(d int, rng *rand.Rand) (*BiasedAngles, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("sampling: dimension %d < 2", d)
+	}
+	if rng == nil {
+		return nil, errors.New("sampling: nil rng")
+	}
+	return &BiasedAngles{d: d, rng: rng}, nil
+}
+
+// Dim returns the ambient dimension.
+func (b *BiasedAngles) Dim() int { return b.d }
+
+// Sample draws uniform angles and maps them onto the sphere.
+func (b *BiasedAngles) Sample() (geom.Vector, error) {
+	angles := make([]float64, b.d-1)
+	for i := range angles {
+		angles[i] = b.rng.Float64() * math.Pi / 2
+	}
+	return geom.FromPolar(1, angles), nil
+}
+
+// Rejection samples a region by drawing from a proposal sampler and keeping
+// draws inside the region (Section 5.2). The proposal must cover the region.
+type Rejection struct {
+	proposal Sampler
+	region   geom.Region
+	maxTries int
+
+	trials  int // total proposals drawn, for acceptance-rate reporting
+	accepts int
+}
+
+// DefaultRejectionBudget bounds the number of consecutive rejected proposals
+// before Sample gives up; 1/budget is the smallest region volume fraction
+// reliably samplable.
+const DefaultRejectionBudget = 2_000_000
+
+// NewRejection wraps proposal with an accept test for region.
+func NewRejection(proposal Sampler, region geom.Region, maxTries int) (*Rejection, error) {
+	if proposal == nil {
+		return nil, errors.New("sampling: nil proposal sampler")
+	}
+	if region == nil {
+		return nil, errors.New("sampling: nil region")
+	}
+	if proposal.Dim() != region.Dim() {
+		return nil, fmt.Errorf("sampling: proposal dimension %d != region dimension %d", proposal.Dim(), region.Dim())
+	}
+	if maxTries <= 0 {
+		maxTries = DefaultRejectionBudget
+	}
+	return &Rejection{proposal: proposal, region: region, maxTries: maxTries}, nil
+}
+
+// Dim returns the ambient dimension.
+func (r *Rejection) Dim() int { return r.proposal.Dim() }
+
+// Sample draws until a proposal lands in the region or the budget runs out.
+func (r *Rejection) Sample() (geom.Vector, error) {
+	for i := 0; i < r.maxTries; i++ {
+		w, err := r.proposal.Sample()
+		if err != nil {
+			return nil, err
+		}
+		r.trials++
+		if r.region.Contains(w) {
+			r.accepts++
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (budget %d)", ErrRejectionBudget, r.maxTries)
+}
+
+// AcceptanceRate reports the empirical acceptance probability so far, or 0
+// before the first trial.
+func (r *Rejection) AcceptanceRate() float64 {
+	if r.trials == 0 {
+		return 0
+	}
+	return float64(r.accepts) / float64(r.trials)
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// The regularized incomplete beta function I_z(a, b), used by Equation 16 of
+// the paper to express the spherical-cap CDF:
+//
+//	F(x) = I_{sin^2 x}((d-1)/2, 1/2) / I_{sin^2 theta}((d-1)/2, 1/2)
+//
+// Implemented with the standard continued-fraction expansion (modified
+// Lentz's method), as in Numerical Recipes.
+
+// LogBeta returns ln B(a, b) = ln Gamma(a) + ln Gamma(b) - ln Gamma(a+b).
+func LogBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegularizedIncompleteBeta returns I_z(a, b) for z in [0, 1] and positive
+// a, b. It panics on invalid arguments.
+func RegularizedIncompleteBeta(z, a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("stats: RegularizedIncompleteBeta requires positive a, b; got %v, %v", a, b))
+	}
+	if z < 0 || z > 1 {
+		panic(fmt.Sprintf("stats: RegularizedIncompleteBeta z %v out of [0,1]", z))
+	}
+	if z == 0 {
+		return 0
+	}
+	if z == 1 {
+		return 1
+	}
+	// Front factor z^a (1-z)^b / (a B(a,b)).
+	ln := a*math.Log(z) + b*math.Log(1-z) - LogBeta(a, b)
+	front := math.Exp(ln)
+	// Use the continued fraction directly when z < (a+1)/(a+b+2), otherwise
+	// use the symmetry I_z(a,b) = 1 - I_{1-z}(b,a) for faster convergence.
+	if z < (a+1)/(a+b+2) {
+		return front * betaCF(z, a, b) / a
+	}
+	lnSym := b*math.Log(1-z) + a*math.Log(z) - LogBeta(b, a)
+	return 1 - math.Exp(lnSym)*betaCF(1-z, b, a)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by modified Lentz's method.
+func betaCF(x, a, b float64) float64 {
+	const (
+		maxIter = 300
+		epsCF   = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsCF {
+			return h
+		}
+	}
+	return h // converged to working precision or exhausted iterations
+}
+
+// CapCDF returns the paper's Equation 16: the CDF at angle x of the polar
+// angle of a uniform point on a d-spherical cap of half-angle theta,
+//
+//	F(x) = I_{sin^2 x}((d-1)/2, 1/2) / I_{sin^2 theta}((d-1)/2, 1/2)
+//
+// valid for 0 <= x <= theta <= pi/2 and d >= 2.
+func CapCDF(x, theta float64, d int) float64 {
+	if d < 2 {
+		panic(fmt.Sprintf("stats: CapCDF dimension %d < 2", d))
+	}
+	if x <= 0 {
+		return 0
+	}
+	if x >= theta {
+		return 1
+	}
+	a := float64(d-1) / 2
+	sx := math.Sin(x)
+	st := math.Sin(theta)
+	num := RegularizedIncompleteBeta(sx*sx, a, 0.5)
+	den := RegularizedIncompleteBeta(st*st, a, 0.5)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// CapCDF3DInverse is the closed-form inverse CDF for d = 3 (Equation 15):
+// F^{-1}(y) = arccos(1 - (1 - cos theta) y).
+func CapCDF3DInverse(y, theta float64) float64 {
+	if y < 0 {
+		y = 0
+	}
+	if y > 1 {
+		y = 1
+	}
+	return math.Acos(1 - (1-math.Cos(theta))*y)
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chi-square goodness-of-fit support, used by the test suite to verify that
+// the function-space samplers of Section 5 are unbiased (the paper argues
+// uniformity visually in Figures 3, 4 and 6; the tests here check it
+// statistically).
+
+// ChiSquareStatistic returns the chi-square statistic for observed counts
+// against expected counts. Slices must have equal length and positive
+// expectations.
+func ChiSquareStatistic(observed []int, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: chi-square length mismatch %d vs %d", len(observed), len(expected))
+	}
+	var x2 float64
+	for i := range observed {
+		if expected[i] <= 0 {
+			return 0, fmt.Errorf("stats: chi-square expected count %v <= 0 at bin %d", expected[i], i)
+		}
+		d := float64(observed[i]) - expected[i]
+		x2 += d * d / expected[i]
+	}
+	return x2, nil
+}
+
+// ChiSquareCritical returns an approximate upper critical value of the
+// chi-square distribution with df degrees of freedom at tail probability
+// alpha, using the Wilson-Hilferty cube approximation. Accurate to a few
+// percent for df >= 3, which suffices for the uniformity tests.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df < 1 {
+		panic(fmt.Sprintf("stats: chi-square df %d < 1", df))
+	}
+	z := ZQuantile(1 - alpha)
+	k := float64(df)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// UniformityTest bins unit-interval samples into bins equal-width buckets and
+// reports whether the chi-square statistic is below the critical value at
+// significance alpha (i.e. whether uniformity is NOT rejected).
+func UniformityTest(samples []float64, bins int, alpha float64) (stat, critical float64, uniform bool, err error) {
+	if bins < 2 {
+		return 0, 0, false, fmt.Errorf("stats: uniformity test needs >= 2 bins, got %d", bins)
+	}
+	if len(samples) < 5*bins {
+		return 0, 0, false, fmt.Errorf("stats: too few samples (%d) for %d bins", len(samples), bins)
+	}
+	obs := make([]int, bins)
+	for _, s := range samples {
+		if s < 0 || s > 1 {
+			return 0, 0, false, fmt.Errorf("stats: sample %v outside [0,1]", s)
+		}
+		i := int(s * float64(bins))
+		if i == bins {
+			i = bins - 1
+		}
+		obs[i]++
+	}
+	exp := make([]float64, bins)
+	e := float64(len(samples)) / float64(bins)
+	for i := range exp {
+		exp[i] = e
+	}
+	stat, err = ChiSquareStatistic(obs, exp)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	critical = ChiSquareCritical(bins-1, alpha)
+	return stat, critical, stat <= critical, nil
+}

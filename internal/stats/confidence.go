@@ -1,0 +1,92 @@
+package stats
+
+import "math"
+
+// Confidence machinery for the randomized GET-NEXT operators
+// (Sections 4.4-4.5). Stability estimates are sample means of Bernoulli
+// variables; the paper uses the central limit theorem with the plug-in
+// standard deviation s = sqrt(m(1-m)) and the Z-table to bound the
+// confidence error e = Z(1-alpha/2) * sqrt(m(1-m)/N)  (Equation 10).
+
+// ConfidenceError returns the half-width e of the 1-alpha confidence
+// interval around the sample proportion m after n samples (Equation 10).
+// n must be positive; m is clamped to [0, 1].
+func ConfidenceError(m float64, n int, alpha float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	if m < 0 {
+		m = 0
+	}
+	if m > 1 {
+		m = 1
+	}
+	return ZForConfidence(alpha) * math.Sqrt(m*(1-m)/float64(n))
+}
+
+// RequiredSamples returns the expected number of samples needed to bound the
+// confidence error of a proportion near s at level 1-alpha by e
+// (Equation 11): N = s(1-s) * (Z(1-alpha/2)/e)^2, rounded up.
+func RequiredSamples(s, alpha, e float64) int {
+	if e <= 0 {
+		return math.MaxInt32
+	}
+	z := ZForConfidence(alpha)
+	n := s * (1 - s) * (z / e) * (z / e)
+	return int(math.Ceil(n))
+}
+
+// GeometricExpectation returns the expected number of independent trials
+// until the first success for success probability s, i.e. 1/s: the expected
+// sampling cost of first observing a ranking with stability s (Theorem 2).
+func GeometricExpectation(s float64) float64 {
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / s
+}
+
+// GeometricVariance returns the variance (1-s)/s^2 of the first-success
+// trial count for success probability s (Theorem 2).
+func GeometricVariance(s float64) float64 {
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return (1 - s) / (s * s)
+}
+
+// BernoulliMean and BernoulliStdDev describe the per-trial distribution of
+// the ranking-observation indicator with stability s (Section 4.4).
+func BernoulliMean(s float64) float64 { return s }
+
+// BernoulliStdDev returns sqrt(s(1-s)).
+func BernoulliStdDev(s float64) float64 {
+	if s < 0 || s > 1 {
+		return math.NaN()
+	}
+	return math.Sqrt(s * (1 - s))
+}
+
+// HoeffdingSamples returns the distribution-free sample count guaranteeing
+// |estimate - truth| <= e with probability 1-alpha for a bounded [0,1]
+// variable (Hoeffding's inequality, the paper's reference [27]):
+//
+//	N >= ln(2/alpha) / (2 e^2)
+//
+// Unlike the CLT-based Equation 11 this bound needs no plug-in estimate of
+// the proportion, at the cost of being conservative.
+func HoeffdingSamples(e, alpha float64) int {
+	if e <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(math.Log(2/alpha) / (2 * e * e)))
+}
+
+// HoeffdingError returns the guaranteed half-width after n samples at
+// confidence 1-alpha: e = sqrt(ln(2/alpha) / (2 n)).
+func HoeffdingError(n int, alpha float64) float64 {
+	if n <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(math.Log(2/alpha) / (2 * float64(n)))
+}

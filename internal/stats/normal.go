@@ -1,0 +1,37 @@
+// Package stats provides the statistical substrate for the Monte-Carlo
+// machinery of the paper: normal quantiles (replacing the Z-table used in
+// Equations 9-11), Wald confidence intervals for Bernoulli proportions,
+// geometric-distribution discovery costs (Theorem 2), the regularized
+// incomplete beta function behind the spherical-cap CDF (Equation 16), the
+// Riemann-sum tabulation of Algorithm 10, and a chi-square goodness-of-fit
+// test used to verify sampler uniformity.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns P(Z <= x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// ZQuantile returns the standard normal quantile z with P(Z <= z) = p,
+// the "Z-table lookup" Z(p) used by the paper's confidence computations.
+// It panics for p outside (0, 1).
+func ZQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: ZQuantile probability %v out of (0,1)", p))
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// ZForConfidence returns Z(1 - alpha/2), the two-sided critical value for
+// confidence level 1-alpha. For alpha = 0.05 this is approximately 1.96.
+func ZForConfidence(alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: confidence alpha %v out of (0,1)", alpha))
+	}
+	return ZQuantile(1 - alpha/2)
+}

@@ -1,0 +1,96 @@
+package twod
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+)
+
+// CachedEnumerator implements the trade-off noted at the end of Section 3.2:
+// "subsequent GET-NEXT2D calls can be done in the order of O(log n), with
+// memory cost of O(n^3), by storing the ordered list L for every region in
+// the RAYSWEEPING algorithm." Instead of recomputing the ranking from a
+// representative function on every call (O(n log n)), the sweep materializes
+// each region's ranking as it goes; Next is then a heap pop plus a slice
+// copy.
+//
+// Memory is O(R * n) for R regions — up to O(n^3) — so construction takes a
+// budget cap and fails cleanly when the arrangement is too fragmented to
+// store.
+
+// ErrCacheBudget is returned when materializing every region's ranking would
+// exceed the memory budget.
+var ErrCacheBudget = errors.New("twod: region-ranking cache budget exceeded")
+
+// CachedEnumerator yields precomputed rankings in decreasing stability.
+type CachedEnumerator struct {
+	regions cachedHeap
+}
+
+type cachedRegion struct {
+	region  Region2D
+	ranking rank.Ranking
+}
+
+type cachedHeap []cachedRegion
+
+func (h cachedHeap) Len() int            { return len(h) }
+func (h cachedHeap) Less(i, j int) bool  { return h[i].region.Stability > h[j].region.Stability }
+func (h cachedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cachedHeap) Push(x interface{}) { *h = append(*h, x.(cachedRegion)) }
+func (h *cachedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewCachedEnumerator sweeps the region of interest and materializes the
+// ranking of every region up front. maxCells bounds R*n (0 means
+// DefaultCacheBudget). Construction costs O(R * n log n); every Next
+// thereafter is O(log R), shifting all ranking work to setup exactly as the
+// paper's note trades memory for per-call latency.
+func NewCachedEnumerator(ds *dataset.Dataset, iv geom.Interval2D, maxCells int) (*CachedEnumerator, error) {
+	if maxCells <= 0 {
+		maxCells = DefaultCacheBudget
+	}
+	regions, err := RaySweep(ds, iv)
+	if err != nil {
+		return nil, err
+	}
+	if len(regions)*ds.N() > maxCells {
+		return nil, fmt.Errorf("%w: %d regions x %d items > %d cells",
+			ErrCacheBudget, len(regions), ds.N(), maxCells)
+	}
+	h := make(cachedHeap, 0, len(regions))
+	for _, reg := range regions {
+		h = append(h, cachedRegion{
+			region:  reg,
+			ranking: rank.Compute(ds, reg.Midpoint()),
+		})
+	}
+	heap.Init(&h)
+	return &CachedEnumerator{regions: h}, nil
+}
+
+// DefaultCacheBudget caps the cached cells (regions x items) at roughly
+// 100M ints (~800 MB), the practical ceiling of the paper's O(n^3) memory
+// note on commodity hardware.
+const DefaultCacheBudget = 100_000_000
+
+// Next returns the next most stable ranking without recomputing it.
+func (e *CachedEnumerator) Next() (Result, error) {
+	if e.regions.Len() == 0 {
+		return Result{}, ErrExhausted
+	}
+	c := heap.Pop(&e.regions).(cachedRegion)
+	return Result{Ranking: c.ranking, Region: c.region, Stability: c.region.Stability}, nil
+}
+
+// Remaining returns the number of regions not yet enumerated.
+func (e *CachedEnumerator) Remaining() int { return e.regions.Len() }

@@ -1,0 +1,91 @@
+package twod
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/geom"
+)
+
+func TestCachedEnumeratorMatchesPlain(t *testing.T) {
+	rr := rand.New(rand.NewSource(221))
+	ds := randDataset(rr, 20)
+	iv := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	plain, err := NewEnumerator(ds, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewCachedEnumerator(ds, iv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Remaining() != plain.Remaining() {
+		t.Fatalf("region counts differ: %d vs %d", cached.Remaining(), plain.Remaining())
+	}
+	for {
+		p, errP := plain.Next()
+		c, errC := cached.Next()
+		if errors.Is(errP, ErrExhausted) != errors.Is(errC, ErrExhausted) {
+			t.Fatal("enumerators exhaust at different points")
+		}
+		if errors.Is(errP, ErrExhausted) {
+			break
+		}
+		if errP != nil || errC != nil {
+			t.Fatalf("errors: %v, %v", errP, errC)
+		}
+		if !p.Ranking.Equal(c.Ranking) {
+			t.Fatalf("rankings differ: %v vs %v", p.Ranking.Order, c.Ranking.Order)
+		}
+		if math.Abs(p.Stability-c.Stability) > 1e-12 {
+			t.Fatalf("stabilities differ: %v vs %v", p.Stability, c.Stability)
+		}
+	}
+}
+
+func TestCachedEnumeratorBudget(t *testing.T) {
+	rr := rand.New(rand.NewSource(222))
+	ds := randDataset(rr, 30)
+	iv := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	if _, err := NewCachedEnumerator(ds, iv, 10); !errors.Is(err, ErrCacheBudget) {
+		t.Errorf("tiny budget error = %v", err)
+	}
+}
+
+func BenchmarkCachedVsPlainNext(b *testing.B) {
+	// 150 items keep the untimed enumerator rebuilds (every ~11k pops) cheap
+	// so the benchmark measures pops, not reconstruction.
+	rr := rand.New(rand.NewSource(223))
+	ds := randDataset(rr, 150)
+	iv := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
+	b.Run("plain-next", func(b *testing.B) {
+		e, err := NewEnumerator(ds, iv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Next(); errors.Is(err, ErrExhausted) {
+				b.StopTimer()
+				e, _ = NewEnumerator(ds, iv)
+				b.StartTimer()
+			}
+		}
+	})
+	b.Run("cached-next", func(b *testing.B) {
+		e, err := NewCachedEnumerator(ds, iv, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Next(); errors.Is(err, ErrExhausted) {
+				b.StopTimer()
+				e, _ = NewCachedEnumerator(ds, iv, 0)
+				b.StartTimer()
+			}
+		}
+	})
+}

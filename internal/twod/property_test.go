@@ -1,0 +1,99 @@
+package twod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+)
+
+// Property: the region computed by Verify for the ranking induced by a
+// random function contains that function's angle.
+func TestVerifyRegionContainsGenerator(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(241))}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		ds := randDataset(rr, 3+rr.Intn(15))
+		theta := rr.Float64() * math.Pi / 2
+		w := geom.Ray2D(theta)
+		r := rank.Compute(ds, w)
+		res, err := Verify(ds, r, fullU())
+		if err != nil {
+			return false
+		}
+		return res.Region.Lo-1e-9 <= theta && theta <= res.Region.Hi+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: within a verified region, every probe angle induces the same
+// ranking; just outside, the ranking differs.
+func TestVerifyRegionIsExactlyTheRanking(t *testing.T) {
+	rr := rand.New(rand.NewSource(242))
+	for trial := 0; trial < 50; trial++ {
+		ds := randDataset(rr, 4+rr.Intn(10))
+		w := geom.Ray2D(rr.Float64() * math.Pi / 2)
+		r := rank.Compute(ds, w)
+		res, err := Verify(ds, r, fullU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := res.Region.Lo, res.Region.Hi
+		// Inside probes.
+		for i := 0; i < 10; i++ {
+			theta := lo + (hi-lo)*(float64(i)+0.5)/10
+			if !rank.Compute(ds, geom.Ray2D(theta)).Equal(r) {
+				t.Fatalf("trial %d: interior angle %v induces a different ranking", trial, theta)
+			}
+		}
+		// Outside probes (when the region does not touch the quadrant edge).
+		const step = 1e-4
+		if lo > step {
+			if rank.Compute(ds, geom.Ray2D(lo-step)).Equal(r) {
+				t.Fatalf("trial %d: angle below the region still induces the ranking", trial)
+			}
+		}
+		if hi < math.Pi/2-step {
+			if rank.Compute(ds, geom.Ray2D(hi+step)).Equal(r) {
+				t.Fatalf("trial %d: angle above the region still induces the ranking", trial)
+			}
+		}
+	}
+}
+
+// Property: RaySweep stability is scale-invariant — scaling all attribute
+// values by a positive constant leaves every region unchanged.
+func TestRaySweepScaleInvariance(t *testing.T) {
+	rr := rand.New(rand.NewSource(243))
+	for trial := 0; trial < 20; trial++ {
+		ds := randDataset(rr, 3+rr.Intn(10))
+		scaled := dataset.MustNew(2)
+		c := 0.1 + rr.Float64()*10
+		for i := 0; i < ds.N(); i++ {
+			a := ds.Attrs(i)
+			scaled.MustAdd("", a[0]*c, a[1]*c)
+		}
+		r1, err := RaySweep(ds, fullU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := RaySweep(scaled, fullU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1) != len(r2) {
+			t.Fatalf("trial %d: region counts differ after scaling: %d vs %d", trial, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if math.Abs(r1[i].Stability-r2[i].Stability) > 1e-9 {
+				t.Fatalf("trial %d: region %d stability changed under scaling", trial, i)
+			}
+		}
+	}
+}
