@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-short ci
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the full test suite under the race detector (exercises the
+## concurrent-Analyzer guarantees of the public API)
+race:
+	$(GO) test -race ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## fmt: fail if any file is not gofmt-clean
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+## bench: the full paper-figure benchmark suite (slow)
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+## bench-short: one quick benchmark family as a smoke test
+bench-short:
+	$(GO) test -bench='BenchmarkFig10SV2D' -benchtime=1x -run '^$$' .
+
+## ci: everything the CI workflow runs
+ci: build fmt vet test race

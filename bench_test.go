@@ -12,7 +12,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"stablerank/internal/core"
+	"stablerank"
+
 	"stablerank/internal/datagen"
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -85,14 +86,14 @@ func BenchmarkFig07CSMetricsEnumerateAll(b *testing.B) {
 // 0.998 cosine similarity around the reference weights (Figure 8).
 func BenchmarkFig08CSMetricsConeEnumerate(b *testing.B) {
 	ds := datagen.CSMetrics(rand.New(rand.NewSource(benchSeed)), 100)
-	a, err := core.New(ds, core.WithCosineSimilarity(datagen.CSMetricsReferenceWeights(), 0.998))
+	a, err := stablerank.New(ds, stablerank.WithCosineSimilarity(datagen.CSMetricsReferenceWeights(), 0.998))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.TopH(1 << 20); err != nil {
+		if _, err := a.TopH(ctx, 1<<20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,7 +119,7 @@ func BenchmarkFig09FIFAGetNextMD(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := md.TopH(engine, 10); err != nil {
+		if _, err := md.TopH(ctx, engine, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +132,7 @@ func BenchmarkFig10SV2D(b *testing.B) {
 	for _, n := range []int{100, 1000, 10000, 100000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			ds := benchDiamonds(n, 2)
-			r := core.RankingOf(ds, []float64{1, 1})
+			r := stablerank.RankingOf(ds, []float64{1, 1})
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -196,11 +197,11 @@ func BenchmarkFig12SVMD(b *testing.B) {
 	for _, n := range []int{100, 1000, 10000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			ds := benchDiamonds(n, 3)
-			r := core.RankingOf(ds, benchEqual(3))
+			r := stablerank.RankingOf(ds, benchEqual(3))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := md.Verify(ds, r, pool); err != nil {
+				if _, err := md.Verify(ctx, ds, r, pool); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -222,7 +223,7 @@ func mdTopTen(b *testing.B, ds *dataset.Dataset, cone geom.Cone, pool []geom.Vec
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := md.TopH(engine, 10); err != nil {
+		if _, err := md.TopH(ctx, engine, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -281,9 +282,9 @@ func randomizedFirstCall(b *testing.B, ds *dataset.Dataset, mode mc.Mode, k int)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a, err := core.New(ds,
-			core.WithCone(benchEqual(ds.D()), math.Pi/50),
-			core.WithSeed(benchSeed+int64(i)),
+		a, err := stablerank.New(ds,
+			stablerank.WithCone(benchEqual(ds.D()), math.Pi/50),
+			stablerank.WithSeed(benchSeed+int64(i)),
 		)
 		if err != nil {
 			b.Fatal(err)
@@ -292,7 +293,7 @@ func randomizedFirstCall(b *testing.B, ds *dataset.Dataset, mode mc.Mode, k int)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := op.NextFixedBudget(5000); err != nil {
+		if _, err := op.NextFixedBudget(ctx, 5000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -320,9 +321,9 @@ func BenchmarkFig17TopKSemantics(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a, err := core.New(ds,
-					core.WithCone(benchEqual(3), math.Pi/50),
-					core.WithSeed(benchSeed+int64(i)),
+				a, err := stablerank.New(ds,
+					stablerank.WithCone(benchEqual(3), math.Pi/50),
+					stablerank.WithSeed(benchSeed+int64(i)),
 				)
 				if err != nil {
 					b.Fatal(err)
@@ -331,7 +332,7 @@ func BenchmarkFig17TopKSemantics(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := op.TopH(10, 5000, 1000); err != nil {
+				if _, err := op.TopH(ctx, 10, 5000, 1000); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -374,9 +375,9 @@ func BenchmarkFig20TopKByD(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					a, err := core.New(ds,
-						core.WithCone(benchEqual(d), math.Pi/50),
-						core.WithSeed(benchSeed+int64(i)),
+					a, err := stablerank.New(ds,
+						stablerank.WithCone(benchEqual(d), math.Pi/50),
+						stablerank.WithSeed(benchSeed+int64(i)),
 					)
 					if err != nil {
 						b.Fatal(err)
@@ -385,7 +386,7 @@ func BenchmarkFig20TopKByD(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if _, err := op.TopH(10, 5000, 1000); err != nil {
+					if _, err := op.TopH(ctx, 10, 5000, 1000); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -406,9 +407,9 @@ func BenchmarkFig21Correlation(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a, err := core.New(ds,
-					core.WithCone(benchEqual(3), math.Pi/10),
-					core.WithSeed(benchSeed+int64(i)),
+				a, err := stablerank.New(ds,
+					stablerank.WithCone(benchEqual(3), math.Pi/10),
+					stablerank.WithSeed(benchSeed+int64(i)),
 				)
 				if err != nil {
 					b.Fatal(err)
@@ -417,7 +418,7 @@ func BenchmarkFig21Correlation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := op.TopH(10, 5000, 1000); err != nil {
+				if _, err := op.TopH(ctx, 10, 5000, 1000); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -449,7 +450,7 @@ func BenchmarkAblationPassThrough(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := md.TopH(engine, 5); err != nil {
+				if _, err := md.TopH(ctx, engine, 5); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -522,7 +523,7 @@ func BenchmarkAblationDelayedVsFull(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := engine.Next(); err != nil {
+			if _, err := engine.Next(ctx); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -534,7 +535,7 @@ func BenchmarkAblationDelayedVsFull(b *testing.B) {
 			b.StopTimer()
 			own := clonePool(pool)
 			b.StartTimer()
-			if _, err := md.FullArrangement(ds, cone, own, 0); err != nil {
+			if _, err := md.FullArrangement(ctx, ds, cone, own, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -123,7 +123,7 @@ func ablationPassThrough(r run) {
 		}
 		var results []md.Result
 		dur := timed(func() {
-			results, err = md.TopH(engine, 5)
+			results, err = md.TopH(ctx, engine, 5)
 		})
 		if err != nil {
 			fatal(err)
@@ -206,7 +206,7 @@ func ablationDelayed(r run) {
 	}
 	var first md.Result
 	delayed := timed(func() {
-		first, err = engine.Next()
+		first, err = engine.Next(ctx)
 	})
 	if err != nil {
 		fatal(err)
@@ -216,7 +216,7 @@ func ablationDelayed(r run) {
 	pool2 := drawPool(cone, samples, r.seed+15)
 	var full []md.Result
 	fullDur := timed(func() {
-		full, err = md.FullArrangement(ds, cone, pool2, 0)
+		full, err = md.FullArrangement(ctx, ds, cone, pool2, 0)
 	})
 	if err != nil {
 		fatal(err)

@@ -7,7 +7,8 @@ import (
 	"math/rand"
 	"time"
 
-	"stablerank/internal/core"
+	"stablerank"
+
 	"stablerank/internal/datagen"
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -26,7 +27,7 @@ func fig7(r run) {
 	}
 	ds := datagen.CSMetrics(rand.New(rand.NewSource(r.seed)), n)
 	ref := datagen.CSMetricsReferenceWeights()
-	reference := core.RankingOf(ds, ref)
+	reference := stablerank.RankingOf(ds, ref)
 	full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
 	all, err := twod.EnumerateAll(ds, full)
 	if err != nil {
@@ -63,12 +64,12 @@ func fig8(r run) {
 	}
 	ds := datagen.CSMetrics(rand.New(rand.NewSource(r.seed)), n)
 	ref := datagen.CSMetricsReferenceWeights()
-	reference := core.RankingOf(ds, ref)
-	a, err := core.New(ds, core.WithCosineSimilarity(ref, 0.998))
+	reference := stablerank.RankingOf(ds, ref)
+	a, err := stablerank.New(ds, stablerank.WithCosineSimilarity(ref, 0.998))
 	if err != nil {
 		fatal(err)
 	}
-	all, err := a.TopH(1 << 20)
+	all, err := a.TopH(ctx, 1<<20)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,7 +106,7 @@ func fig10(r run) {
 	fmt.Printf("%10s %14s %14s\n", "n", "SV2D time", "stability")
 	for _, n := range sizes {
 		ds := diamonds2D(r.seed, n)
-		ranking := core.RankingOf(ds, []float64{1, 1})
+		ranking := stablerank.RankingOf(ds, []float64{1, 1})
 		full := geom.Interval2D{Lo: 0, Hi: math.Pi / 2}
 		var res twod.VerifyResult
 		var err error

@@ -7,7 +7,8 @@ import (
 	"math/rand"
 	"time"
 
-	"stablerank/internal/core"
+	"stablerank"
+
 	"stablerank/internal/datagen"
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -61,7 +62,7 @@ func fig9(r run) {
 	}
 	ds := datagen.FIFA(rand.New(rand.NewSource(r.seed)), n)
 	ref := datagen.FIFAReferenceWeights()
-	reference := core.RankingOf(ds, ref)
+	reference := stablerank.RankingOf(ds, ref)
 	cone, err := geom.NewConeFromCosine(geom.NewVector(ref...), 0.999)
 	if err != nil {
 		fatal(err)
@@ -71,7 +72,7 @@ func fig9(r run) {
 	if err != nil {
 		fatal(err)
 	}
-	results, err := md.TopH(engine, h)
+	results, err := md.TopH(ctx, engine, h)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,10 +116,10 @@ func fig12(r run) {
 	fmt.Printf("%10s %14s %14s\n", "n", "SV time", "stability")
 	for _, n := range sizes {
 		ds := diamondsD(r.seed, n, 3)
-		ranking := core.RankingOf(ds, equalWeights(3))
+		ranking := stablerank.RankingOf(ds, equalWeights(3))
 		var res md.VerifyResult
 		var err error
-		dur := timed(func() { res, err = md.Verify(ds, ranking, pool) })
+		dur := timed(func() { res, err = md.Verify(ctx, ds, ranking, pool) })
 		if err != nil {
 			fatal(err)
 		}
@@ -142,7 +143,7 @@ func getNextSweep(label string, ds *dataset.Dataset, roi geom.Region, samples in
 	for i := 0; i < 10; i++ {
 		var d time.Duration
 		d = timed(func() {
-			_, err = engine.Next()
+			_, err = engine.Next(ctx)
 		})
 		if errors.Is(err, md.ErrExhausted) {
 			fmt.Printf(" (exhausted)")

@@ -5,19 +5,16 @@ import (
 	"math"
 	"math/rand"
 
-	"stablerank/internal/core"
-	"stablerank/internal/datagen"
-	"stablerank/internal/dataset"
-	"stablerank/internal/mc"
+	"stablerank"
 )
 
 // randomizedRun builds the randomized operator over ds with the standard
 // Section 6.3 region (theta=pi/50 around equal weights) unless theta
 // overrides it.
-func randomizedOp(ds *dataset.Dataset, mode mc.Mode, k int, seed int64) *core.Randomized {
-	a, err := core.New(ds,
-		core.WithCone(equalWeights(ds.D()), math.Pi/50),
-		core.WithSeed(seed),
+func randomizedOp(ds *stablerank.Dataset, mode stablerank.Mode, k int, seed int64) *stablerank.Randomized {
+	a, err := stablerank.New(ds,
+		stablerank.WithCone(equalWeights(ds.D()), math.Pi/50),
+		stablerank.WithSeed(seed),
 	)
 	if err != nil {
 		fatal(err)
@@ -43,10 +40,10 @@ func fig16(r run) {
 	fmt.Printf("%10s %14s %14s %14s\n", "n", "first call", "top stability", "conf. error")
 	for _, n := range sizes {
 		ds := diamondsD(r.seed, n, 3)
-		op := randomizedOp(ds, mc.TopKRanked, k, r.seed+6)
-		var res mc.Result
+		op := randomizedOp(ds, stablerank.TopKRanked, k, r.seed+6)
+		var res stablerank.Result
 		var err error
-		dur := timed(func() { res, err = op.NextFixedBudget(5000) })
+		dur := timed(func() { res, err = op.NextFixedBudget(ctx, 5000) })
 		if err != nil {
 			fatal(err)
 		}
@@ -56,21 +53,21 @@ func fig16(r run) {
 
 // topHSeries prints the stability of the top-10 partial rankings under both
 // top-k semantics, the series of Figures 17 and 20.
-func topHSeries(ds *dataset.Dataset, k int, seed int64) (set, ranked []mc.Result) {
-	opSet := randomizedOp(ds, mc.TopKSet, k, seed)
-	s, err := opSet.TopH(10, 5000, 1000)
+func topHSeries(ds *stablerank.Dataset, k int, seed int64) (set, ranked []stablerank.Result) {
+	opSet := randomizedOp(ds, stablerank.TopKSet, k, seed)
+	s, err := opSet.TopH(ctx, 10, 5000, 1000)
 	if err != nil {
 		fatal(err)
 	}
-	opRanked := randomizedOp(ds, mc.TopKRanked, k, seed)
-	rk, err := opRanked.TopH(10, 5000, 1000)
+	opRanked := randomizedOp(ds, stablerank.TopKRanked, k, seed)
+	rk, err := opRanked.TopH(ctx, 10, 5000, 1000)
 	if err != nil {
 		fatal(err)
 	}
 	return s, rk
 }
 
-func printSeries(label string, results []mc.Result) {
+func printSeries(label string, results []stablerank.Result) {
 	fmt.Printf("%-22s", label)
 	for _, r := range results {
 		fmt.Printf(" %8.4f", r.Stability)
@@ -110,15 +107,15 @@ func fig18(r run) {
 	fmt.Printf("DoT flights simulation, d=3 k=%d theta=pi/50, top-k sets\n", k)
 	fmt.Printf("%10s %14s %14s %14s\n", "n", "first call", "next call", "top stability")
 	for _, n := range sizes {
-		ds := datagen.Flights(rand.New(rand.NewSource(r.seed)), n)
-		op := randomizedOp(ds, mc.TopKSet, k, r.seed+8)
-		var first mc.Result
+		ds := stablerank.Flights(rand.New(rand.NewSource(r.seed)), n)
+		op := randomizedOp(ds, stablerank.TopKSet, k, r.seed+8)
+		var first stablerank.Result
 		var err error
-		firstDur := timed(func() { first, err = op.NextFixedBudget(5000) })
+		firstDur := timed(func() { first, err = op.NextFixedBudget(ctx, 5000) })
 		if err != nil {
 			fatal(err)
 		}
-		nextDur := timed(func() { _, err = op.NextFixedBudget(1000) })
+		nextDur := timed(func() { _, err = op.NextFixedBudget(ctx, 1000) })
 		if err != nil {
 			fatal(err)
 		}
@@ -139,10 +136,10 @@ func fig19(r run) {
 	fmt.Printf("%6s %14s %14s %14s\n", "d", "first call", "top stability", "conf. error")
 	for _, d := range []int{3, 4, 5} {
 		ds := diamondsD(r.seed, n, d)
-		op := randomizedOp(ds, mc.TopKRanked, k, r.seed+9)
-		var res mc.Result
+		op := randomizedOp(ds, stablerank.TopKRanked, k, r.seed+9)
+		var res stablerank.Result
 		var err error
-		dur := timed(func() { res, err = op.NextFixedBudget(5000) })
+		dur := timed(func() { res, err = op.NextFixedBudget(ctx, 5000) })
 		if err != nil {
 			fatal(err)
 		}
@@ -184,22 +181,22 @@ func fig21(r run) {
 	}
 	k := 10
 	fmt.Printf("n=%d d=3 k=%d theta=pi/10; columns = top-1..top-10 set stability\n", n, k)
-	for _, kind := range []datagen.CorrelationKind{
-		datagen.KindAntiCorrelated, datagen.KindIndependent, datagen.KindCorrelated,
+	for _, kind := range []stablerank.CorrelationKind{
+		stablerank.KindAntiCorrelated, stablerank.KindIndependent, stablerank.KindCorrelated,
 	} {
-		ds := datagen.Synthetic(rand.New(rand.NewSource(r.seed)), kind, n, 3)
-		a, err := core.New(ds,
-			core.WithCone(equalWeights(3), math.Pi/10),
-			core.WithSeed(r.seed+11),
+		ds := stablerank.Synthetic(rand.New(rand.NewSource(r.seed)), kind, n, 3)
+		a, err := stablerank.New(ds,
+			stablerank.WithCone(equalWeights(3), math.Pi/10),
+			stablerank.WithSeed(r.seed+11),
 		)
 		if err != nil {
 			fatal(err)
 		}
-		op, err := a.Randomized(mc.TopKSet, k)
+		op, err := a.Randomized(stablerank.TopKSet, k)
 		if err != nil {
 			fatal(err)
 		}
-		results, err := op.TopH(10, 5000, 1000)
+		results, err := op.TopH(ctx, 10, 5000, 1000)
 		if err != nil {
 			fatal(err)
 		}

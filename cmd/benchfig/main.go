@@ -14,11 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 )
+
+// ctx is cancelled on Ctrl-C / SIGTERM so long sweeps stop promptly.
+var ctx = context.Background()
 
 // run configures a figure run.
 type run struct {
@@ -67,6 +73,9 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	var stop context.CancelFunc
+	ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	r := run{quick: *quick, seed: *seed}
 	if name == "all" {
 		for _, f := range figureOrder {

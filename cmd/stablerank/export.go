@@ -1,13 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"stablerank/internal/core"
+	"stablerank"
 )
 
 // The export subcommand emits the stability decomposition of a dataset as
@@ -32,7 +34,17 @@ type exportDoc struct {
 	Rankings []exportRecord `json:"rankings"`
 }
 
-func cmdExport(args []string) error {
+// regionName labels the region of interest without leaking internal type
+// paths into the JSON output.
+func regionName(r stablerank.Region) string {
+	name := fmt.Sprintf("%T", r)
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.ToLower(name)
+}
+
+func cmdExport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	c := addCommon(fs)
 	h := fs.Int("h", 100, "maximum rankings to export")
@@ -52,18 +64,18 @@ func cmdExport(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(ds, opts...)
+	a, err := stablerank.New(ds, opts...)
 	if err != nil {
 		return err
 	}
-	results, err := a.TopH(*h)
+	results, err := a.TopH(ctx, *h)
 	if err != nil {
 		return err
 	}
 	doc := exportDoc{
 		N:      ds.N(),
 		D:      ds.D(),
-		Region: fmt.Sprintf("%T", a.Region()),
+		Region: regionName(a.Region()),
 	}
 	for i, s := range results {
 		limit := len(s.Ranking.Order)

@@ -15,18 +15,18 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"stablerank/internal/core"
-	"stablerank/internal/datagen"
-	"stablerank/internal/dataset"
-	"stablerank/internal/mc"
+	"stablerank"
 )
 
 func main() {
@@ -34,18 +34,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancels the context; long-running analyses stop
+	// promptly instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "verify":
-		err = cmdVerify(os.Args[2:])
+		err = cmdVerify(ctx, os.Args[2:])
 	case "enumerate":
-		err = cmdEnumerate(os.Args[2:])
+		err = cmdEnumerate(ctx, os.Args[2:])
 	case "random":
-		err = cmdRandom(os.Args[2:])
+		err = cmdRandom(ctx, os.Args[2:])
 	case "skyline":
 		err = cmdSkyline(os.Args[2:])
 	case "export":
-		err = cmdExport(os.Args[2:])
+		err = cmdExport(ctx, os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
 	case "help", "-h", "--help":
@@ -98,7 +102,7 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	return c
 }
 
-func (c *commonFlags) load() (*dataset.Dataset, error) {
+func (c *commonFlags) load() (*stablerank.Dataset, error) {
 	if c.data == "" {
 		return nil, errors.New("-data is required")
 	}
@@ -107,7 +111,7 @@ func (c *commonFlags) load() (*dataset.Dataset, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return dataset.ReadCSV(f, c.header)
+	return stablerank.ReadCSV(f, c.header)
 }
 
 func (c *commonFlags) parseWeights(d int) ([]float64, error) {
@@ -129,8 +133,8 @@ func (c *commonFlags) parseWeights(d int) ([]float64, error) {
 	return w, nil
 }
 
-func (c *commonFlags) analyzerOptions(w []float64) ([]core.Option, error) {
-	opts := []core.Option{core.WithSeed(c.seed), core.WithSampleCount(c.samples)}
+func (c *commonFlags) analyzerOptions(w []float64) ([]stablerank.Option, error) {
+	opts := []stablerank.Option{stablerank.WithSeed(c.seed), stablerank.WithSampleCount(c.samples)}
 	switch {
 	case c.theta > 0 && c.cosine > 0:
 		return nil, errors.New("use only one of -theta and -cosine")
@@ -138,17 +142,17 @@ func (c *commonFlags) analyzerOptions(w []float64) ([]core.Option, error) {
 		if w == nil {
 			return nil, errors.New("-theta requires -weights")
 		}
-		opts = append(opts, core.WithCone(w, c.theta))
+		opts = append(opts, stablerank.WithCone(w, c.theta))
 	case c.cosine > 0:
 		if w == nil {
 			return nil, errors.New("-cosine requires -weights")
 		}
-		opts = append(opts, core.WithCosineSimilarity(w, c.cosine))
+		opts = append(opts, stablerank.WithCosineSimilarity(w, c.cosine))
 	}
 	return opts, nil
 }
 
-func cmdVerify(args []string) error {
+func cmdVerify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	c := addCommon(fs)
 	if err := fs.Parse(args); err != nil {
@@ -169,12 +173,12 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(ds, opts...)
+	a, err := stablerank.New(ds, opts...)
 	if err != nil {
 		return err
 	}
-	r := core.RankingOf(ds, w)
-	v, err := a.VerifyStability(r)
+	r := stablerank.RankingOf(ds, w)
+	v, err := a.VerifyStability(ctx, r)
 	if err != nil {
 		return err
 	}
@@ -190,7 +194,7 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func cmdEnumerate(args []string) error {
+func cmdEnumerate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
 	c := addCommon(fs)
 	h := fs.Int("h", 10, "number of stable rankings to report")
@@ -211,15 +215,15 @@ func cmdEnumerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(ds, opts...)
+	a, err := stablerank.New(ds, opts...)
 	if err != nil {
 		return err
 	}
-	var results []core.Stable
+	var results []stablerank.Stable
 	if *threshold > 0 {
-		results, err = a.AboveThreshold(*threshold)
+		results, err = a.AboveThreshold(ctx, *threshold)
 	} else {
-		results, err = a.TopH(*h)
+		results, err = a.TopH(ctx, *h)
 	}
 	if err != nil {
 		return err
@@ -237,7 +241,7 @@ func cmdEnumerate(args []string) error {
 	return nil
 }
 
-func cmdRandom(args []string) error {
+func cmdRandom(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("random", flag.ExitOnError)
 	c := addCommon(fs)
 	k := fs.Int("k", 10, "top-k size")
@@ -260,18 +264,18 @@ func cmdRandom(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(ds, opts...)
+	a, err := stablerank.New(ds, opts...)
 	if err != nil {
 		return err
 	}
-	var m mc.Mode
+	var m stablerank.Mode
 	switch *mode {
 	case "set":
-		m = mc.TopKSet
+		m = stablerank.TopKSet
 	case "ranked":
-		m = mc.TopKRanked
+		m = stablerank.TopKRanked
 	case "complete":
-		m = mc.Complete
+		m = stablerank.Complete
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -279,7 +283,7 @@ func cmdRandom(args []string) error {
 	if err != nil {
 		return err
 	}
-	results, err := r.TopH(*h, *first, *step)
+	results, err := r.TopH(ctx, *h, *first, *step)
 	if err != nil {
 		return err
 	}
@@ -323,22 +327,22 @@ func cmdGen(args []string) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	var ds *dataset.Dataset
+	var ds *stablerank.Dataset
 	switch *kind {
 	case "csmetrics":
-		ds = datagen.CSMetrics(rng, *n)
+		ds = stablerank.CSMetrics(rng, *n)
 	case "fifa":
-		ds = datagen.FIFA(rng, *n)
+		ds = stablerank.FIFA(rng, *n)
 	case "diamonds":
-		ds = datagen.Diamonds(rng, *n)
+		ds = stablerank.Diamonds(rng, *n)
 	case "flights":
-		ds = datagen.Flights(rng, *n)
+		ds = stablerank.Flights(rng, *n)
 	case "independent":
-		ds = datagen.Independent(rng, *n, *d)
+		ds = stablerank.Independent(rng, *n, *d)
 	case "correlated":
-		ds = datagen.Correlated(rng, *n, *d)
+		ds = stablerank.Correlated(rng, *n, *d)
 	case "anticorrelated":
-		ds = datagen.AntiCorrelated(rng, *n, *d)
+		ds = stablerank.AntiCorrelated(rng, *n, *d)
 	default:
 		return fmt.Errorf("unknown -kind %q", *kind)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -8,6 +9,9 @@ import (
 	"strings"
 	"testing"
 )
+
+// ctx is the default context threaded through the cancellable commands.
+var ctx = context.Background()
 
 func jsonUnmarshal(s string, v interface{}) error { return json.Unmarshal([]byte(s), v) }
 
@@ -68,7 +72,7 @@ func TestCmdGenKinds(t *testing.T) {
 func TestCmdVerify(t *testing.T) {
 	data := writeFixture(t)
 	out, err := capture(t, func() error {
-		return cmdVerify([]string{"-data", data, "-weights", "0.3,0.7"})
+		return cmdVerify(ctx, []string{"-data", data, "-weights", "0.3,0.7"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,22 +81,22 @@ func TestCmdVerify(t *testing.T) {
 		t.Errorf("verify output missing fields:\n%s", out)
 	}
 	// Error paths.
-	if err := cmdVerify([]string{"-data", data}); err == nil {
+	if err := cmdVerify(ctx, []string{"-data", data}); err == nil {
 		t.Error("missing -weights accepted")
 	}
-	if err := cmdVerify([]string{"-weights", "1,1"}); err == nil {
+	if err := cmdVerify(ctx, []string{"-weights", "1,1"}); err == nil {
 		t.Error("missing -data accepted")
 	}
-	if err := cmdVerify([]string{"-data", data, "-weights", "1,2,3"}); err == nil {
+	if err := cmdVerify(ctx, []string{"-data", data, "-weights", "1,2,3"}); err == nil {
 		t.Error("wrong weight count accepted")
 	}
-	if err := cmdVerify([]string{"-data", data, "-weights", "1,x"}); err == nil {
+	if err := cmdVerify(ctx, []string{"-data", data, "-weights", "1,x"}); err == nil {
 		t.Error("bad weight accepted")
 	}
-	if err := cmdVerify([]string{"-data", data, "-weights", "1,1", "-theta", "0.1", "-cosine", "0.9"}); err == nil {
+	if err := cmdVerify(ctx, []string{"-data", data, "-weights", "1,1", "-theta", "0.1", "-cosine", "0.9"}); err == nil {
 		t.Error("both -theta and -cosine accepted")
 	}
-	if err := cmdVerify([]string{"-data", "/nonexistent.csv", "-weights", "1,1"}); err == nil {
+	if err := cmdVerify(ctx, []string{"-data", "/nonexistent.csv", "-weights", "1,1"}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -100,7 +104,7 @@ func TestCmdVerify(t *testing.T) {
 func TestCmdVerifyCone(t *testing.T) {
 	data := writeFixture(t)
 	out, err := capture(t, func() error {
-		return cmdVerify([]string{"-data", data, "-weights", "0.3,0.7", "-cosine", "0.998"})
+		return cmdVerify(ctx, []string{"-data", data, "-weights", "0.3,0.7", "-cosine", "0.998"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +113,7 @@ func TestCmdVerifyCone(t *testing.T) {
 		t.Errorf("cone verify output:\n%s", out)
 	}
 	// Theta without weights.
-	if err := cmdVerify([]string{"-data", data, "-theta", "0.1"}); err == nil {
+	if err := cmdVerify(ctx, []string{"-data", data, "-theta", "0.1"}); err == nil {
 		t.Error("-theta without -weights accepted")
 	}
 }
@@ -117,7 +121,7 @@ func TestCmdVerifyCone(t *testing.T) {
 func TestCmdEnumerate(t *testing.T) {
 	data := writeFixture(t)
 	out, err := capture(t, func() error {
-		return cmdEnumerate([]string{"-data", data, "-h", "3"})
+		return cmdEnumerate(ctx, []string{"-data", data, "-h", "3"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +131,7 @@ func TestCmdEnumerate(t *testing.T) {
 	}
 	// Threshold form.
 	out, err = capture(t, func() error {
-		return cmdEnumerate([]string{"-data", data, "-threshold", "0.05"})
+		return cmdEnumerate(ctx, []string{"-data", data, "-threshold", "0.05"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +151,7 @@ func TestCmdRandom(t *testing.T) {
 	data := writeFixture(t)
 	for _, mode := range []string{"set", "ranked", "complete"} {
 		out, err := capture(t, func() error {
-			return cmdRandom([]string{"-data", data, "-k", "5", "-mode", mode,
+			return cmdRandom(ctx, []string{"-data", data, "-k", "5", "-mode", mode,
 				"-h", "2", "-first", "500", "-step", "200"})
 		})
 		if err != nil {
@@ -157,7 +161,7 @@ func TestCmdRandom(t *testing.T) {
 			t.Errorf("%s output:\n%s", mode, out)
 		}
 	}
-	if err := cmdRandom([]string{"-data", data, "-mode", "nope"}); err == nil {
+	if err := cmdRandom(ctx, []string{"-data", data, "-mode", "nope"}); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
@@ -178,7 +182,7 @@ func TestCmdSkyline(t *testing.T) {
 func TestCmdExport(t *testing.T) {
 	data := writeFixture(t)
 	out, err := capture(t, func() error {
-		return cmdExport([]string{"-data", data, "-h", "5", "-show", "3"})
+		return cmdExport(ctx, []string{"-data", data, "-h", "5", "-show", "3"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +215,7 @@ func TestCmdExport(t *testing.T) {
 			t.Errorf("record has %d items, want 3", len(r.Items))
 		}
 	}
-	if err := cmdExport([]string{"-data", "/nonexistent.csv"}); err == nil {
+	if err := cmdExport(ctx, []string{"-data", "/nonexistent.csv"}); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,62 @@
+package stablerank
+
+import (
+	"math/rand"
+
+	"stablerank/internal/datagen"
+)
+
+// Simulated datasets mirroring the paper's evaluation workloads
+// (Section 6), re-exported so examples, tools and tests can build realistic
+// catalogs through the public API alone. All generators are deterministic
+// for a fixed *rand.Rand state.
+
+// CorrelationKind selects the attribute correlation of Synthetic data.
+type CorrelationKind = datagen.CorrelationKind
+
+const (
+	// KindIndependent draws attributes independently.
+	KindIndependent CorrelationKind = datagen.KindIndependent
+	// KindCorrelated draws positively correlated attributes.
+	KindCorrelated CorrelationKind = datagen.KindCorrelated
+	// KindAntiCorrelated draws anti-correlated attributes.
+	KindAntiCorrelated CorrelationKind = datagen.KindAntiCorrelated
+)
+
+// Independent generates n items with d independent uniform attributes.
+func Independent(rng *rand.Rand, n, d int) *Dataset { return datagen.Independent(rng, n, d) }
+
+// Correlated generates n items with d positively correlated attributes.
+func Correlated(rng *rand.Rand, n, d int) *Dataset { return datagen.Correlated(rng, n, d) }
+
+// AntiCorrelated generates n items with d anti-correlated attributes.
+func AntiCorrelated(rng *rand.Rand, n, d int) *Dataset { return datagen.AntiCorrelated(rng, n, d) }
+
+// Synthetic generates n items with d attributes of the given correlation.
+func Synthetic(rng *rand.Rand, kind CorrelationKind, n, d int) *Dataset {
+	return datagen.Synthetic(rng, kind, n, d)
+}
+
+// CSMetrics simulates the CSMetrics institution crawl of Section 6.2
+// (d = 2: measured and predicted citations, log-linearized).
+func CSMetrics(rng *rand.Rand, n int) *Dataset { return datagen.CSMetrics(rng, n) }
+
+// CSMetricsReferenceWeights returns the site-default scoring weights
+// (alpha = 0.3).
+func CSMetricsReferenceWeights() []float64 { return datagen.CSMetricsReferenceWeights() }
+
+// FIFA simulates the FIFA men's ranking table of Section 6.2 (d = 4: four
+// years of performance).
+func FIFA(rng *rand.Rand, n int) *Dataset { return datagen.FIFA(rng, n) }
+
+// FIFAReferenceWeights returns FIFA's published scoring weights
+// (1, 0.5, 0.3, 0.2).
+func FIFAReferenceWeights() []float64 { return datagen.FIFAReferenceWeights() }
+
+// Diamonds simulates a Blue Nile-style diamond catalog (d = 5: cheapness,
+// carat, depth, length/width ratio, table), the Section 6.3 workhorse.
+func Diamonds(rng *rand.Rand, n int) *Dataset { return datagen.Diamonds(rng, n) }
+
+// Flights simulates Department of Transportation on-time records (d = 3:
+// air time, taxi-in, taxi-out), the Figure 18 scalability workload.
+func Flights(rng *rand.Rand, n int) *Dataset { return datagen.Flights(rng, n) }

@@ -11,12 +11,28 @@
 // substrate it needs (geometry, simplex LP, statistics, data generators) and
 // a benchmark harness regenerating every figure of the paper's evaluation.
 //
+// This root package is the one supported API. It is context-aware (every
+// potentially long-running call takes a context.Context and honors
+// cancellation) and its Analyzer is safe for concurrent use. Typical use:
+//
+//	ds, _ := stablerank.ReadCSV(f, true)
+//	a, _ := stablerank.New(ds, stablerank.WithCosineSimilarity(weights, 0.998))
+//	v, _ := a.VerifyStability(ctx, stablerank.RankingOf(ds, weights))
+//	e, _ := a.Enumerator(ctx)
+//	for s, err := range e.Rankings(ctx) {
+//		...
+//	}
+//
 // Entry points:
 //
-//   - internal/core: the Analyzer facade (verify / enumerate / randomized)
+//   - stablerank (this package): Analyzer (verify / enumerate / randomized),
+//     Dataset construction and CSV I/O, ranking metrics, data simulators
 //   - cmd/stablerank: CSV-driven command-line interface
 //   - cmd/benchfig: regenerates Figures 7-21 as text tables
 //   - examples/: five runnable scenarios from the paper
+//
+// Everything under internal/ is implementation detail and may change without
+// notice; import this package, not internal/core.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for measured-vs-paper results. The root-level benchmarks in

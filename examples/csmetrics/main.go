@@ -19,15 +19,13 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"stablerank/internal/core"
-	"stablerank/internal/datagen"
-	"stablerank/internal/rank"
+	"stablerank"
 )
 
 func main() {
@@ -35,28 +33,25 @@ func main() {
 	n := flag.Int("n", 100, "number of institutions")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
+	ctx := context.Background()
 
-	ds := datagen.CSMetrics(rand.New(rand.NewSource(*seed)), *n)
-	ref := datagen.CSMetricsReferenceWeights()
-	reference := core.RankingOf(ds, ref)
+	ds := stablerank.CSMetrics(rand.New(rand.NewSource(*seed)), *n)
+	ref := stablerank.CSMetricsReferenceWeights()
+	reference := stablerank.RankingOf(ds, ref)
 
-	a, err := core.New(ds)
+	a, err := stablerank.New(ds)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Full enumeration over U (exact in 2D).
-	e, err := a.Enumerator()
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var all []core.Stable
+	var all []stablerank.Stable
 	refPos := -1
-	for {
-		s, err := e.Next()
-		if errors.Is(err, core.ErrExhausted) {
-			break
-		}
+	for s, err := range e.Rankings(ctx) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +66,7 @@ func main() {
 	fmt.Printf("Feasible rankings over the whole weight space: %d\n", len(all))
 	fmt.Printf("Uniform baseline stability (1/#rankings):      %.4f\n", 1/float64(len(all)))
 
-	refV, err := a.VerifyStability(reference)
+	refV, err := a.VerifyStability(ctx, reference)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +78,7 @@ func main() {
 	// Headline moves between the reference and the most stable ranking, the
 	// paper's Cornell/Toronto and Northeastern observations.
 	best := all[0].Ranking
-	item, delta, err := rank.MaxDisplacement(reference, best)
+	item, delta, err := stablerank.MaxDisplacement(reference, best)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,11 +92,11 @@ func main() {
 
 	// Narrow region of interest: 0.998 cosine similarity around the
 	// reference (theta ~ pi/50).
-	narrow, err := core.New(ds, core.WithCosineSimilarity(ref, 0.998))
+	narrow, err := stablerank.New(ds, stablerank.WithCosineSimilarity(ref, 0.998))
 	if err != nil {
 		log.Fatal(err)
 	}
-	near, err := narrow.TopH(1 << 20)
+	near, err := narrow.TopH(ctx, 1<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -128,7 +123,7 @@ func main() {
 	// weights, how often does it make it?
 	if ds.N() >= 11 {
 		eleventh := reference.Order[10]
-		dist, err := narrow.ItemRankDistribution(eleventh, 20000)
+		dist, err := narrow.ItemRankDistribution(ctx, eleventh, 20000)
 		if err != nil {
 			log.Fatal(err)
 		}

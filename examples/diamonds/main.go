@@ -18,15 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
-	"stablerank/internal/core"
-	"stablerank/internal/datagen"
-	"stablerank/internal/mc"
+	"stablerank"
 )
 
 func main() {
@@ -36,13 +35,14 @@ func main() {
 	h := flag.Int("h", 5, "stable top-k results to enumerate")
 	seed := flag.Int64("seed", 9, "simulation seed")
 	flag.Parse()
+	ctx := context.Background()
 
-	ds := datagen.Diamonds(rand.New(rand.NewSource(*seed)), *n)
+	ds := stablerank.Diamonds(rand.New(rand.NewSource(*seed)), *n)
 	equal := []float64{1, 1, 1, 1, 1}
 
 	// Region of interest: theta = pi/50 around equal weights, the default
 	// setting of the paper's randomized experiments.
-	a, err := core.New(ds, core.WithCone(equal, math.Pi/50), core.WithSeed(*seed))
+	a, err := stablerank.New(ds, stablerank.WithCone(equal, math.Pi/50), stablerank.WithSeed(*seed))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,12 +51,12 @@ func main() {
 		"(cheapness, carat, depth, l/w ratio, table)\n", *n)
 	fmt.Printf("Region of interest: theta=pi/50 around equal weights; k=%d\n\n", *k)
 
-	for _, mode := range []mc.Mode{mc.TopKSet, mc.TopKRanked} {
+	for _, mode := range []stablerank.Mode{stablerank.TopKSet, stablerank.TopKRanked} {
 		r, err := a.Randomized(mode, *k)
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := r.TopH(*h, 5000, 1000)
+		results, err := r.TopH(ctx, *h, 5000, 1000)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func main() {
 		for i, res := range results {
 			fmt.Printf("  %d. stability %.4f ± %.4f\n", i+1, res.Stability, res.ConfidenceError)
 		}
-		if len(results) > 0 && mode == mc.TopKSet {
+		if len(results) > 0 && mode == stablerank.TopKSet {
 			compareWithSkyline(ds, results[0].Items)
 		}
 		fmt.Println()

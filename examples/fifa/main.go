@@ -18,15 +18,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"stablerank/internal/core"
-	"stablerank/internal/datagen"
-	"stablerank/internal/rank"
+	"stablerank"
 )
 
 func main() {
@@ -36,15 +35,16 @@ func main() {
 	samples := flag.Int("samples", 10000, "Monte-Carlo samples in the region of interest")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	flag.Parse()
+	ctx := context.Background()
 
-	ds := datagen.FIFA(rand.New(rand.NewSource(*seed)), *n)
-	ref := datagen.FIFAReferenceWeights()
-	reference := core.RankingOf(ds, ref)
+	ds := stablerank.FIFA(rand.New(rand.NewSource(*seed)), *n)
+	ref := stablerank.FIFAReferenceWeights()
+	reference := stablerank.RankingOf(ds, ref)
 
-	a, err := core.New(ds,
-		core.WithCosineSimilarity(ref, 0.999),
-		core.WithSampleCount(*samples),
-		core.WithSeed(*seed),
+	a, err := stablerank.New(ds,
+		stablerank.WithCosineSimilarity(ref, 0.999),
+		stablerank.WithSampleCount(*samples),
+		stablerank.WithSeed(*seed),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -52,23 +52,23 @@ func main() {
 
 	fmt.Printf("Simulated FIFA table, n=%d teams, d=4, region: cos >= 0.999 around (1, .5, .3, .2)\n", *n)
 
-	refV, err := a.VerifyStability(reference)
+	refV, err := a.VerifyStability(ctx, reference)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Reference ranking stability in the region: %.5f ± %.5f\n",
 		refV.Stability, refV.ConfidenceError)
 
-	e, err := a.Enumerator()
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nTop-%d stable rankings (GET-NEXTmd):\n", *h)
-	var results []core.Stable
+	var results []stablerank.Stable
 	refSeen := false
 	for len(results) < *h {
-		s, err := e.Next()
-		if errors.Is(err, core.ErrExhausted) {
+		s, err := e.Next(ctx)
+		if errors.Is(err, stablerank.ErrExhausted) {
 			break
 		}
 		if err != nil {
@@ -92,7 +92,7 @@ func main() {
 
 	// Team swaps between the reference and the most stable ranking.
 	best := results[0].Ranking
-	tau, err := rank.KendallTau(reference, best)
+	tau, err := stablerank.KendallTau(reference, best)
 	if err != nil {
 		log.Fatal(err)
 	}

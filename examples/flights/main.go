@@ -13,16 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"os"
+	"os/signal"
 	"time"
 
-	"stablerank/internal/core"
-	"stablerank/internal/datagen"
-	"stablerank/internal/mc"
+	"stablerank"
 )
 
 func main() {
@@ -31,31 +32,34 @@ func main() {
 	k := flag.Int("k", 10, "top-k size")
 	seed := flag.Int64("seed", 13, "simulation seed")
 	flag.Parse()
+	// The 1M tier takes a while; Ctrl-C cancels cleanly mid-sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Printf("Simulated DoT on-time data, d=3, k=%d, theta=pi/50, top-k sets\n", *k)
 	fmt.Printf("%12s %14s %14s %12s\n", "n", "first call", "next call", "stability")
 
 	for n := 10_000; n <= *maxN; n *= 10 {
-		ds := datagen.Flights(rand.New(rand.NewSource(*seed)), n)
-		a, err := core.New(ds,
-			core.WithCone([]float64{1, 1, 1}, math.Pi/50),
-			core.WithSeed(*seed),
+		ds := stablerank.Flights(rand.New(rand.NewSource(*seed)), n)
+		a, err := stablerank.New(ds,
+			stablerank.WithCone([]float64{1, 1, 1}, math.Pi/50),
+			stablerank.WithSeed(*seed),
 		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := a.Randomized(mc.TopKSet, *k)
+		r, err := a.Randomized(stablerank.TopKSet, *k)
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		first, err := r.NextFixedBudget(5000)
+		first, err := r.NextFixedBudget(ctx, 5000)
 		if err != nil {
 			log.Fatal(err)
 		}
 		firstDur := time.Since(start)
 		start = time.Now()
-		if _, err := r.NextFixedBudget(1000); err != nil {
+		if _, err := r.NextFixedBudget(ctx, 1000); err != nil {
 			log.Fatal(err)
 		}
 		nextDur := time.Since(start)

@@ -14,18 +14,17 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log"
 
-	"stablerank/internal/core"
-	"stablerank/internal/dataset"
-	"stablerank/internal/geom"
+	"stablerank"
 )
 
 func main() {
 	log.SetFlags(0)
-	ds := dataset.Figure1()
+	ctx := context.Background()
+	ds := stablerank.Figure1()
 
 	fmt.Println("Candidates (aptitude x1, experience x2):")
 	for i := 0; i < ds.N(); i++ {
@@ -34,32 +33,30 @@ func main() {
 	}
 
 	// The published ranking under f = x1 + x2.
-	published := core.RankingOf(ds, []float64{1, 1})
+	published := stablerank.RankingOf(ds, []float64{1, 1})
 	fmt.Printf("\nPublished ranking (f = x1 + x2): %s\n", published.Describe(ds, 0))
 
 	// Consumer: verify its stability over ALL weight choices.
-	a, err := core.New(ds)
+	a, err := stablerank.New(ds)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err := a.VerifyStability(published)
+	v, err := a.VerifyStability(ctx, published)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Stability over the whole weight space: %.4f (exact; region angles [%.4f, %.4f])\n",
 		v.Stability, v.Interval.Lo, v.Interval.Hi)
 
-	// Producer: enumerate every feasible ranking in decreasing stability.
+	// Producer: enumerate every feasible ranking in decreasing stability,
+	// ranging over the enumerator (the sequence ends at exhaustion).
 	fmt.Println("\nAll feasible rankings, most stable first:")
-	e, err := a.Enumerator()
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 1; ; i++ {
-		s, err := e.Next()
-		if errors.Is(err, core.ErrExhausted) {
-			break
-		}
+	i := 0
+	for s, err := range e.Rankings(ctx) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,18 +64,19 @@ func main() {
 		if s.Ranking.Equal(published) {
 			marker = "   <- published"
 		}
+		i++
 		fmt.Printf("  %2d. stability %.4f  %s%s\n", i, s.Stability, s.Ranking.Describe(ds, 0), marker)
 	}
 
 	// Producer with taste constraints: the HR officer believes aptitude
 	// should count for about twice experience — accept weights within an
 	// angle of the ray (2, 1) (Example 3).
-	restricted, err := core.New(ds, WithTwiceAptitude()...)
+	restricted, err := stablerank.New(ds, WithTwiceAptitude()...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nMost stable rankings with aptitude ~2x experience (±20%):")
-	for i, s := range mustTopH(restricted, 3) {
+	for i, s := range mustTopH(ctx, restricted, 3) {
 		fmt.Printf("  %2d. stability %.4f  %s  (weights %.3f, %.3f)\n",
 			i+1, s.Stability, s.Ranking.Describe(ds, 0), s.Weights[0], s.Weights[1])
 	}
@@ -87,20 +85,20 @@ func main() {
 // WithTwiceAptitude encodes Example 3: any weight ratio w1/w2 within 20% of
 // 2 is acceptable, expressed as the constraint region
 // 1.6 w2 <= w1 <= 2.4 w2.
-func WithTwiceAptitude() []core.Option {
-	return []core.Option{core.WithConstraints(2,
+func WithTwiceAptitude() []stablerank.Option {
+	return []stablerank.Option{stablerank.WithConstraints(2,
 		halfspace(1, -1.6), // w1 >= 1.6 w2
 		halfspace(-1, 2.4), // w1 <= 2.4 w2
 	)}
 }
 
 // halfspace builds the constraint a*w1 + b*w2 >= 0.
-func halfspace(a, b float64) geom.Halfspace {
-	return geom.Halfspace{Normal: geom.Vector{a, b}, Positive: true}
+func halfspace(a, b float64) stablerank.Halfspace {
+	return stablerank.Halfspace{Normal: stablerank.NewVector(a, b), Positive: true}
 }
 
-func mustTopH(a *core.Analyzer, h int) []core.Stable {
-	out, err := a.TopH(h)
+func mustTopH(ctx context.Context, a *stablerank.Analyzer, h int) []stablerank.Stable {
+	out, err := a.TopH(ctx, h)
 	if err != nil {
 		log.Fatal(err)
 	}

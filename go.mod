@@ -1,0 +1,3 @@
+module stablerank
+
+go 1.24

@@ -6,12 +6,14 @@ package stablerank_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
-	"stablerank/internal/core"
+	"stablerank"
+
 	"stablerank/internal/datagen"
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -22,6 +24,9 @@ import (
 	"stablerank/internal/sampling"
 	"stablerank/internal/twod"
 )
+
+// ctx is the default context threaded through the cancellable public API.
+var ctx = context.Background()
 
 // TestAllPathsAgreeIn2D checks that every implementation strategy reports
 // the same most-stable ranking with consistent stability on the same 2D
@@ -48,7 +53,7 @@ func TestAllPathsAgreeIn2D(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mdFirst, err := engine.Next()
+	mdFirst, err := engine.Next(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +73,7 @@ func TestAllPathsAgreeIn2D(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mcFirst, err := op.NextFixedBudget(30000)
+	mcFirst, err := op.NextFixedBudget(ctx, 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +85,11 @@ func TestAllPathsAgreeIn2D(t *testing.T) {
 	}
 
 	// Facade path.
-	a, err := core.New(ds)
+	a, err := stablerank.New(ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	top, err := a.TopH(1)
+	top, err := a.TopH(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +109,7 @@ func TestEngineStabilitiesMatchGirardIn3D(t *testing.T) {
 		ds.MustAdd("", rr.Float64(), rr.Float64(), rr.Float64())
 	}
 	pool := benchPool(geom.FullSpace{D: 3}, 60000, 175)
-	all, err := md.FullArrangement(ds, geom.FullSpace{D: 3}, pool, 0)
+	all, err := md.FullArrangement(ctx, ds, geom.FullSpace{D: 3}, pool, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +184,7 @@ func TestConstraintRegionPipeline(t *testing.T) {
 	}
 	var sum float64
 	for {
-		r, err := engine.Next()
+		r, err := engine.Next(ctx)
 		if errors.Is(err, md.ErrExhausted) {
 			break
 		}
@@ -209,24 +214,24 @@ func TestCSVThroughFullPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := []float64{1, 1, 1, 1, 1}
-	r1 := core.RankingOf(ds, w)
-	r2 := core.RankingOf(back, w)
+	r1 := stablerank.RankingOf(ds, w)
+	r2 := stablerank.RankingOf(back, w)
 	if !r1.Equal(r2) {
 		t.Fatal("ranking changed across CSV round trip")
 	}
-	a1, err := core.New(ds, core.WithSampleCount(20000), core.WithSeed(4))
+	a1, err := stablerank.New(ds, stablerank.WithSampleCount(20000), stablerank.WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := core.New(back, core.WithSampleCount(20000), core.WithSeed(4))
+	a2, err := stablerank.New(back, stablerank.WithSampleCount(20000), stablerank.WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := a1.VerifyStability(r1)
+	v1, err := a1.VerifyStability(ctx, r1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := a2.VerifyStability(r2)
+	v2, err := a2.VerifyStability(ctx, r2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +255,7 @@ func TestTopKSelectionInsideOperators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resFast, err := fast.NextFixedBudget(4000)
+	resFast, err := fast.NextFixedBudget(ctx, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,15 +9,21 @@
 // Typical use:
 //
 //	a, _ := core.New(ds, core.WithCosineSimilarity([]float64{1, 1}, 0.998))
-//	v, _ := a.VerifyStability(core.RankingOf(ds, []float64{1, 1}))
-//	e, _ := a.Enumerator()
-//	first, _ := e.Next() // the most stable ranking in the region
+//	v, _ := a.VerifyStability(ctx, core.RankingOf(ds, []float64{1, 1}))
+//	e, _ := a.Enumerator(ctx)
+//	first, _ := e.Next(ctx) // the most stable ranking in the region
+//
+// This package is wrapped by the root stablerank package, which is the
+// supported import path; everything here may change between releases.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -39,7 +45,12 @@ var (
 )
 
 // Analyzer answers stability questions about one dataset within one region
-// of interest. It is not safe for concurrent use; create one per goroutine.
+// of interest. It is safe for concurrent use by multiple goroutines: the
+// configuration is immutable after New, and the lazily drawn Monte-Carlo
+// sample pool is built exactly once (behind a sync.Once) and never mutated
+// afterwards. Enumerator and Randomized values it hands out are iteration
+// cursors and are NOT individually goroutine-safe; create one per goroutine
+// (creating them concurrently from a shared Analyzer is fine).
 type Analyzer struct {
 	ds          *dataset.Dataset
 	roi         geom.Region
@@ -47,7 +58,19 @@ type Analyzer struct {
 	sampleCount int
 	alpha       float64
 
-	samples []geom.Vector // drawn lazily, reused by verification calls
+	// pool holds the lazily drawn shared sample pool. The indirection via an
+	// atomic pointer to a once-guarded cell (instead of a bare sync.Once on
+	// the Analyzer) lets a build aborted by context cancellation be retried:
+	// on failure the cell is swapped for a fresh one, while a successful pool
+	// is published exactly once and is immutable afterwards.
+	pool atomic.Pointer[poolState]
+}
+
+// poolState is one attempt at building the shared sample pool.
+type poolState struct {
+	once    sync.Once
+	samples []geom.Vector
+	err     error
 }
 
 // Option configures an Analyzer.
@@ -162,6 +185,7 @@ func New(ds *dataset.Dataset, opts ...Option) (*Analyzer, error) {
 	if a.roi.Dim() != ds.D() {
 		return nil, fmt.Errorf("core: region dimension %d != dataset dimension %d", a.roi.Dim(), ds.D())
 	}
+	a.pool.Store(&poolState{})
 	return a, nil
 }
 
@@ -182,24 +206,52 @@ func (a *Analyzer) sampler(seedOffset int64) (sampling.Sampler, error) {
 	return sampling.ForRegion(a.roi, rand.New(rand.NewSource(a.seed+seedOffset)))
 }
 
-// samplePool lazily draws the shared Monte-Carlo sample pool.
-func (a *Analyzer) samplePool() ([]geom.Vector, error) {
-	if a.samples != nil {
-		return a.samples, nil
+// samplePool lazily draws the shared Monte-Carlo sample pool. Concurrent
+// callers block on the same build; the winning build is published once and
+// the slice is immutable afterwards. The build runs under the winning
+// caller's context, so a cancelled winner fails the attempt for everyone
+// blocked on it; the failed cell is then replaced and callers whose own
+// context is still live retry with it instead of inheriting someone else's
+// cancellation.
+func (a *Analyzer) samplePool(ctx context.Context) ([]geom.Vector, error) {
+	for {
+		st := a.pool.Load()
+		st.once.Do(func() { st.samples, st.err = a.drawPool(ctx) })
+		if st.err == nil {
+			return st.samples, nil
+		}
+		a.pool.CompareAndSwap(st, &poolState{})
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		if !errors.Is(st.err, context.Canceled) && !errors.Is(st.err, context.DeadlineExceeded) {
+			// A deterministic failure (bad sampler, degenerate region) would
+			// recur; surface it instead of spinning.
+			return nil, st.err
+		}
 	}
+}
+
+// drawPool draws the configured number of samples from the region of
+// interest, polling ctx periodically.
+func (a *Analyzer) drawPool(ctx context.Context) ([]geom.Vector, error) {
 	s, err := a.sampler(0)
 	if err != nil {
 		return nil, err
 	}
 	pool := make([]geom.Vector, a.sampleCount)
 	for i := range pool {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		w, err := s.Sample()
 		if err != nil {
 			return nil, err
 		}
 		pool[i] = w
 	}
-	a.samples = pool
 	return pool, nil
 }
 
@@ -231,8 +283,9 @@ type Verification struct {
 // VerifyStability computes the stability of ranking r in the region of
 // interest: the exact SV2D scan in two dimensions, the sampled SV oracle
 // otherwise. It returns ErrInfeasibleRanking when no acceptable function
-// induces r.
-func (a *Analyzer) VerifyStability(r rank.Ranking) (Verification, error) {
+// induces r, and the context's error if ctx is cancelled while drawing the
+// sample pool or sweeping it.
+func (a *Analyzer) VerifyStability(ctx context.Context, r rank.Ranking) (Verification, error) {
 	if a.is2D() {
 		iv, err := a.interval()
 		if err != nil {
@@ -248,11 +301,11 @@ func (a *Analyzer) VerifyStability(r rank.Ranking) (Verification, error) {
 		region := res.Region
 		return Verification{Stability: res.Stability, Exact: true, Interval: &region}, nil
 	}
-	pool, err := a.samplePool()
+	pool, err := a.samplePool(ctx)
 	if err != nil {
 		return Verification{}, err
 	}
-	res, err := md.Verify(a.ds, r, pool)
+	res, err := md.Verify(ctx, a.ds, r, pool)
 	if errors.Is(err, md.ErrInfeasibleRanking) {
 		return Verification{}, ErrInfeasibleRanking
 	}
@@ -290,8 +343,11 @@ type Enumerator struct {
 	mdE  *md.Engine
 }
 
-// Enumerator prepares the iterative stable-region enumeration.
-func (a *Analyzer) Enumerator() (*Enumerator, error) {
+// Enumerator prepares the iterative stable-region enumeration. The returned
+// Enumerator is a single iteration cursor and is not safe for concurrent
+// use; calling this method concurrently to obtain one cursor per goroutine
+// is safe.
+func (a *Analyzer) Enumerator(ctx context.Context) (*Enumerator, error) {
 	if a.is2D() {
 		iv, err := a.interval()
 		if err != nil {
@@ -303,7 +359,7 @@ func (a *Analyzer) Enumerator() (*Enumerator, error) {
 		}
 		return &Enumerator{twoD: e}, nil
 	}
-	pool, err := a.samplePool()
+	pool, err := a.samplePool(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -318,9 +374,14 @@ func (a *Analyzer) Enumerator() (*Enumerator, error) {
 	return &Enumerator{mdE: e}, nil
 }
 
-// Next returns the next most stable ranking, or ErrExhausted.
-func (e *Enumerator) Next() (Stable, error) {
+// Next returns the next most stable ranking, or ErrExhausted. Cancelling
+// ctx makes Next return the context's error promptly; the enumeration state
+// stays consistent, so a later call with a live context resumes.
+func (e *Enumerator) Next(ctx context.Context) (Stable, error) {
 	if e.twoD != nil {
+		if err := ctx.Err(); err != nil {
+			return Stable{}, err
+		}
 		r, err := e.twoD.Next()
 		if errors.Is(err, twod.ErrExhausted) {
 			return Stable{}, ErrExhausted
@@ -330,7 +391,7 @@ func (e *Enumerator) Next() (Stable, error) {
 		}
 		return Stable{Ranking: r.Ranking, Stability: r.Stability, Weights: r.Region.Midpoint(), Exact: true}, nil
 	}
-	r, err := e.mdE.Next()
+	r, err := e.mdE.Next(ctx)
 	if errors.Is(err, md.ErrExhausted) {
 		return Stable{}, ErrExhausted
 	}
@@ -341,14 +402,14 @@ func (e *Enumerator) Next() (Stable, error) {
 }
 
 // TopH returns the h most stable rankings (batch Problem 2, count form).
-func (a *Analyzer) TopH(h int) ([]Stable, error) {
-	e, err := a.Enumerator()
+func (a *Analyzer) TopH(ctx context.Context, h int) ([]Stable, error) {
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var out []Stable
 	for len(out) < h {
-		s, err := e.Next()
+		s, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}
@@ -362,14 +423,14 @@ func (a *Analyzer) TopH(h int) ([]Stable, error) {
 
 // AboveThreshold returns every ranking with stability >= s (batch Problem 2,
 // threshold form), in decreasing stability order.
-func (a *Analyzer) AboveThreshold(s float64) ([]Stable, error) {
-	e, err := a.Enumerator()
+func (a *Analyzer) AboveThreshold(ctx context.Context, s float64) ([]Stable, error) {
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var out []Stable
 	for {
-		r, err := e.Next()
+		r, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			return out, nil
 		}
@@ -390,7 +451,9 @@ type Randomized struct {
 }
 
 // Randomized builds the randomized operator with the given semantics; k is
-// ignored for mc.Complete.
+// ignored for mc.Complete. Like Enumerator, the returned operator is a
+// stateful cursor and is not safe for concurrent use; building one per
+// goroutine from a shared Analyzer is safe.
 func (a *Analyzer) Randomized(mode mc.Mode, k int) (*Randomized, error) {
 	s, err := a.sampler(1)
 	if err != nil {
@@ -406,8 +469,8 @@ func (a *Analyzer) Randomized(mode mc.Mode, k int) (*Randomized, error) {
 
 // NextFixedBudget draws n fresh samples and returns the most frequent
 // undiscovered ranking (Algorithm 7).
-func (r *Randomized) NextFixedBudget(n int) (mc.Result, error) {
-	res, err := r.op.NextFixedBudget(n)
+func (r *Randomized) NextFixedBudget(ctx context.Context, n int) (mc.Result, error) {
+	res, err := r.op.NextFixedBudget(ctx, n)
 	if errors.Is(err, mc.ErrExhausted) {
 		return mc.Result{}, ErrExhausted
 	}
@@ -416,8 +479,8 @@ func (r *Randomized) NextFixedBudget(n int) (mc.Result, error) {
 
 // NextFixedError samples until the next ranking's stability estimate reaches
 // confidence error e (Algorithm 8).
-func (r *Randomized) NextFixedError(e float64, maxSamples int) (mc.Result, error) {
-	res, err := r.op.NextFixedError(e, maxSamples)
+func (r *Randomized) NextFixedError(ctx context.Context, e float64, maxSamples int) (mc.Result, error) {
+	res, err := r.op.NextFixedError(ctx, e, maxSamples)
 	if errors.Is(err, mc.ErrExhausted) {
 		return mc.Result{}, ErrExhausted
 	}
@@ -425,8 +488,8 @@ func (r *Randomized) NextFixedError(e float64, maxSamples int) (mc.Result, error
 }
 
 // TopH returns the h most stable rankings with the paper's budget schedule.
-func (r *Randomized) TopH(h, firstBudget, stepBudget int) ([]mc.Result, error) {
-	return r.op.TopH(h, firstBudget, stepBudget)
+func (r *Randomized) TopH(ctx context.Context, h, firstBudget, stepBudget int) ([]mc.Result, error) {
+	return r.op.TopH(ctx, h, firstBudget, stepBudget)
 }
 
 // TotalSamples reports the cumulative number of samples drawn.
@@ -436,12 +499,12 @@ func (r *Randomized) TotalSamples() int { return r.op.TotalSamples() }
 // the distribution of the given item's rank — the distributional form of
 // Example 1's consumer question ("does Cornell make the top-10 under
 // acceptable weights?").
-func (a *Analyzer) ItemRankDistribution(item, n int) (mc.RankDistribution, error) {
+func (a *Analyzer) ItemRankDistribution(ctx context.Context, item, n int) (mc.RankDistribution, error) {
 	s, err := a.sampler(2)
 	if err != nil {
 		return mc.RankDistribution{}, err
 	}
-	return mc.ItemRankDistribution(a.ds, s, item, n)
+	return mc.ItemRankDistribution(ctx, a.ds, s, item, n)
 }
 
 // Boundary returns the non-redundant boundary facets of ranking r's region:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -11,6 +12,10 @@ import (
 	"stablerank/internal/mc"
 	"stablerank/internal/rank"
 )
+
+// ctx is the default context threaded through the cancellable API in
+// tests that do not exercise cancellation.
+var ctx = context.Background()
 
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil); err == nil {
@@ -62,7 +67,7 @@ func TestVerifyStability2DExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := RankingOf(ds, []float64{1, 1})
-	v, err := a.VerifyStability(r)
+	v, err := a.VerifyStability(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +79,7 @@ func TestVerifyStability2DExact(t *testing.T) {
 	}
 	// Infeasible ranking maps to the package sentinel.
 	bad := rank.Ranking{Order: []int{0, 1, 2, 3, 4}}
-	if _, err := a.VerifyStability(bad); !errors.Is(err, ErrInfeasibleRanking) {
+	if _, err := a.VerifyStability(ctx, bad); !errors.Is(err, ErrInfeasibleRanking) {
 		t.Errorf("infeasible error = %v", err)
 	}
 }
@@ -92,7 +97,7 @@ func TestVerifyStabilityMDMatches2DProjection(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := RankingOf(ds, []float64{1, 1, 1})
-	v, err := a.VerifyStability(r)
+	v, err := a.VerifyStability(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +115,7 @@ func TestVerifyStabilityMDMatches2DProjection(t *testing.T) {
 	}
 	// Determinism: same analyzer setup gives identical estimates.
 	b, _ := New(ds, WithSampleCount(40000), WithSeed(3))
-	v2, err := b.VerifyStability(r)
+	v2, err := b.VerifyStability(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,14 +127,14 @@ func TestVerifyStabilityMDMatches2DProjection(t *testing.T) {
 func TestEnumerator2D(t *testing.T) {
 	ds := dataset.Figure1()
 	a, _ := New(ds)
-	e, err := a.Enumerator()
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	count := 0
 	prev := 2.0
 	for {
-		s, err := e.Next()
+		s, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}
@@ -157,11 +162,11 @@ func TestEnumeratorMD(t *testing.T) {
 		ds.MustAdd("", rr.Float64(), rr.Float64(), rr.Float64())
 	}
 	a, _ := New(ds, WithSampleCount(20000))
-	e, err := a.Enumerator()
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Next()
+	s, err := e.Next(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +175,7 @@ func TestEnumeratorMD(t *testing.T) {
 	}
 	// The reported stability must agree with verification of the same
 	// ranking.
-	v, err := a.VerifyStability(s.Ranking)
+	v, err := a.VerifyStability(ctx, s.Ranking)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,21 +191,21 @@ func TestEnumeratorMD(t *testing.T) {
 func TestTopHAndThreshold(t *testing.T) {
 	ds := dataset.Figure1()
 	a, _ := New(ds)
-	top, err := a.TopH(3)
+	top, err := a.TopH(ctx, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(top) != 3 {
 		t.Fatalf("TopH = %d results", len(top))
 	}
-	all, err := a.TopH(1000)
+	all, err := a.TopH(ctx, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) != 11 {
 		t.Errorf("full TopH = %d", len(all))
 	}
-	th, err := a.AboveThreshold(top[1].Stability)
+	th, err := a.AboveThreshold(ctx, top[1].Stability)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +225,7 @@ func TestConeRestrictedAnalyzer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	all, err := a.TopH(1000)
+	all, err := a.TopH(ctx, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +252,7 @@ func TestConstraintRegionAnalyzer2D(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	all, err := a.TopH(100)
+	all, err := a.TopH(ctx, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +278,7 @@ func TestRandomizedThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.NextFixedBudget(5000)
+	res, err := r.NextFixedBudget(ctx, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +288,7 @@ func TestRandomizedThroughFacade(t *testing.T) {
 	if r.TotalSamples() != 5000 {
 		t.Errorf("TotalSamples = %d", r.TotalSamples())
 	}
-	res2, err := r.NextFixedError(0.02, 0)
+	res2, err := r.NextFixedError(ctx, 0.02, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +304,7 @@ func TestRandomizedThroughFacade(t *testing.T) {
 func TestItemRankDistributionThroughFacade(t *testing.T) {
 	ds := dataset.Figure1()
 	a, _ := New(ds, WithSeed(21))
-	dist, err := a.ItemRankDistribution(1, 5000) // t2
+	dist, err := a.ItemRankDistribution(ctx, 1, 5000) // t2
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,12 +314,12 @@ func TestItemRankDistributionThroughFacade(t *testing.T) {
 	if dist.Samples != 5000 {
 		t.Errorf("samples = %d", dist.Samples)
 	}
-	if _, err := a.ItemRankDistribution(99, 10); err == nil {
+	if _, err := a.ItemRankDistribution(ctx, 99, 10); err == nil {
 		t.Error("out-of-range item accepted")
 	}
 	// Narrow cone around pure-x2 weights: t5 (highest x2) is always first.
 	b, _ := New(ds, WithCone([]float64{0.05, 1}, 0.02), WithSeed(22))
-	d5, err := b.ItemRankDistribution(4, 2000)
+	d5, err := b.ItemRankDistribution(ctx, 4, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +331,7 @@ func TestItemRankDistributionThroughFacade(t *testing.T) {
 func TestRandomizedMatchesExactIn2D(t *testing.T) {
 	ds := dataset.Figure1()
 	a, _ := New(ds, WithSeed(11))
-	exact, err := a.TopH(2)
+	exact, err := a.TopH(ctx, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +339,7 @@ func TestRandomizedMatchesExactIn2D(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.NextFixedBudget(30000)
+	res, err := r.NextFixedBudget(ctx, 30000)
 	if err != nil {
 		t.Fatal(err)
 	}

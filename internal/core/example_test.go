@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -8,6 +9,10 @@ import (
 	"stablerank/internal/dataset"
 	"stablerank/internal/mc"
 )
+
+// ctx is the default context threaded through the cancellable API in
+// tests that do not exercise cancellation.
+var ctx = context.Background()
 
 // ExampleAnalyzer_VerifyStability verifies the stability of the published
 // ranking of the paper's Figure 1 database (the consumer's Problem 1).
@@ -18,7 +23,7 @@ func ExampleAnalyzer_VerifyStability() {
 		log.Fatal(err)
 	}
 	published := core.RankingOf(ds, []float64{1, 1})
-	v, err := a.VerifyStability(published)
+	v, err := a.VerifyStability(ctx, published)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,12 +42,12 @@ func ExampleAnalyzer_Enumerator() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	e, err := a.Enumerator()
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		s, err := e.Next()
+		s, err := e.Next(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +72,7 @@ func ExampleAnalyzer_Randomized() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := r.NextFixedBudget(20000)
+	res, err := r.NextFixedBudget(ctx, 20000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -31,15 +32,15 @@ type MergedStable struct {
 // paper's strict semantics). At most maxScan regions are examined
 // (maxScan <= 0 scans until exhaustion — use with care in high dimensions).
 // Groups are returned in decreasing summed stability, at most h of them.
-func (a *Analyzer) TopHMerged(h, tau, maxScan int) ([]MergedStable, error) {
-	e, err := a.Enumerator()
+func (a *Analyzer) TopHMerged(ctx context.Context, h, tau, maxScan int) ([]MergedStable, error) {
+	e, err := a.Enumerator(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var groups []MergedStable
 	scanned := 0
 	for maxScan <= 0 || scanned < maxScan {
-		s, err := e.Next()
+		s, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}

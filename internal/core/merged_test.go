@@ -15,11 +15,11 @@ func TestTopHMergedStrictEqualsTopH(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := a.TopH(1000)
+	plain, err := a.TopH(ctx, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := a.TopHMerged(0, 0, 0)
+	merged, err := a.TopHMerged(ctx, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestTopHMergedGroupsNeighbors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// tau large enough to merge everything: n=5 so max distance is 10.
-	all, err := a.TopHMerged(0, 10, 0)
+	all, err := a.TopHMerged(ctx, 0, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestTopHMergedGroupsNeighbors(t *testing.T) {
 
 	// Intermediate tau: groups are fewer than regions, stabilities still
 	// partition.
-	mid, err := a.TopHMerged(0, 2, 0)
+	mid, err := a.TopHMerged(ctx, 0, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,14 +95,14 @@ func TestTopHMergedLimits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := a.TopHMerged(2, 1, 0)
+	two, err := a.TopHMerged(ctx, 2, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(two) != 2 {
 		t.Errorf("h=2 returned %d groups", len(two))
 	}
-	scanned, err := a.TopHMerged(0, 0, 3)
+	scanned, err := a.TopHMerged(ctx, 0, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

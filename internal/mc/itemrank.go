@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -96,8 +97,8 @@ func (d RankDistribution) Mode() int {
 // ItemRankDistribution samples the region of interest n times and returns
 // the distribution of the item's 1-based rank. Ranks use the same
 // deterministic tie-break as the ranking operator (score ties go to the
-// smaller index).
-func ItemRankDistribution(ds *dataset.Dataset, sampler sampling.Sampler, item, n int) (RankDistribution, error) {
+// smaller index). Cancelling ctx aborts the sweep with the context's error.
+func ItemRankDistribution(ctx context.Context, ds *dataset.Dataset, sampler sampling.Sampler, item, n int) (RankDistribution, error) {
 	if ds == nil || ds.N() == 0 {
 		return RankDistribution{}, dataset.ErrEmptyDataset
 	}
@@ -115,6 +116,9 @@ func ItemRankDistribution(ds *dataset.Dataset, sampler sampling.Sampler, item, n
 	}
 	dist := RankDistribution{Item: item, Counts: make(map[int]int), Best: ds.N() + 1}
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return RankDistribution{}, err
+		}
 		w, err := sampler.Sample()
 		if err != nil {
 			return RankDistribution{}, err

@@ -19,7 +19,7 @@ func TestItemRankDistributionFigure1(t *testing.T) {
 	}
 	// t2 (index 1) is rank 1 whenever x1 matters and rank 5 under pure x2:
 	// its distribution spans the extremes.
-	dist, err := ItemRankDistribution(ds, s, 1, 20000)
+	dist, err := ItemRankDistribution(ctx, ds, s, 1, 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestItemRankDistributionDominatedItem(t *testing.T) {
 	ds.MustAdd("top", 0.9, 0.9)
 	ds.MustAdd("bottom", 0.1, 0.1)
 	s, _ := sampling.NewUniform(2, rand.New(rand.NewSource(232)))
-	dist, err := ItemRankDistribution(ds, s, 1, 500)
+	dist, err := ItemRankDistribution(ctx, ds, s, 1, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,20 +116,20 @@ func TestItemRankDistributionQuantiles(t *testing.T) {
 func TestItemRankDistributionValidation(t *testing.T) {
 	ds := dataset.Figure1()
 	s, _ := sampling.NewUniform(2, rand.New(rand.NewSource(233)))
-	if _, err := ItemRankDistribution(nil, s, 0, 10); err == nil {
+	if _, err := ItemRankDistribution(ctx, nil, s, 0, 10); err == nil {
 		t.Error("nil dataset accepted")
 	}
-	if _, err := ItemRankDistribution(ds, nil, 0, 10); err == nil {
+	if _, err := ItemRankDistribution(ctx, ds, nil, 0, 10); err == nil {
 		t.Error("nil sampler accepted")
 	}
-	if _, err := ItemRankDistribution(ds, s, 99, 10); err == nil {
+	if _, err := ItemRankDistribution(ctx, ds, s, 99, 10); err == nil {
 		t.Error("out-of-range item accepted")
 	}
-	if _, err := ItemRankDistribution(ds, s, 0, 0); err == nil {
+	if _, err := ItemRankDistribution(ctx, ds, s, 0, 0); err == nil {
 		t.Error("zero samples accepted")
 	}
 	s3, _ := sampling.NewUniform(3, rand.New(rand.NewSource(233)))
-	if _, err := ItemRankDistribution(ds, s3, 0, 10); err == nil {
+	if _, err := ItemRankDistribution(ctx, ds, s3, 0, 10); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
 }

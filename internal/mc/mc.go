@@ -9,6 +9,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -198,6 +199,11 @@ func (o *Operator) observe() (string, error) {
 	return key, nil
 }
 
+// Cancellation policy: every observation ranks the whole dataset
+// (O(n log n), or O(n log k) for top-k), so a ctx.Err() check per iteration
+// is noise next to the work it guards, and cancellation lands within one
+// observation even on million-row catalogs.
+
 // best returns the undiscovered key with the maximum count, or "" if every
 // observed key has been returned already. Count ties break by key for
 // determinism.
@@ -237,12 +243,16 @@ func (o *Operator) resultFor(key string, fresh int) (Result, error) {
 // NextFixedBudget draws exactly n fresh samples, then returns the most
 // frequent not-yet-returned ranking with its stability estimate and
 // confidence error (Algorithm 7). It returns ErrExhausted when every
-// observed ranking has already been returned.
-func (o *Operator) NextFixedBudget(n int) (Result, error) {
+// observed ranking has already been returned, and the context's error if ctx
+// is cancelled mid-sweep.
+func (o *Operator) NextFixedBudget(ctx context.Context, n int) (Result, error) {
 	if n < 0 {
 		return Result{}, fmt.Errorf("mc: negative budget %d", n)
 	}
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if _, err := o.observe(); err != nil {
 			return Result{}, err
 		}
@@ -257,8 +267,9 @@ func (o *Operator) NextFixedBudget(n int) (Result, error) {
 // NextFixedError samples until the confidence error of the stability
 // estimate of the best undiscovered ranking is at most e (Algorithm 8),
 // drawing at most maxSamples fresh samples (<= 0 means the package default).
-// It returns ErrBudget if the cap is reached first.
-func (o *Operator) NextFixedError(e float64, maxSamples int) (Result, error) {
+// It returns ErrBudget if the cap is reached first, and the context's error
+// if ctx is cancelled mid-sweep.
+func (o *Operator) NextFixedError(ctx context.Context, e float64, maxSamples int) (Result, error) {
 	if e <= 0 {
 		return Result{}, fmt.Errorf("mc: confidence error %v must be positive", e)
 	}
@@ -267,6 +278,9 @@ func (o *Operator) NextFixedError(e float64, maxSamples int) (Result, error) {
 	}
 	fresh := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if key := o.best(); key != "" && o.total >= minSamplesForCI {
 			// The stopping rule uses a Laplace-adjusted proportion so that
 			// extreme estimates (0 or 1) do not make the Wald half-width
@@ -298,14 +312,14 @@ const DefaultMaxSamples = 1_000_000
 // TopH returns the h most stable rankings using fixed budgets: firstBudget
 // samples on the first call and stepBudget on each subsequent call,
 // mirroring the experimental setup of Section 6.3 (5,000 then 1,000).
-func (o *Operator) TopH(h, firstBudget, stepBudget int) ([]Result, error) {
+func (o *Operator) TopH(ctx context.Context, h, firstBudget, stepBudget int) ([]Result, error) {
 	var out []Result
 	for i := 0; i < h; i++ {
 		budget := stepBudget
 		if i == 0 {
 			budget = firstBudget
 		}
-		r, err := o.NextFixedBudget(budget)
+		r, err := o.NextFixedBudget(ctx, budget)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}
@@ -337,7 +351,7 @@ type CurvePoint struct {
 // saturates as the remaining undiscovered rankings become rare — the
 // practical face of Theorem 2's 1/S(r) discovery costs. The aggregates feed
 // subsequent Next* calls as usual.
-func (o *Operator) DiscoveryCurve(budget, every int) ([]CurvePoint, error) {
+func (o *Operator) DiscoveryCurve(ctx context.Context, budget, every int) ([]CurvePoint, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("mc: negative budget %d", budget)
 	}
@@ -346,6 +360,9 @@ func (o *Operator) DiscoveryCurve(budget, every int) ([]CurvePoint, error) {
 	}
 	var curve []CurvePoint
 	for i := 1; i <= budget; i++ {
+		if err := ctx.Err(); err != nil {
+			return curve, err
+		}
 		if _, err := o.observe(); err != nil {
 			return curve, err
 		}

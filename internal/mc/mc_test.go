@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -13,6 +14,10 @@ import (
 	"stablerank/internal/sampling"
 	"stablerank/internal/twod"
 )
+
+// ctx is the default context threaded through the cancellable API in
+// tests that do not exercise cancellation.
+var ctx = context.Background()
 
 func newOp(t *testing.T, ds *dataset.Dataset, roi geom.Region, seed int64, opts ...Option) *Operator {
 	t.Helper()
@@ -38,7 +43,7 @@ func TestFixedBudgetMatchesExact2D(t *testing.T) {
 	}
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 131)
 	for i := 0; i < 3; i++ {
-		res, err := o.NextFixedBudget(20000)
+		res, err := o.NextFixedBudget(ctx, 20000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,14 +62,14 @@ func TestFixedBudgetMatchesExact2D(t *testing.T) {
 func TestFixedBudgetAccumulatesAcrossCalls(t *testing.T) {
 	ds := dataset.Figure1()
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 132)
-	r1, err := o.NextFixedBudget(1000)
+	r1, err := o.NextFixedBudget(ctx, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.TotalSamples != 1000 || r1.SamplesUsed != 1000 {
 		t.Errorf("first call totals: %+v", r1)
 	}
-	r2, err := o.NextFixedBudget(500)
+	r2, err := o.NextFixedBudget(ctx, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +92,7 @@ func TestFixedBudgetExhaustion(t *testing.T) {
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 133)
 	seen := map[string]bool{}
 	for i := 0; i < 2; i++ {
-		r, err := o.NextFixedBudget(2000)
+		r, err := o.NextFixedBudget(ctx, 2000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +101,7 @@ func TestFixedBudgetExhaustion(t *testing.T) {
 		}
 		seen[r.Key] = true
 	}
-	if _, err := o.NextFixedBudget(2000); !errors.Is(err, ErrExhausted) {
+	if _, err := o.NextFixedBudget(ctx, 2000); !errors.Is(err, ErrExhausted) {
 		t.Errorf("expected ErrExhausted, got %v", err)
 	}
 }
@@ -104,18 +109,18 @@ func TestFixedBudgetExhaustion(t *testing.T) {
 func TestFixedBudgetZeroAfterObservations(t *testing.T) {
 	ds := dataset.Figure1()
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 134)
-	if _, err := o.NextFixedBudget(1000); err != nil {
+	if _, err := o.NextFixedBudget(ctx, 1000); err != nil {
 		t.Fatal(err)
 	}
 	// Zero fresh samples: should still return the next-best observed key.
-	r, err := o.NextFixedBudget(0)
+	r, err := o.NextFixedBudget(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.SamplesUsed != 0 {
 		t.Errorf("SamplesUsed = %d", r.SamplesUsed)
 	}
-	if _, err := o.NextFixedBudget(-1); err == nil {
+	if _, err := o.NextFixedBudget(ctx, -1); err == nil {
 		t.Error("negative budget accepted")
 	}
 }
@@ -123,7 +128,7 @@ func TestFixedBudgetZeroAfterObservations(t *testing.T) {
 func TestFixedErrorReachesTarget(t *testing.T) {
 	ds := dataset.Figure1()
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 135)
-	res, err := o.NextFixedError(0.01, 0)
+	res, err := o.NextFixedError(ctx, 0.01, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,10 +145,10 @@ func TestFixedErrorReachesTarget(t *testing.T) {
 func TestFixedErrorBudgetCap(t *testing.T) {
 	ds := dataset.Figure1()
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 136)
-	if _, err := o.NextFixedError(1e-9, 1000); !errors.Is(err, ErrBudget) {
+	if _, err := o.NextFixedError(ctx, 1e-9, 1000); !errors.Is(err, ErrBudget) {
 		t.Errorf("expected ErrBudget, got %v", err)
 	}
-	if _, err := o.NextFixedError(0, 0); err == nil {
+	if _, err := o.NextFixedError(ctx, 0, 0); err == nil {
 		t.Error("zero error target accepted")
 	}
 }
@@ -160,11 +165,11 @@ func TestTopKSetVersusRanked(t *testing.T) {
 	k := 5
 	set := newOp(t, ds, roi, 138, WithMode(TopKSet, k))
 	ranked := newOp(t, ds, roi, 138, WithMode(TopKRanked, k))
-	rs, err := set.NextFixedBudget(20000)
+	rs, err := set.NextFixedBudget(ctx, 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr2, err := ranked.NextFixedBudget(20000)
+	rr2, err := ranked.NextFixedBudget(ctx, 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +192,7 @@ func TestTopKSetKeysAggregateOrder(t *testing.T) {
 	ds.MustAdd("b", 0.5, 0.5)
 	ds.MustAdd("c", 0.1, 0.9)
 	set := newOp(t, ds, geom.FullSpace{D: 2}, 139, WithMode(TopKSet, 3))
-	r, err := set.NextFixedBudget(5000)
+	r, err := set.NextFixedBudget(ctx, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +203,7 @@ func TestTopKSetKeysAggregateOrder(t *testing.T) {
 		t.Errorf("distinct sets = %d, want 1", set.DistinctObserved())
 	}
 	ranked := newOp(t, ds, geom.FullSpace{D: 2}, 140, WithMode(TopKRanked, 3))
-	if _, err := ranked.NextFixedBudget(5000); err != nil {
+	if _, err := ranked.NextFixedBudget(ctx, 5000); err != nil {
 		t.Fatal(err)
 	}
 	if ranked.DistinctObserved() < 2 {
@@ -211,7 +216,7 @@ func TestTopKSetKeysAggregateOrder(t *testing.T) {
 func TestStableTopKNotSkyline(t *testing.T) {
 	ds := dataset.Toy225()
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 141, WithMode(TopKSet, 3))
-	r, err := o.NextFixedBudget(30000)
+	r, err := o.NextFixedBudget(ctx, 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +248,7 @@ func TestRepresentativeWeightsInduceKey(t *testing.T) {
 	}
 	o := newOp(t, ds, geom.FullSpace{D: 3}, 143)
 	for i := 0; i < 3; i++ {
-		res, err := o.NextFixedBudget(5000)
+		res, err := o.NextFixedBudget(ctx, 5000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,7 +297,7 @@ func TestTopHHelper(t *testing.T) {
 		ds.MustAdd("", rr.Float64(), rr.Float64(), rr.Float64())
 	}
 	o := newOp(t, ds, geom.FullSpace{D: 3}, 145, WithMode(TopKSet, 5))
-	results, err := o.TopH(10, 5000, 1000)
+	results, err := o.TopH(ctx, 10, 5000, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +322,7 @@ func TestTopHHelper(t *testing.T) {
 func TestDiscoveryCurve(t *testing.T) {
 	ds := dataset.Figure1()
 	o := newOp(t, ds, geom.FullSpace{D: 2}, 147)
-	curve, err := o.DiscoveryCurve(5000, 500)
+	curve, err := o.DiscoveryCurve(ctx, 5000, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,11 +339,11 @@ func TestDiscoveryCurve(t *testing.T) {
 	if last < 8 || last > 11 {
 		t.Errorf("discovered %d rankings after 5000 samples, want close to 11", last)
 	}
-	if _, err := o.DiscoveryCurve(-1, 10); err == nil {
+	if _, err := o.DiscoveryCurve(ctx, -1, 10); err == nil {
 		t.Error("negative budget accepted")
 	}
 	// The curve's aggregates feed Next calls.
-	if _, err := o.NextFixedBudget(0); err != nil {
+	if _, err := o.NextFixedBudget(ctx, 0); err != nil {
 		t.Errorf("NextFixedBudget after curve: %v", err)
 	}
 }

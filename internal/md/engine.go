@@ -2,6 +2,7 @@ package md
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 
@@ -121,12 +122,26 @@ func (e *Engine) LPCalls() int { return e.lpCalls }
 
 // Next returns the next most stable ranking region (Algorithm 6). The search
 // refines only the currently most stable region, so early calls avoid
-// constructing the full arrangement.
-func (e *Engine) Next() (Result, error) {
+// constructing the full arrangement. Cancelling ctx stops the refinement at
+// the next region boundary and returns the context's error; the engine stays
+// consistent and a later call with a live context resumes where it left off.
+func (e *Engine) Next(ctx context.Context) (Result, error) {
 	for e.regions.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		r := heap.Pop(&e.regions).(*Region)
 		split := false
-		for r.pending < len(e.hps) {
+		for scanned := 0; r.pending < len(e.hps); scanned++ {
+			// A single region can scan O(n^2) pending hyperplanes, each with a
+			// partition pass over its samples; poll cancellation periodically
+			// and re-push the popped region so the engine stays resumable.
+			if scanned%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					heap.Push(&e.regions, r)
+					return Result{}, err
+				}
+			}
 			h := e.hps[r.pending]
 			r.pending++
 			mid := partitionSamples(e.samples, r.sb, r.se, h)
@@ -137,6 +152,9 @@ func (e *Engine) Next() (Result, error) {
 				e.lpCalls++
 				ok, err := lp.HyperplaneIntersects(e.ds.D(), h, orientedNormals(r.Constraints))
 				if err != nil {
+					// Keep the popped region so a retry does not silently
+					// lose it (and its stability mass) from the enumeration.
+					heap.Push(&e.regions, r)
 					return Result{}, err
 				}
 				if !ok {
@@ -245,10 +263,10 @@ func (h *regionHeap) Pop() interface{} {
 }
 
 // TopH returns the h most stable rankings in the region of interest.
-func TopH(e *Engine, h int) ([]Result, error) {
+func TopH(ctx context.Context, e *Engine, h int) ([]Result, error) {
 	var out []Result
 	for len(out) < h {
-		r, err := e.Next()
+		r, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}
@@ -265,7 +283,7 @@ func TopH(e *Engine, h int) ([]Result, error) {
 // first and only then reports rankings in decreasing stability. maxRegions
 // caps the construction (the arrangement can have O(n^{2d}) cells); 0 means
 // no cap. Kept for the ablation benchmarks.
-func FullArrangement(ds *dataset.Dataset, roi geom.Region, samples []geom.Vector, maxRegions int) ([]Result, error) {
+func FullArrangement(ctx context.Context, ds *dataset.Dataset, roi geom.Region, samples []geom.Vector, maxRegions int) ([]Result, error) {
 	e, err := NewEngine(ds, roi, samples, SamplePartition)
 	if err != nil {
 		return nil, err
@@ -275,7 +293,7 @@ func FullArrangement(ds *dataset.Dataset, roi geom.Region, samples []geom.Vector
 		if maxRegions > 0 && len(out) >= maxRegions {
 			break
 		}
-		r, err := e.Next()
+		r, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}

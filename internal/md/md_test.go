@@ -1,6 +1,7 @@
 package md
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -12,6 +13,10 @@ import (
 	"stablerank/internal/sampling"
 	"stablerank/internal/twod"
 )
+
+// ctx is the default context threaded through the cancellable API in
+// tests that do not exercise cancellation.
+var ctx = context.Background()
 
 func drawSamples(t *testing.T, roi geom.Region, n int, seed int64) []geom.Vector {
 	t.Helper()
@@ -81,7 +86,7 @@ func TestVerifyAgainstExact2D(t *testing.T) {
 			continue // MC error dominates tiny regions
 		}
 		r := rank.Compute(ds, reg.Midpoint())
-		res, err := Verify(ds, r, samples)
+		res, err := Verify(ctx, ds, r, samples)
 		if err != nil {
 			t.Fatalf("Verify: %v", err)
 		}
@@ -102,7 +107,7 @@ func TestVerifyAgainstExact3D(t *testing.T) {
 			t.Fatal(err)
 		}
 		r := rank.Compute(ds, wv)
-		mc, err := Verify(ds, r, samples)
+		mc, err := Verify(ctx, ds, r, samples)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,23 +126,23 @@ func TestVerifyInfeasible(t *testing.T) {
 	ds.MustAdd("hi", 0.9, 0.9, 0.9)
 	ds.MustAdd("lo", 0.1, 0.1, 0.1)
 	samples := drawSamples(t, geom.FullSpace{D: 3}, 100, 106)
-	if _, err := Verify(ds, rank.Ranking{Order: []int{1, 0}}, samples); !errors.Is(err, ErrInfeasibleRanking) {
+	if _, err := Verify(ctx, ds, rank.Ranking{Order: []int{1, 0}}, samples); !errors.Is(err, ErrInfeasibleRanking) {
 		t.Errorf("dominance-violating ranking error = %v", err)
 	}
-	if _, err := Verify(ds, rank.Ranking{Order: []int{0}}, samples); err == nil {
+	if _, err := Verify(ctx, ds, rank.Ranking{Order: []int{0}}, samples); err == nil {
 		t.Error("short ranking accepted")
 	}
-	if _, err := Verify(ds, rank.Ranking{Order: []int{0, 1}}, nil); !errors.Is(err, ErrNoSamples) {
+	if _, err := Verify(ctx, ds, rank.Ranking{Order: []int{0, 1}}, nil); !errors.Is(err, ErrNoSamples) {
 		t.Error("empty samples accepted")
 	}
 	// Tied items.
 	tied := dataset.MustNew(3)
 	tied.MustAdd("a", 0.5, 0.5, 0.5)
 	tied.MustAdd("b", 0.5, 0.5, 0.5)
-	if _, err := Verify(tied, rank.Ranking{Order: []int{1, 0}}, samples); !errors.Is(err, ErrInfeasibleRanking) {
+	if _, err := Verify(ctx, tied, rank.Ranking{Order: []int{1, 0}}, samples); !errors.Is(err, ErrInfeasibleRanking) {
 		t.Errorf("tie-inconsistent ranking error = %v", err)
 	}
-	res, err := Verify(tied, rank.Ranking{Order: []int{0, 1}}, samples)
+	res, err := Verify(ctx, tied, rank.Ranking{Order: []int{0, 1}}, samples)
 	if err != nil || res.Stability != 1 {
 		t.Errorf("tie-consistent ranking: %+v, %v", res, err)
 	}
@@ -189,7 +194,7 @@ func TestEngineMatchesExact2D(t *testing.T) {
 	found := 0
 	prev := 2.0
 	for {
-		res, err := e.Next()
+		res, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}
@@ -240,8 +245,8 @@ func TestEngineLPMatchesSamplePartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		r1, err1 := e1.Next()
-		r2, err2 := e2.Next()
+		r1, err1 := e1.Next(ctx)
+		r2, err2 := e2.Next(ctx)
 		if errors.Is(err1, ErrExhausted) && errors.Is(err2, ErrExhausted) {
 			break
 		}
@@ -271,7 +276,7 @@ func TestEngineTopRankingIsMostStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := e.Next()
+	first, err := e.Next(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +313,7 @@ func TestEngineConeROI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := TopH(e, 10)
+	results, err := TopH(ctx, e, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +364,7 @@ func TestEngineExhaustion(t *testing.T) {
 	}
 	count := 0
 	for {
-		_, err := e.Next()
+		_, err := e.Next(ctx)
 		if errors.Is(err, ErrExhausted) {
 			break
 		}
@@ -372,7 +377,7 @@ func TestEngineExhaustion(t *testing.T) {
 	if count < 9 || count > 11 {
 		t.Errorf("enumerated %d regions, want ~11", count)
 	}
-	if _, err := e.Next(); !errors.Is(err, ErrExhausted) {
+	if _, err := e.Next(ctx); !errors.Is(err, ErrExhausted) {
 		t.Error("exhausted engine should keep returning ErrExhausted")
 	}
 }
@@ -386,7 +391,7 @@ func TestFullArrangementMatchesEngine(t *testing.T) {
 	for i, s := range s1 {
 		s2[i] = s.Clone()
 	}
-	all, err := FullArrangement(ds, roi, s1, 0)
+	all, err := FullArrangement(ctx, ds, roi, s1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +400,7 @@ func TestFullArrangementMatchesEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range all {
-		r, err := e.Next()
+		r, err := e.Next(ctx)
 		if err != nil {
 			t.Fatalf("engine ended early at %d of %d", i, len(all))
 		}
@@ -405,7 +410,7 @@ func TestFullArrangementMatchesEngine(t *testing.T) {
 	}
 	// Capped construction stops early.
 	s3 := drawSamples(t, roi, 5000, 119)
-	capped, err := FullArrangement(ds, roi, s3, 3)
+	capped, err := FullArrangement(ctx, ds, roi, s3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +434,7 @@ func TestEngineStabilitySumsToOne(t *testing.T) {
 		ds := randDataset(rr, 5+rr.Intn(4), 3)
 		roi := geom.FullSpace{D: 3}
 		samples := drawSamples(t, roi, 10000, int64(200+trial))
-		all, err := FullArrangement(ds, roi, samples, 0)
+		all, err := FullArrangement(ctx, ds, roi, samples, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,202 @@
+package stablerank
+
+import (
+	"context"
+
+	"stablerank/internal/core"
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/md"
+)
+
+// Sentinel errors. They compare with errors.Is across every entry point of
+// the package.
+var (
+	// ErrInfeasibleRanking reports that no scoring function in the region of
+	// interest induces the given ranking.
+	ErrInfeasibleRanking = core.ErrInfeasibleRanking
+	// ErrExhausted reports that enumeration has produced every ranking.
+	ErrExhausted = core.ErrExhausted
+	// ErrEmptyDataset reports an operation on a dataset without items.
+	ErrEmptyDataset = dataset.ErrEmptyDataset
+)
+
+// Region is an acceptable region of scoring functions (Section 2.2.2 of the
+// paper): a subset of the non-negative unit sphere a stakeholder considers
+// reasonable weight choices.
+type Region = geom.Region
+
+// Interval2D is a two-dimensional region as an angle interval; it describes
+// exact 2D verification results.
+type Interval2D = geom.Interval2D
+
+// Halfspace is one linear weight constraint, Normal·w >= 0 (Positive) or
+// <= 0; use it with WithConstraints and read it back from Verification.
+type Halfspace = geom.Halfspace
+
+// Vector is a weight or attribute vector.
+type Vector = geom.Vector
+
+// NewVector builds a Vector from its components.
+func NewVector(xs ...float64) Vector { return geom.NewVector(xs...) }
+
+// Verification is the answer to the consumer's stability question
+// (Problem 1). See Analyzer.VerifyStability.
+type Verification = core.Verification
+
+// Stable is one enumerated ranking with its stability. See
+// Analyzer.Enumerator, Analyzer.TopH and Analyzer.AboveThreshold.
+type Stable = core.Stable
+
+// MergedStable is a group of near-identical rankings whose stabilities are
+// summed. See Analyzer.TopHMerged.
+type MergedStable = core.MergedStable
+
+// BoundaryFacet is one facet of a ranking region: crossing it swaps exactly
+// the named item pair. See Analyzer.Boundary.
+type BoundaryFacet = md.BoundaryFacet
+
+// Option configures an Analyzer.
+type Option = core.Option
+
+// WithRegion sets the acceptable region U* directly.
+func WithRegion(r Region) Option { return core.WithRegion(r) }
+
+// WithCone restricts scoring functions to a hypercone of half-angle theta
+// around the reference weight vector.
+func WithCone(weights []float64, theta float64) Option { return core.WithCone(weights, theta) }
+
+// WithCosineSimilarity restricts scoring functions to those within the given
+// minimum cosine similarity of the reference weight vector, as in the
+// paper's "0.998 cosine similarity around the CSMetrics weights".
+func WithCosineSimilarity(weights []float64, minCosine float64) Option {
+	return core.WithCosineSimilarity(weights, minCosine)
+}
+
+// WithConstraints restricts scoring functions to a convex cone of linear
+// weight constraints, e.g. "w2 at most w1".
+func WithConstraints(d int, constraints ...Halfspace) Option {
+	return core.WithConstraints(d, constraints...)
+}
+
+// WithSeed fixes the random seed of every sampler the analyzer creates
+// (default 1). Identical seeds give identical results.
+func WithSeed(seed int64) Option { return core.WithSeed(seed) }
+
+// WithSampleCount sets the Monte-Carlo sample pool used by verification and
+// the multi-dimensional enumerator (default 100,000, the paper's Section 6.3
+// choice for GET-NEXTmd).
+func WithSampleCount(n int) Option { return core.WithSampleCount(n) }
+
+// WithConfidenceLevel sets 1-alpha for reported confidence errors (default
+// alpha = 0.05).
+func WithConfidenceLevel(alpha float64) Option { return core.WithConfidenceLevel(alpha) }
+
+// Analyzer answers stability questions about one dataset within one region
+// of interest: stability verification for consumers (Problem 1) and batch /
+// iterative stable-ranking enumeration for producers (Problems 2 and 3).
+//
+// An Analyzer is safe for concurrent use by multiple goroutines; its shared
+// Monte-Carlo sample pool is drawn once, on first need, and is immutable
+// afterwards. The Enumerator and Randomized cursors it hands out are
+// single-consumer: create one per goroutine.
+//
+// Every potentially long-running method takes a context.Context and returns
+// the context's error promptly after cancellation, leaving the Analyzer
+// usable.
+type Analyzer struct {
+	core *core.Analyzer
+}
+
+// New builds an Analyzer over the dataset. Without options the region of
+// interest is the whole function space U.
+func New(ds *Dataset, opts ...Option) (*Analyzer, error) {
+	a, err := core.New(ds, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{core: a}, nil
+}
+
+// Dataset returns the analyzed dataset.
+func (a *Analyzer) Dataset() *Dataset { return a.core.Dataset() }
+
+// Region returns the region of interest.
+func (a *Analyzer) Region() Region { return a.core.Region() }
+
+// VerifyStability computes the stability of ranking r in the region of
+// interest — the fraction of acceptable scoring functions that induce it:
+// exact in two dimensions, a Monte-Carlo estimate with a confidence error
+// otherwise. It returns ErrInfeasibleRanking when no acceptable function
+// induces r.
+func (a *Analyzer) VerifyStability(ctx context.Context, r Ranking) (Verification, error) {
+	return a.core.VerifyStability(orBackground(ctx), r)
+}
+
+// TopH returns the h most stable rankings (batch Problem 2, count form).
+func (a *Analyzer) TopH(ctx context.Context, h int) ([]Stable, error) {
+	return a.core.TopH(orBackground(ctx), h)
+}
+
+// AboveThreshold returns every ranking with stability >= s (batch Problem 2,
+// threshold form), in decreasing stability order.
+func (a *Analyzer) AboveThreshold(ctx context.Context, s float64) ([]Stable, error) {
+	return a.core.AboveThreshold(orBackground(ctx), s)
+}
+
+// TopHMerged enumerates ranking regions in decreasing stability, merging
+// rankings within Kendall-tau distance tau of a group representative and
+// summing their stabilities (the Section 8 "allow minor changes" extension).
+// At most maxScan regions are examined (<= 0 scans until exhaustion). At
+// most h groups are returned (<= 0 returns all).
+func (a *Analyzer) TopHMerged(ctx context.Context, h, tau, maxScan int) ([]MergedStable, error) {
+	return a.core.TopHMerged(orBackground(ctx), h, tau, maxScan)
+}
+
+// Enumerator prepares iterative stable-ranking enumeration (the GET-NEXT
+// operator of Problem 3). The returned cursor is not safe for concurrent
+// use; obtain one per goroutine (concurrent Enumerator calls on a shared
+// Analyzer are safe).
+func (a *Analyzer) Enumerator(ctx context.Context) (*Enumerator, error) {
+	e, err := a.core.Enumerator(orBackground(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return &Enumerator{core: e}, nil
+}
+
+// Randomized builds the randomized GET-NEXTr operator (Section 4.3) with the
+// given ranking semantics; k is ignored for Complete. The returned cursor is
+// not safe for concurrent use; obtain one per goroutine.
+func (a *Analyzer) Randomized(mode Mode, k int) (*Randomized, error) {
+	r, err := a.core.Randomized(mode, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Randomized{core: r}, nil
+}
+
+// ItemRankDistribution samples the region of interest n times and returns
+// the distribution of the given item's rank — the distributional form of
+// Example 1's consumer question ("does Cornell make the top-10 under
+// acceptable weights?").
+func (a *Analyzer) ItemRankDistribution(ctx context.Context, item, n int) (RankDistribution, error) {
+	return a.core.ItemRankDistribution(orBackground(ctx), item, n)
+}
+
+// Boundary returns the non-redundant boundary facets of ranking r's region:
+// the item pairs whose exchange a weight perturbation can realize first. It
+// works in any dimension.
+func (a *Analyzer) Boundary(r Ranking) ([]BoundaryFacet, error) {
+	return a.core.Boundary(r)
+}
+
+// orBackground tolerates a nil context at the public boundary so facade
+// callers migrating from the pre-context API cannot panic deep inside a
+// sampling loop.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
