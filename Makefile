@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-short ci
+# Benchmark-trajectory artifact name; CI uploads one per PR so perf is
+# comparable across the PR sequence.
+BENCHJSON ?= BENCH_pr2.json
+
+.PHONY: all build test race vet fmt bench bench-short benchjson ci
 
 all: build
 
@@ -32,6 +36,12 @@ bench:
 ## bench-short: one quick benchmark family as a smoke test
 bench-short:
 	$(GO) test -bench='BenchmarkFig10SV2D' -benchtime=1x -run '^$$' .
+
+## benchjson: run every benchmark once and emit test2json events to
+## $(BENCHJSON) — the benchmark-regression artifact CI uploads so future
+## PRs have a perf trajectory to compare against
+benchjson:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > $(BENCHJSON)
 
 ## ci: everything the CI workflow runs
 ci: build fmt vet test race

@@ -45,11 +45,11 @@ func regionName(r stablerank.Region) string {
 }
 
 func cmdExport(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	c := addCommon(fs)
 	h := fs.Int("h", 100, "maximum rankings to export")
 	show := fs.Int("show", 10, "ranked items to include per record (0 = all)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	ds, err := c.load()

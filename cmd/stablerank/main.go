@@ -19,10 +19,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 
@@ -30,43 +30,84 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
 	// Ctrl-C / SIGTERM cancels the context; long-running analyses stop
 	// promptly instead of being killed mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	var err error
-	switch os.Args[1] {
-	case "verify":
-		err = cmdVerify(ctx, os.Args[2:])
-	case "enumerate":
-		err = cmdEnumerate(ctx, os.Args[2:])
-	case "random":
-		err = cmdRandom(ctx, os.Args[2:])
-	case "skyline":
-		err = cmdSkyline(os.Args[2:])
-	case "export":
-		err = cmdExport(ctx, os.Args[2:])
-	case "gen":
-		err = cmdGen(os.Args[2:])
-	case "help", "-h", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "stablerank: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+	code := run(ctx, os.Args[1:], os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run dispatches the subcommand and maps every failure — unknown commands,
+// bad flags, missing files, inconsistent region flags — to a diagnostic on
+// stderr plus a non-zero exit code, never a panic trace.
+func run(ctx context.Context, args []string, stderr io.Writer) int {
+	flagOutput = stderr
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "stablerank:", err)
-		os.Exit(1)
+	var err error
+	switch args[0] {
+	case "verify":
+		err = cmdVerify(ctx, args[1:])
+	case "enumerate":
+		err = cmdEnumerate(ctx, args[1:])
+	case "random":
+		err = cmdRandom(ctx, args[1:])
+	case "skyline":
+		err = cmdSkyline(args[1:])
+	case "export":
+		err = cmdExport(ctx, args[1:])
+	case "gen":
+		err = cmdGen(args[1:])
+	case "help", "-h", "--help":
+		usage(stderr)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "stablerank: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, errUsage):
+		// The FlagSet already printed the diagnostic and its usage.
+		return 2
+	default:
+		fmt.Fprintln(stderr, "stablerank:", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: stablerank <command> [flags]
+// errUsage marks a flag-parse failure the FlagSet has already reported, so
+// run maps it to exit code 2 without printing it a second time.
+var errUsage = errors.New("usage error")
+
+// flagOutput is where subcommand FlagSets print their diagnostics and -h
+// usage; run points it at its stderr writer so the whole CLI honors one
+// destination (tests inject a buffer).
+var flagOutput io.Writer = os.Stderr
+
+// parseArgs parses args with fs, folding parse failures into errUsage while
+// letting -h pass through as flag.ErrHelp.
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(flagOutput)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: stablerank <command> [flags]
 
 commands:
   verify     compute the stability of the ranking induced by -weights
@@ -118,44 +159,29 @@ func (c *commonFlags) parseWeights(d int) ([]float64, error) {
 	if c.weights == "" {
 		return nil, nil
 	}
-	parts := strings.Split(c.weights, ",")
-	if len(parts) != d {
-		return nil, fmt.Errorf("-weights has %d values, dataset has %d attributes", len(parts), d)
-	}
-	w := make([]float64, d)
-	for i, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad weight %q: %v", p, err)
-		}
-		w[i] = v
+	w, err := stablerank.ParseWeights(c.weights, d)
+	if err != nil {
+		return nil, fmt.Errorf("-weights: %w", err)
 	}
 	return w, nil
 }
 
 func (c *commonFlags) analyzerOptions(w []float64) ([]stablerank.Option, error) {
 	opts := []stablerank.Option{stablerank.WithSeed(c.seed), stablerank.WithSampleCount(c.samples)}
-	switch {
-	case c.theta > 0 && c.cosine > 0:
-		return nil, errors.New("use only one of -theta and -cosine")
-	case c.theta > 0:
-		if w == nil {
-			return nil, errors.New("-theta requires -weights")
-		}
-		opts = append(opts, stablerank.WithCone(w, c.theta))
-	case c.cosine > 0:
-		if w == nil {
-			return nil, errors.New("-cosine requires -weights")
-		}
-		opts = append(opts, stablerank.WithCosineSimilarity(w, c.cosine))
+	region, err := stablerank.RegionOption(w, c.theta, c.cosine)
+	if err != nil {
+		return nil, fmt.Errorf("-theta/-cosine: %w", err)
+	}
+	if region != nil {
+		opts = append(opts, region)
 	}
 	return opts, nil
 }
 
 func cmdVerify(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	c := addCommon(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	ds, err := c.load()
@@ -195,12 +221,12 @@ func cmdVerify(ctx context.Context, args []string) error {
 }
 
 func cmdEnumerate(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
+	fs := flag.NewFlagSet("enumerate", flag.ContinueOnError)
 	c := addCommon(fs)
 	h := fs.Int("h", 10, "number of stable rankings to report")
 	threshold := fs.Float64("threshold", 0, "report all rankings with stability >= threshold instead of -h")
 	show := fs.Int("show", 5, "ranked items to print per result")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	ds, err := c.load()
@@ -242,14 +268,14 @@ func cmdEnumerate(ctx context.Context, args []string) error {
 }
 
 func cmdRandom(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("random", flag.ExitOnError)
+	fs := flag.NewFlagSet("random", flag.ContinueOnError)
 	c := addCommon(fs)
 	k := fs.Int("k", 10, "top-k size")
 	mode := fs.String("mode", "set", "top-k semantics: set, ranked, or complete")
 	h := fs.Int("h", 5, "results to report")
 	first := fs.Int("first", 5000, "sampling budget of the first call")
 	step := fs.Int("step", 1000, "sampling budget of subsequent calls")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	ds, err := c.load()
@@ -300,9 +326,9 @@ func cmdRandom(ctx context.Context, args []string) error {
 }
 
 func cmdSkyline(args []string) error {
-	fs := flag.NewFlagSet("skyline", flag.ExitOnError)
+	fs := flag.NewFlagSet("skyline", flag.ContinueOnError)
 	c := addCommon(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	ds, err := c.load()
@@ -318,12 +344,12 @@ func cmdSkyline(args []string) error {
 }
 
 func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	kind := fs.String("kind", "independent", "csmetrics|fifa|diamonds|flights|independent|correlated|anticorrelated")
 	n := fs.Int("n", 100, "items to generate")
 	d := fs.Int("d", 3, "attributes (synthetic kinds only)")
 	seed := fs.Int64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))

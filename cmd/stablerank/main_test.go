@@ -220,6 +220,58 @@ func TestCmdExport(t *testing.T) {
 	}
 }
 
+// TestRunExitCodes drives the top-level dispatcher the way a shell would:
+// every failure mode must produce a diagnostic on stderr and a non-zero
+// exit code — never a panic trace — and success paths must exit 0.
+func TestRunExitCodes(t *testing.T) {
+	data := writeFixture(t)
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		msg  string // required substring of stderr
+	}{
+		{"no args", nil, 2, "usage:"},
+		{"unknown command", []string{"frobnicate"}, 2, "unknown command"},
+		{"help", []string{"help"}, 0, "usage:"},
+		{"flag help", []string{"verify", "-h"}, 0, ""},
+		// The FlagSet reports bad flags itself (through run's stderr), and
+		// run maps them to the conventional usage exit code.
+		{"bad flag", []string{"verify", "-not-a-flag"}, 2, "not-a-flag"},
+		{"missing csv path", []string{"verify", "-data", "/nonexistent.csv", "-weights", "1,1"}, 1, "no such file"},
+		{"csv path is a directory", []string{"verify", "-data", t.TempDir(), "-weights", "1,1"}, 1, "stablerank:"},
+		{"missing -data", []string{"verify", "-weights", "1,1"}, 1, "-data is required"},
+		{"theta and cosine", []string{"verify", "-data", data, "-weights", "1,1", "-theta", "0.1", "-cosine", "0.9"}, 1, "only one of theta and cosine"},
+		{"theta without weights", []string{"enumerate", "-data", data, "-theta", "0.1"}, 1, "theta requires weights"},
+		{"cosine without weights", []string{"enumerate", "-data", data, "-cosine", "0.99"}, 1, "cosine requires weights"},
+		{"non-finite weights", []string{"verify", "-data", data, "-weights", "1,NaN"}, 1, "not finite"},
+		{"bad weights", []string{"verify", "-data", data, "-weights", "1,oops"}, 1, "bad weight"},
+		{"wrong weight count", []string{"verify", "-data", data, "-weights", "1,2,3"}, 1, "dataset has 2 attributes"},
+		{"unknown gen kind", []string{"gen", "-kind", "nope"}, 1, "unknown -kind"},
+		{"gen ok", []string{"gen", "-kind", "independent", "-n", "3"}, 0, ""},
+		{"skyline ok", []string{"skyline", "-data", data}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			var exit int
+			// Swallow stdout so success cases stay quiet in test output.
+			if _, err := capture(t, func() error {
+				exit = run(ctx, tc.args, &stderr)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if exit != tc.exit {
+				t.Errorf("exit = %d, want %d (stderr: %s)", exit, tc.exit, stderr.String())
+			}
+			if tc.msg != "" && !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}
+
 func TestParseWeights(t *testing.T) {
 	c := &commonFlags{weights: " 1, 2 ,3 "}
 	w, err := c.parseWeights(3)

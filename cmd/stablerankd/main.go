@@ -1,0 +1,139 @@
+// Command stablerankd serves the stable-ranking operators over HTTP: a
+// named-dataset registry (loaded from CSV at startup, extendable via POST),
+// shared per-query-key analyzers so concurrent identical queries share one
+// Monte-Carlo sample pool, an LRU result cache, per-request timeouts, and a
+// graceful SIGTERM drain.
+//
+//	stablerankd -addr :8080 -dataset fifa=players.csv -dataset unis=unis.csv
+//
+// See the server package documentation for the endpoint table.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stablerank/server"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stderr, nil))
+}
+
+// run is main with its exit code and side effects parameterized for tests.
+// If ready is non-nil it receives the bound listen address once the server
+// accepts connections.
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("stablerankd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request computation timeout (0 disables)")
+		drain       = fs.Duration("drain", 15*time.Second, "graceful shutdown drain window")
+		cacheSize   = fs.Int("cache", 512, "LRU response cache entries (0 disables)")
+		samples     = fs.Int("samples", 100000, "default Monte-Carlo sample pool size")
+		maxSamples  = fs.Int("max-samples", 2000000, "largest accepted ?samples=/?n=")
+		seed        = fs.Int64("seed", 1, "default random seed")
+		maxUpload   = fs.Int64("max-upload", 32<<20, "largest accepted dataset upload in bytes")
+		noHeader    = fs.Bool("no-header", false, "startup CSVs have no header row")
+		quiet       = fs.Bool("quiet", false, "disable request logging")
+		datasetSpec []string
+	)
+	fs.Func("dataset", "name=path CSV dataset to serve (repeatable)", func(v string) error {
+		datasetSpec = append(datasetSpec, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	logger := log.New(stderr, "stablerankd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+
+	registry := server.NewRegistry()
+	for _, spec := range datasetSpec {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "stablerankd: -dataset %q: want name=path\n", spec)
+			return 2
+		}
+		if err := registry.LoadCSVFile(name, path, !*noHeader); err != nil {
+			fmt.Fprintf(stderr, "stablerankd: loading dataset %s: %v\n", name, err)
+			return 1
+		}
+		logger.Printf("loaded dataset %q from %s", name, path)
+	}
+
+	// The Config zero value means "use the default", so translate this
+	// command's explicit "0 disables" flag semantics to the negative values
+	// the server package uses for "off".
+	reqTimeout := *timeout
+	if reqTimeout == 0 {
+		reqTimeout = -1
+	}
+	cacheEntries := *cacheSize
+	if cacheEntries == 0 {
+		cacheEntries = -1
+	}
+	srv := server.New(server.Config{
+		Registry:           registry,
+		RequestTimeout:     reqTimeout,
+		CacheSize:          cacheEntries,
+		MaxUploadBytes:     *maxUpload,
+		DefaultSampleCount: *samples,
+		MaxSampleCount:     *maxSamples,
+		DefaultSeed:        *seed,
+		Logf:               logf,
+	})
+
+	// SIGINT/SIGTERM cancels ctx; the HTTP server then drains in-flight
+	// requests for up to -drain before closing their connections.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "stablerankd: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Printf("serving %d dataset(s) on %s", registry.Len(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "stablerankd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	logger.Printf("shutdown signal received; draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(stderr, "stablerankd: drain incomplete: %v\n", err)
+		return 1
+	}
+	logger.Printf("drained cleanly")
+	return 0
+}

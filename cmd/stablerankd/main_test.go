@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunFlagAndStartupErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		msg  string
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2, "flag provided but not defined"},
+		{"help", []string{"-h"}, 0, "Usage of stablerankd"},
+		{"bad dataset spec", []string{"-dataset", "justaname"}, 2, "want name=path"},
+		{"missing csv", []string{"-dataset", "x=/nonexistent/file.csv"}, 1, "no such file"},
+		{"bad listen addr", []string{"-addr", "256.256.256.256:0"}, 1, "listen"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			var stderr strings.Builder
+			if got := run(ctx, tc.args, &stderr, nil); got != tc.exit {
+				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.exit, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}
+
+func TestRunServesAndDrainsGracefully(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.csv")
+	if err := os.WriteFile(path, []byte("id,x1,x2\na,1,2\nb,2,1\nc,3,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stderr strings.Builder
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-dataset", "d=" + path, "-quiet"},
+			&stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("server exited early with %d: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/d/verify?weights=1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify on loaded dataset = %d", resp.StatusCode)
+	}
+
+	// Cancelling the context (the SIGTERM path) must drain and exit 0.
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("graceful shutdown exit = %d: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never drained")
+	}
+}

@@ -1,7 +1,11 @@
 package stablerank
 
 import (
+	"fmt"
 	"io"
+	"math"
+	"strconv"
+	"strings"
 
 	"stablerank/internal/core"
 	"stablerank/internal/dataset"
@@ -41,6 +45,28 @@ type Ranking = rank.Ranking
 // nabla_f(D) operator.
 func RankingOf(ds *Dataset, weights []float64) Ranking {
 	return core.RankingOf(ds, weights)
+}
+
+// ParseWeights parses a comma-separated weight vector of dimension d — the
+// textual form the CLI flags and the HTTP query parameters share. Every
+// component must be a finite number; surrounding whitespace is tolerated.
+func ParseWeights(s string, d int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != d {
+		return nil, fmt.Errorf("stablerank: weights list has %d values, dataset has %d attributes", len(parts), d)
+	}
+	w := make([]float64, d)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("stablerank: bad weight %q", p)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("stablerank: weight %q is not finite", p)
+		}
+		w[i] = v
+	}
+	return w, nil
 }
 
 // KendallTau returns the number of discordant item pairs between two

@@ -27,9 +27,17 @@
 //
 //   - stablerank (this package): Analyzer (verify / enumerate / randomized),
 //     Dataset construction and CSV I/O, ranking metrics, data simulators
+//   - server + cmd/stablerankd: the HTTP service over the same operators
 //   - cmd/stablerank: CSV-driven command-line interface
 //   - cmd/benchfig: regenerates Figures 7-21 as text tables
 //   - examples/: five runnable scenarios from the paper
+//
+// Choosing an entry point: LIBRARY users who want the operators in-process
+// import this package and share one Analyzer across goroutines. SERVICE
+// users who want the operators behind HTTP — shared analyzers and sample
+// pools across many clients, an LRU result cache, per-request timeouts,
+// runtime dataset registration — run cmd/stablerankd, which is a thin
+// listener around the server package.
 //
 // Everything under internal/ is implementation detail and may change without
 // notice; import this package, not internal/core.

@@ -64,6 +64,11 @@ type Analyzer struct {
 	// on failure the cell is swapped for a fresh one, while a successful pool
 	// is published exactly once and is immutable afterwards.
 	pool atomic.Pointer[poolState]
+
+	// poolBuilds counts entries into drawPool, so callers sharing an
+	// Analyzer can observe that concurrent first uses coalesced into a
+	// single pool construction.
+	poolBuilds atomic.Int64
 }
 
 // poolState is one attempt at building the shared sample pool.
@@ -71,6 +76,9 @@ type poolState struct {
 	once    sync.Once
 	samples []geom.Vector
 	err     error
+	// built is set (after once completes) iff the attempt succeeded; it lets
+	// PoolBuilt peek without racing a build in flight.
+	built atomic.Bool
 }
 
 // Option configures an Analyzer.
@@ -195,6 +203,25 @@ func (a *Analyzer) Dataset() *dataset.Dataset { return a.ds }
 // Region returns the region of interest.
 func (a *Analyzer) Region() geom.Region { return a.roi }
 
+// Seed returns the configured random seed.
+func (a *Analyzer) Seed() int64 { return a.seed }
+
+// SampleCount returns the configured Monte-Carlo sample pool size.
+func (a *Analyzer) SampleCount() int { return a.sampleCount }
+
+// PoolBuilds returns how many times the shared sample pool has been (re)built,
+// counting builds that a cancelled context aborted. Concurrent first uses of a
+// shared Analyzer coalesce into one build, so after any number of successful
+// calls this is 1; it only exceeds 1 when aborted builds were retried.
+func (a *Analyzer) PoolBuilds() int64 { return a.poolBuilds.Load() }
+
+// PoolBuilt reports whether the shared sample pool has been successfully
+// drawn (it then stays resident for the Analyzer's lifetime).
+func (a *Analyzer) PoolBuilt() bool {
+	st := a.pool.Load()
+	return st != nil && st.built.Load()
+}
+
 // RankingOf returns the ranking the weight vector induces on ds, the
 // nabla_f(D) operator.
 func RankingOf(ds *dataset.Dataset, weights []float64) rank.Ranking {
@@ -216,7 +243,10 @@ func (a *Analyzer) sampler(seedOffset int64) (sampling.Sampler, error) {
 func (a *Analyzer) samplePool(ctx context.Context) ([]geom.Vector, error) {
 	for {
 		st := a.pool.Load()
-		st.once.Do(func() { st.samples, st.err = a.drawPool(ctx) })
+		st.once.Do(func() {
+			st.samples, st.err = a.drawPool(ctx)
+			st.built.Store(st.err == nil)
+		})
 		if st.err == nil {
 			return st.samples, nil
 		}
@@ -235,6 +265,7 @@ func (a *Analyzer) samplePool(ctx context.Context) ([]geom.Vector, error) {
 // drawPool draws the configured number of samples from the region of
 // interest, polling ctx periodically.
 func (a *Analyzer) drawPool(ctx context.Context) ([]geom.Vector, error) {
+	a.poolBuilds.Add(1)
 	s, err := a.sampler(0)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV drives ReadCSV with arbitrary byte soup. The contract under
+// fuzzing: malformed headers, non-numeric or non-finite cells, ragged rows,
+// and binary garbage must all surface as errors — never a panic — and any
+// dataset that IS accepted must be internally consistent (uniform dimension,
+// only finite attribute values).
+func FuzzLoadCSV(f *testing.F) {
+	// Seed the corpus from the bundled fixtures, both header modes...
+	for _, ds := range []*Dataset{Figure1(), Toy225()} {
+		for _, withHeader := range []bool{true, false} {
+			var buf bytes.Buffer
+			if err := ds.WriteCSV(&buf, withHeader); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.String(), withHeader)
+		}
+	}
+	// ...plus handcrafted malformed shapes the parser must reject cleanly.
+	for _, seed := range []string{
+		"",                               // empty input
+		"id,x1,x2\n",                     // header only
+		"id,x1,x2\na,1\n",                // ragged row
+		"id,x1,x2\na,1,NaN\n",            // NaN cell parses as a float but is not finite
+		"id,x1,x2\na,1,+Inf\nb,2,-Inf\n", // infinities
+		"id,x1,x2\na,1,two\n",            // non-numeric cell
+		"onlyids\na\nb\n",                // no attribute columns
+		"\"unterminated,1,2\n",           // broken quoting
+		"id,x1,x2\r\na,1e308,2e308\r\n",  // CRLF + near-overflow floats
+		"a,0.63,0.71\na,0.83,0.65\n",     // duplicate IDs (allowed today)
+		"id;x1;x2\na;1;2\n",              // wrong delimiter: one giant column
+		string([]byte{0xff, 0xfe, 0x00, ',', '1', '\n'}), // binary garbage
+	} {
+		f.Add(seed, true)
+		f.Add(seed, false)
+	}
+
+	f.Fuzz(func(t *testing.T, data string, hasHeader bool) {
+		ds, err := ReadCSV(strings.NewReader(data), hasHeader)
+		if err != nil {
+			if ds != nil {
+				t.Fatalf("error %v with non-nil dataset", err)
+			}
+			return
+		}
+		// Accepted datasets must be well-formed.
+		if ds.N() == 0 {
+			t.Fatal("accepted dataset has no items")
+		}
+		if ds.D() < 1 {
+			t.Fatalf("accepted dataset has dimension %d", ds.D())
+		}
+		for i := 0; i < ds.N(); i++ {
+			attrs := ds.Attrs(i)
+			if len(attrs) != ds.D() {
+				t.Fatalf("item %d has %d attributes, dataset dimension %d", i, len(attrs), ds.D())
+			}
+			for j, v := range attrs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("item %d attribute %d is not finite: %v", i, j, v)
+				}
+			}
+		}
+		// An accepted dataset must round-trip: write it back out and reparse
+		// to an identical catalog.
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf, false); err != nil {
+			t.Fatalf("writing accepted dataset: %v", err)
+		}
+		back, err := ReadCSV(&buf, false)
+		if err != nil {
+			t.Fatalf("reparsing written dataset: %v", err)
+		}
+		if back.N() != ds.N() || back.D() != ds.D() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d", ds.N(), ds.D(), back.N(), back.D())
+		}
+		for i := 0; i < ds.N(); i++ {
+			if back.Item(i).ID != ds.Item(i).ID {
+				t.Fatalf("round trip changed item %d id", i)
+			}
+			for j := range ds.Attrs(i) {
+				if back.Attrs(i)[j] != ds.Attrs(i)[j] {
+					t.Fatalf("round trip changed item %d attribute %d", i, j)
+				}
+			}
+		}
+	})
+}

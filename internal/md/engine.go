@@ -153,7 +153,10 @@ func (e *Engine) Next(ctx context.Context) (Result, error) {
 				ok, err := lp.HyperplaneIntersects(e.ds.D(), h, orientedNormals(r.Constraints))
 				if err != nil {
 					// Keep the popped region so a retry does not silently
-					// lose it (and its stability mass) from the enumeration.
+					// lose it (and its stability mass) from the enumeration,
+					// and rewind pending so the retry re-tests this
+					// hyperplane instead of skipping its split.
+					r.pending--
 					heap.Push(&e.regions, r)
 					return Result{}, err
 				}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"stablerank"
+)
+
+// regionSpec is the canonical form of the region-of-interest query
+// parameters. Exactly one of theta/cosine may be set, and both require
+// weights; weights alone (or nothing) means the whole function space.
+type regionSpec struct {
+	weights []float64
+	theta   float64 // > 0: hypercone half-angle around weights
+	cosine  float64 // > 0: minimum cosine similarity with weights
+}
+
+// canonical renders the spec as a stable string usable inside map and cache
+// keys: identical queries collapse to identical analyzers and cache slots.
+// Without theta/cosine the region is the full function space regardless of
+// the weights (they then only pick the ranking being asked about, which is
+// keyed per endpoint), so all full-space queries share one analyzer.
+func (rs regionSpec) canonical() string {
+	if rs.theta <= 0 && rs.cosine <= 0 {
+		return "full"
+	}
+	var b strings.Builder
+	if rs.theta > 0 {
+		b.WriteString("cone:")
+	} else {
+		b.WriteString("cosine:")
+	}
+	for i, w := range rs.weights {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(w, 'g', -1, 64))
+	}
+	if rs.theta > 0 {
+		fmt.Fprintf(&b, ";theta=%s", strconv.FormatFloat(rs.theta, 'g', -1, 64))
+	} else {
+		fmt.Fprintf(&b, ";cos=%s", strconv.FormatFloat(rs.cosine, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// options translates the spec into analyzer options.
+func (rs regionSpec) options(seed int64, samples int) ([]stablerank.Option, error) {
+	opts := []stablerank.Option{stablerank.WithSeed(seed), stablerank.WithSampleCount(samples)}
+	region, err := stablerank.RegionOption(rs.weights, rs.theta, rs.cosine)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	if region != nil {
+		opts = append(opts, region)
+	}
+	return opts, nil
+}
+
+// analyzerKey identifies one shared Analyzer. Two requests with equal keys
+// are guaranteed identical results, so they may share an Analyzer — and with
+// it the expensive Monte-Carlo sample pool.
+type analyzerKey struct {
+	dataset string
+	gen     int64
+	region  string
+	seed    int64
+	samples int
+}
+
+func (k analyzerKey) String() string {
+	return fmt.Sprintf("%s@%d|%s|seed=%d|n=%d", k.dataset, k.gen, k.region, k.seed, k.samples)
+}
+
+// analyzerPool deduplicates Analyzer construction per key, singleflight
+// style: the first request for a key builds, concurrent requests for the
+// same key wait for that build, and later requests get the cached Analyzer.
+// Since an Analyzer draws its sample pool once and shares it across calls,
+// this collapses N concurrent identical queries into one pool build.
+//
+// Residency is bounded: the pool holds at most max completed analyzers and
+// evicts the least recently used one beyond that, so clients sweeping seeds,
+// sample counts, or regions (or datasets being replaced, which bumps the
+// generation in the key) cannot pin sample pools in memory without bound.
+// Evicted analyzers stay alive for requests already holding them and are
+// collected when those finish.
+type analyzerPool struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values *poolItem
+	entries map[analyzerKey]*list.Element
+
+	builds    atomic.Int64 // Analyzer constructions started
+	dedupHits atomic.Int64 // requests served by an existing entry
+	inflight  atomic.Int64 // builds currently running
+	evictions atomic.Int64 // completed analyzers dropped by the LRU bound
+}
+
+type poolItem struct {
+	key analyzerKey
+	e   *analyzerEntry
+}
+
+type analyzerEntry struct {
+	ready chan struct{} // closed when the build finishes
+	a     *stablerank.Analyzer
+	err   error
+}
+
+// done reports whether the entry's build has finished.
+func (e *analyzerEntry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+func newAnalyzerPool(max int) *analyzerPool {
+	if max < 1 {
+		max = 1
+	}
+	return &analyzerPool{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[analyzerKey]*list.Element),
+	}
+}
+
+// get returns the shared Analyzer for key, building it (at most once per
+// key, regardless of concurrency) from ds and spec. A failed build is
+// forgotten so the key can be retried — deterministic misconfigurations
+// surface the same error again, transient conditions get a fresh chance.
+func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionSpec) (*stablerank.Analyzer, error) {
+	p.mu.Lock()
+	if el, ok := p.entries[key]; ok {
+		p.order.MoveToFront(el)
+		e := el.Value.(*poolItem).e
+		p.mu.Unlock()
+		p.dedupHits.Add(1)
+		<-e.ready
+		return e.a, e.err
+	}
+	e := &analyzerEntry{ready: make(chan struct{})}
+	p.entries[key] = p.order.PushFront(&poolItem{key: key, e: e})
+	// Evict the least recently used *completed* analyzers beyond the bound;
+	// in-flight builds are skipped (their requests still need the entry for
+	// deduplication).
+	for el := p.order.Back(); p.order.Len() > p.max && el != nil; {
+		prev := el.Prev()
+		if item := el.Value.(*poolItem); item.e != e && item.e.done() {
+			p.order.Remove(el)
+			delete(p.entries, item.key)
+			p.evictions.Add(1)
+		}
+		el = prev
+	}
+	p.mu.Unlock()
+
+	p.builds.Add(1)
+	p.inflight.Add(1)
+	opts, err := spec.options(key.seed, key.samples)
+	if err == nil {
+		e.a, e.err = stablerank.New(ds, opts...)
+	} else {
+		e.err = err
+	}
+	p.inflight.Add(-1)
+	close(e.ready)
+
+	if e.err != nil {
+		p.mu.Lock()
+		// Only forget the entry if it is still ours; a concurrent retry may
+		// already have replaced it.
+		if el, ok := p.entries[key]; ok && el.Value.(*poolItem).e == e {
+			p.order.Remove(el)
+			delete(p.entries, key)
+		}
+		p.mu.Unlock()
+	}
+	return e.a, e.err
+}
+
+// analyzerStat is one resident analyzer's /statsz row.
+type analyzerStat struct {
+	Key         string `json:"key"`
+	SampleCount int    `json:"sample_count"`
+	PoolBuilt   bool   `json:"pool_built"`
+	PoolBuilds  int64  `json:"pool_builds"`
+}
+
+// snapshot reports the resident analyzers and the pool counters.
+func (p *analyzerPool) snapshot() (stats []analyzerStat, builds, dedupHits, inflight, evictions int64) {
+	p.mu.Lock()
+	items := make([]*poolItem, 0, len(p.entries))
+	for _, el := range p.entries {
+		items = append(items, el.Value.(*poolItem))
+	}
+	p.mu.Unlock()
+	stats = make([]analyzerStat, 0, len(items))
+	for _, item := range items {
+		if !item.e.done() {
+			continue // build still in flight; skip rather than block /statsz
+		}
+		if item.e.err != nil || item.e.a == nil {
+			continue
+		}
+		stats = append(stats, analyzerStat{
+			Key:         item.key.String(),
+			SampleCount: item.e.a.SampleCount(),
+			PoolBuilt:   item.e.a.PoolBuilt(),
+			PoolBuilds:  item.e.a.PoolBuilds(),
+		})
+	}
+	return stats, p.builds.Load(), p.dedupHits.Load(), p.inflight.Load(), p.evictions.Load()
+}

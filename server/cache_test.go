@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	if v, ok := c.get("a"); !ok || string(v) != "1" {
+		t.Fatalf("get a = %q, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.put("c", []byte("3"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing")
+	}
+	hits, misses, size := c.stats()
+	if size != 2 {
+		t.Errorf("size = %d, want 2", size)
+	}
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+func TestLRUCacheRefresh(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", []byte("1"))
+	c.put("a", []byte("1'"))
+	if v, _ := c.get("a"); string(v) != "1'" {
+		t.Errorf("refresh kept old value %q", v)
+	}
+	_, _, size := c.stats()
+	if size != 1 {
+		t.Errorf("size = %d after double put, want 1", size)
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.put("a", []byte("1"))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a value")
+	}
+}
+
+func TestLRUCacheConcurrent(t *testing.T) {
+	c := newLRUCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%24)
+				c.put(key, []byte(key))
+				if v, ok := c.get(key); ok && string(v) != key {
+					t.Errorf("key %s holds %q", key, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, _, size := c.stats(); size > 16 {
+		t.Errorf("size %d exceeds capacity", size)
+	}
+}

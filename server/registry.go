@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+
+	"stablerank"
+)
+
+// Registry is the named-dataset catalog the service queries against.
+// Datasets are registered at startup (from CSV files) or at runtime (POST
+// /datasets/{name}); both paths replace an existing name atomically and bump
+// the name's generation so analyzers and cached results built against the
+// old data are never served for the new.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*registryEntry
+}
+
+type registryEntry struct {
+	ds  *stablerank.Dataset
+	gen int64
+}
+
+// datasetNameRE bounds names to something that is safe in URLs and cache
+// keys.
+var datasetNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*registryEntry)}
+}
+
+// Add registers ds under name, replacing any existing dataset with that name
+// and invalidating results derived from it. The dataset must have at least
+// one item and at least two scoring attributes (the analyzer's floor).
+func (r *Registry) Add(name string, ds *stablerank.Dataset) error {
+	if !datasetNameRE.MatchString(name) {
+		return fmt.Errorf("server: invalid dataset name %q (want %s)", name, datasetNameRE)
+	}
+	if ds == nil || ds.N() == 0 {
+		return stablerank.ErrEmptyDataset
+	}
+	if ds.D() < 2 {
+		return fmt.Errorf("server: dataset %q has %d scoring attributes, need >= 2", name, ds.D())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.entries[name]
+	gen := int64(1)
+	if prev != nil {
+		gen = prev.gen + 1
+	}
+	r.entries[name] = &registryEntry{ds: ds, gen: gen}
+	return nil
+}
+
+// AddCSV parses a CSV dataset from rd and registers it under name.
+func (r *Registry) AddCSV(name string, rd io.Reader, hasHeader bool) error {
+	ds, err := stablerank.ReadCSV(rd, hasHeader)
+	if err != nil {
+		return err
+	}
+	return r.Add(name, ds)
+}
+
+// LoadCSVFile reads the CSV file at path and registers it under name.
+func (r *Registry) LoadCSVFile(name, path string, hasHeader bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.AddCSV(name, f, hasHeader)
+}
+
+// Get returns the dataset registered under name together with its
+// generation (monotonic per name, starting at 1).
+func (r *Registry) Get(name string) (ds *stablerank.Dataset, gen int64, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.ds, e.gen, true
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,140 @@
+// Package server implements stablerankd, the HTTP serving layer over the
+// stablerank library: a named-dataset registry, one shared concurrency-safe
+// Analyzer per (dataset, region, seed, samples) key behind singleflight
+// deduplication — so concurrent identical queries share a single Monte-Carlo
+// sample pool build — an LRU cache of rendered responses, per-request
+// timeouts plumbed into the library's context plumbing, and /healthz +
+// /statsz observability.
+//
+// Endpoints (all responses JSON):
+//
+//	GET  /healthz                      liveness
+//	GET  /statsz                       cache hit rate, analyzer pool, in-flight
+//	GET  /datasets                     registered datasets
+//	POST /datasets/{name}?header=      register a CSV dataset (request body)
+//	GET  /v1/{dataset}/verify          Problem 1: stability of ?weights=
+//	GET  /v1/{dataset}/toph            Problem 2: ?h= most stable rankings
+//	GET  /v1/{dataset}/above           Problem 2: rankings with stability >= ?s=
+//	GET  /v1/{dataset}/itemrank        Example 1: rank distribution of ?item=
+//	GET  /v1/{dataset}/rankings        Problem 3: paginated enumeration
+//
+// Query endpoints share the region parameters ?weights= (comma-separated)
+// with optional ?theta= (hypercone half-angle) or ?cosine= (minimum cosine
+// similarity), plus ?seed= and ?samples=. Identical parameter tuples map to
+// one shared Analyzer and one cache slot.
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is usable; Defaults fills
+// unset fields.
+type Config struct {
+	// Registry is the dataset catalog; nil means start empty.
+	Registry *Registry
+	// RequestTimeout bounds each request's computation (default 30s;
+	// negative disables).
+	RequestTimeout time.Duration
+	// CacheSize is the LRU response cache capacity in entries (default 512;
+	// negative disables caching).
+	CacheSize int
+	// MaxUploadBytes caps POST /datasets bodies (default 32 MiB).
+	MaxUploadBytes int64
+	// DefaultSampleCount is the Monte-Carlo pool size when ?samples= is
+	// absent (default 100,000 — the paper's Section 6.3 choice).
+	DefaultSampleCount int
+	// MaxSampleCount rejects ?samples= and ?n= beyond this bound
+	// (default 2,000,000).
+	MaxSampleCount int
+	// DefaultSeed is the sampler seed when ?seed= is absent (default 1).
+	DefaultSeed int64
+	// MaxEnumerate caps ?h=, ?per_page= and page*per_page (default 1,000).
+	MaxEnumerate int
+	// MaxAnalyzers bounds the resident analyzers (and with them the retained
+	// Monte-Carlo sample pools); least recently used ones are evicted beyond
+	// it (default 64).
+	MaxAnalyzers int
+	// MaxRankingItems truncates rankings in responses to this many leading
+	// items (default 100).
+	MaxRankingItems int
+	// Logf receives one line per request; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Defaults returns a copy of c with every unset field at its default.
+func (c Config) Defaults() Config {
+	if c.Registry == nil {
+		c.Registry = NewRegistry()
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 32 << 20
+	}
+	if c.DefaultSampleCount == 0 {
+		c.DefaultSampleCount = 100_000
+	}
+	if c.MaxSampleCount == 0 {
+		c.MaxSampleCount = 2_000_000
+	}
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = 1
+	}
+	if c.MaxEnumerate == 0 {
+		c.MaxEnumerate = 1_000
+	}
+	if c.MaxAnalyzers == 0 {
+		c.MaxAnalyzers = 64
+	}
+	if c.MaxRankingItems == 0 {
+		c.MaxRankingItems = 100
+	}
+	return c
+}
+
+// Server is the stablerankd request processor. Create with New, mount with
+// Handler, and run it under any http.Server (cmd/stablerankd adds the
+// listener and graceful SIGTERM drain).
+type Server struct {
+	cfg       Config
+	registry  *Registry
+	analyzers *analyzerPool
+	cache     *lruCache
+	handler   http.Handler
+	start     time.Time
+
+	inflightRequests atomic.Int64
+}
+
+// New builds a Server from cfg (zero value fine).
+func New(cfg Config) *Server {
+	cfg = cfg.Defaults()
+	s := &Server{
+		cfg:       cfg,
+		registry:  cfg.Registry,
+		analyzers: newAnalyzerPool(cfg.MaxAnalyzers),
+		cache:     newLRUCache(cfg.CacheSize),
+		start:     time.Now(),
+	}
+	s.handler = s.wrap(s.routes())
+	return s
+}
+
+// Handler returns the fully middleware-wrapped root handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry returns the server's dataset registry, for startup loading.
+func (s *Server) Registry() *Registry { return s.registry }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

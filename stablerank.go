@@ -2,6 +2,7 @@ package stablerank
 
 import (
 	"context"
+	"errors"
 
 	"stablerank/internal/core"
 	"stablerank/internal/dataset"
@@ -92,6 +93,31 @@ func WithSampleCount(n int) Option { return core.WithSampleCount(n) }
 // alpha = 0.05).
 func WithConfidenceLevel(alpha float64) Option { return core.WithConfidenceLevel(alpha) }
 
+// RegionOption translates the textual region parameterization that the CLI
+// flags and the HTTP query parameters share — reference weights plus either
+// a hypercone half-angle theta or a minimum cosine similarity — into an
+// Option. At most one of theta and cosine may be positive, and either
+// requires weights. With neither it returns a nil Option, meaning the whole
+// function space.
+func RegionOption(weights []float64, theta, cosine float64) (Option, error) {
+	switch {
+	case theta > 0 && cosine > 0:
+		return nil, errors.New("stablerank: use only one of theta and cosine")
+	case theta > 0:
+		if weights == nil {
+			return nil, errors.New("stablerank: theta requires weights")
+		}
+		return WithCone(weights, theta), nil
+	case cosine > 0:
+		if weights == nil {
+			return nil, errors.New("stablerank: cosine requires weights")
+		}
+		return WithCosineSimilarity(weights, cosine), nil
+	default:
+		return nil, nil
+	}
+}
+
 // Analyzer answers stability questions about one dataset within one region
 // of interest: stability verification for consumers (Problem 1) and batch /
 // iterative stable-ranking enumeration for producers (Problems 2 and 3).
@@ -123,6 +149,24 @@ func (a *Analyzer) Dataset() *Dataset { return a.core.Dataset() }
 
 // Region returns the region of interest.
 func (a *Analyzer) Region() Region { return a.core.Region() }
+
+// Seed returns the configured random seed; together with SampleCount and the
+// region it identifies the analyzer's Monte-Carlo behaviour, which makes the
+// pair usable as cache-key material for services sharing Analyzers across
+// requests.
+func (a *Analyzer) Seed() int64 { return a.core.Seed() }
+
+// SampleCount returns the configured Monte-Carlo sample pool size.
+func (a *Analyzer) SampleCount() int { return a.core.SampleCount() }
+
+// PoolBuilds returns how many times the shared sample pool has been
+// (re)built. Concurrent first uses coalesce into one build, so after any
+// number of successful calls it reports 1; only builds aborted by
+// cancellation and later retried raise it.
+func (a *Analyzer) PoolBuilds() int64 { return a.core.PoolBuilds() }
+
+// PoolBuilt reports whether the shared sample pool is resident.
+func (a *Analyzer) PoolBuilt() bool { return a.core.PoolBuilt() }
 
 // VerifyStability computes the stability of ranking r in the region of
 // interest — the fraction of acceptable scoring functions that induce it:
