@@ -2,9 +2,19 @@ GO ?= go
 
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
 # comparable across the PR sequence.
-BENCHJSON ?= BENCH_pr2.json
+BENCHJSON ?= BENCH_pr3.json
 
-.PHONY: all build test race vet fmt bench bench-short benchjson ci
+# Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
+# benchmark families (pool build + every verification path), the tolerated
+# slowdown, and the noise floor below which 1x timings are not trusted.
+BENCHBASE ?= BENCH_pr2.json
+GATEMATCH ?= PoolBuild|VerifyBatch|SV2D|SVMD
+GATETHRESHOLD ?= 1.25
+# 2ms gates every verification benchmark tier that runs long enough to be
+# stable at -benchtime 1x while skipping microsecond-scale noise.
+GATEMIN ?= 2ms
+
+.PHONY: all build test race vet fmt bench bench-short benchjson perfgate cover ci
 
 all: build
 
@@ -43,5 +53,17 @@ bench-short:
 benchjson:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > $(BENCHJSON)
 
-## ci: everything the CI workflow runs
+## perfgate: fail if the fresh benchmark stream ($(BENCHJSON)) regressed
+## beyond GATETHRESHOLD against the checked-in baseline ($(BENCHBASE))
+perfgate: benchjson
+	$(GO) run ./cmd/benchgate -baseline $(BENCHBASE) -candidate $(BENCHJSON) \
+		-match '$(GATEMATCH)' -threshold $(GATETHRESHOLD) -min $(GATEMIN)
+
+## cover: run the full test suite with coverage and emit coverage.html
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -html=coverage.out -o coverage.html
+	$(GO) tool cover -func=coverage.out | tail -1
+
+## ci: everything the CI workflow's core job runs
 ci: build fmt vet test race

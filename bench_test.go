@@ -565,6 +565,84 @@ func BenchmarkCoreRanking(b *testing.B) {
 	})
 }
 
+// BenchmarkPoolBuild: the Monte-Carlo sample-pool build that dominates
+// analyzer startup — the sequential baseline (workers=1) vs a 4-way shard
+// (the CI runner's core count; on fewer cores the 4-way tier degrades to the
+// sequential time plus scheduling noise). The deterministic chunk seeding
+// makes the pools bit-identical, so this is a pure wall-clock comparison of
+// the same work. Fixed worker tiers keep the benchmark names machine-
+// independent for the perf gate.
+func BenchmarkPoolBuild(b *testing.B) {
+	cone, err := geom.NewCone(geom.NewVector(benchEqual(4)...), math.Pi/50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mc.BuildPool(ctx, mc.ConeSamplers(cone, benchSeed), 100000, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyBatch: verifying 16 candidate rankings against a 100k
+// sample pool — one VerifyStability call per ranking vs a single VerifyBatch
+// sweep with the constraint tests fused.
+func BenchmarkVerifyBatch(b *testing.B) {
+	ds := benchDiamonds(1000, 3)
+	rankings := make([]rank.Ranking, 16)
+	for i := range rankings {
+		w := []float64{1, 1 + float64(i)*0.05, 1 - float64(i)*0.03}
+		rankings[i] = stablerank.RankingOf(ds, w)
+	}
+	newAnalyzer := func(b *testing.B) *stablerank.Analyzer {
+		a, err := stablerank.New(ds, stablerank.WithSeed(benchSeed), stablerank.WithSampleCount(100000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	b.Run("loop", func(b *testing.B) {
+		a := newAnalyzer(b)
+		if _, err := a.VerifyStability(ctx, rankings[0]); err != nil {
+			b.Fatal(err) // pool built outside the timed region
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rankings {
+				if _, err := a.VerifyStability(ctx, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		a := newAnalyzer(b)
+		if _, err := a.VerifyStability(ctx, rankings[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := a.VerifyBatch(ctx, rankings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range out {
+				if out[j].Err != nil {
+					b.Fatal(out[j].Err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkLPIntersection: the exact hyperplane-region LP test in isolation.
 func BenchmarkLPIntersection(b *testing.B) {
 	rr := rand.New(rand.NewSource(benchSeed))

@@ -122,13 +122,14 @@ run 'stablerank <command> -h' for command flags`)
 
 // commonFlags holds the flags shared by the analysis commands.
 type commonFlags struct {
-	data    string
-	header  bool
-	weights string
-	theta   float64
-	cosine  float64
-	seed    int64
-	samples int
+	data     string
+	header   bool
+	weights  string
+	theta    float64
+	cosine   float64
+	seed     int64
+	samples  int
+	parallel int
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -140,6 +141,7 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.Float64Var(&c.cosine, "cosine", 0, "minimum cosine similarity with -weights")
 	fs.Int64Var(&c.seed, "seed", 1, "random seed")
 	fs.IntVar(&c.samples, "samples", 100000, "Monte-Carlo sample pool size")
+	fs.IntVar(&c.parallel, "parallel", 0, "sample-pool build workers (0 = all cores; results are identical for any value)")
 	return c
 }
 
@@ -167,7 +169,14 @@ func (c *commonFlags) parseWeights(d int) ([]float64, error) {
 }
 
 func (c *commonFlags) analyzerOptions(w []float64) ([]stablerank.Option, error) {
-	opts := []stablerank.Option{stablerank.WithSeed(c.seed), stablerank.WithSampleCount(c.samples)}
+	if c.parallel < 0 {
+		return nil, errors.New("-parallel must be >= 0")
+	}
+	opts := []stablerank.Option{
+		stablerank.WithSeed(c.seed),
+		stablerank.WithSampleCount(c.samples),
+		stablerank.WithWorkers(c.parallel),
+	}
 	region, err := stablerank.RegionOption(w, c.theta, c.cosine)
 	if err != nil {
 		return nil, fmt.Errorf("-theta/-cosine: %w", err)

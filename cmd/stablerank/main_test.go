@@ -118,6 +118,37 @@ func TestCmdVerifyCone(t *testing.T) {
 	}
 }
 
+// TestCmdVerifyParallel: -parallel is a pure throughput knob — worker counts
+// 1 and 8 print byte-identical Monte-Carlo results for the same seed.
+func TestCmdVerifyParallel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data3d.csv")
+	out, err := capture(t, func() error {
+		return cmdGen([]string{"-kind", "independent", "-n", "20", "-d", "3", "-seed", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(workers string) string {
+		out, err := capture(t, func() error {
+			return cmdVerify(ctx, []string{"-data", path, "-weights", "1,1,1",
+				"-samples", "20000", "-parallel", workers})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if one, eight := runWith("1"), runWith("8"); one != eight {
+		t.Errorf("-parallel changed the result:\n-parallel 1:\n%s\n-parallel 8:\n%s", one, eight)
+	}
+	if err := cmdVerify(ctx, []string{"-data", path, "-weights", "1,1,1", "-parallel", "-1"}); err == nil {
+		t.Error("-parallel -1 accepted")
+	}
+}
+
 func TestCmdEnumerate(t *testing.T) {
 	data := writeFixture(t)
 	out, err := capture(t, func() error {

@@ -46,6 +46,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		maxSamples  = fs.Int("max-samples", 2000000, "largest accepted ?samples=/?n=")
 		seed        = fs.Int64("seed", 1, "default random seed")
 		maxUpload   = fs.Int64("max-upload", 32<<20, "largest accepted dataset upload in bytes")
+		parallel    = fs.Int("parallel", 0, "sample-pool build workers per analyzer (0 = all cores; results are identical for any value)")
 		noHeader    = fs.Bool("no-header", false, "startup CSVs have no header row")
 		quiet       = fs.Bool("quiet", false, "disable request logging")
 		datasetSpec []string
@@ -100,6 +101,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		DefaultSampleCount: *samples,
 		MaxSampleCount:     *maxSamples,
 		DefaultSeed:        *seed,
+		Workers:            *parallel,
 		Logf:               logf,
 	})
 

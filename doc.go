@@ -13,7 +13,14 @@
 //
 // This root package is the one supported API. It is context-aware (every
 // potentially long-running call takes a context.Context and honors
-// cancellation) and its Analyzer is safe for concurrent use. Typical use:
+// cancellation) and its Analyzer is safe for concurrent use. The Monte-Carlo
+// sample-pool build — the dominant cost of every analyzer — is sharded
+// across WithWorkers goroutines (default GOMAXPROCS) with deterministic
+// per-chunk seeding: worker counts 1, 2 and 64 produce bit-identical pools,
+// and therefore identical results, for the same WithSeed. Repeated queries
+// amortize through the batch calls: VerifyBatch fuses every ranking's
+// constraint tests into one sweep of the pool, and TopHBatch answers several
+// top-h queries from one enumeration. Typical use:
 //
 //	ds, _ := stablerank.ReadCSV(f, true)
 //	a, _ := stablerank.New(ds, stablerank.WithCosineSimilarity(weights, 0.998))
@@ -35,9 +42,11 @@
 // Choosing an entry point: LIBRARY users who want the operators in-process
 // import this package and share one Analyzer across goroutines. SERVICE
 // users who want the operators behind HTTP — shared analyzers and sample
-// pools across many clients, an LRU result cache, per-request timeouts,
-// runtime dataset registration — run cmd/stablerankd, which is a thin
-// listener around the server package.
+// pools across many clients, batch queries via POST /batch, an LRU result
+// cache, per-request timeouts, runtime dataset registration — run
+// cmd/stablerankd, which is a thin listener around the server package. Both
+// CLIs take -parallel to pin the pool-build worker count (0 = all cores;
+// results are identical for any value).
 //
 // Everything under internal/ is implementation detail and may change without
 // notice; import this package, not internal/core.

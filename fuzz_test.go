@@ -1,0 +1,50 @@
+package stablerank_test
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stablerank"
+)
+
+// FuzzParseWeights drives the shared CLI/HTTP weight-vector parser: whatever
+// the input, it must never panic, and on success the round-trip properties
+// hold — d finite components that re-render to an equivalent list.
+func FuzzParseWeights(f *testing.F) {
+	f.Add("1,2,3", 3)
+	f.Add(" 0.5 ,\t2e-3,1", 3)
+	f.Add("1,1", 2)
+	f.Add("", 0)
+	f.Add("NaN,1", 2)
+	f.Add("Inf,-Inf", 2)
+	f.Add("1,,3", 3)
+	f.Add("0x1p10,2", 2)
+	f.Add(strings.Repeat("1,", 100)+"1", 101)
+	f.Fuzz(func(t *testing.T, s string, d int) {
+		w, err := stablerank.ParseWeights(s, d)
+		if err != nil {
+			return
+		}
+		if len(w) != d {
+			t.Fatalf("ParseWeights(%q, %d) returned %d components", s, d, len(w))
+		}
+		rendered := make([]string, len(w))
+		for i, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseWeights(%q, %d) accepted non-finite component %v", s, d, v)
+			}
+			rendered[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		again, err := stablerank.ParseWeights(strings.Join(rendered, ","), d)
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", s, err)
+		}
+		for i := range w {
+			if again[i] != w[i] {
+				t.Fatalf("round-trip of %q changed component %d: %v -> %v", s, i, w[i], again[i])
+			}
+		}
+	})
+}

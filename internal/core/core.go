@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -57,6 +59,7 @@ type Analyzer struct {
 	seed        int64
 	sampleCount int
 	alpha       float64
+	workers     int
 
 	// pool holds the lazily drawn shared sample pool. The indirection via an
 	// atomic pointer to a once-guarded cell (instead of a bare sync.Once on
@@ -69,6 +72,10 @@ type Analyzer struct {
 	// Analyzer can observe that concurrent first uses coalesced into a
 	// single pool construction.
 	poolBuilds atomic.Int64
+
+	// poolBuildNanos records the wall time of the last successful pool build,
+	// for operational visibility (/statsz reports it per analyzer).
+	poolBuildNanos atomic.Int64
 }
 
 // poolState is one attempt at building the shared sample pool.
@@ -157,6 +164,20 @@ func WithSampleCount(n int) Option {
 	}
 }
 
+// WithWorkers sets how many goroutines shard the Monte-Carlo sample-pool
+// build and the batch verification sweeps (default 0 = GOMAXPROCS). The
+// worker count is a throughput knob only: per-chunk deterministic seeding
+// makes every result bit-identical regardless of it.
+func WithWorkers(n int) Option {
+	return func(a *Analyzer) error {
+		if n < 0 {
+			return fmt.Errorf("core: worker count %d < 0", n)
+		}
+		a.workers = n
+		return nil
+	}
+}
+
 // WithConfidenceLevel sets 1-alpha for reported confidence errors (default
 // alpha = 0.05).
 func WithConfidenceLevel(alpha float64) Option {
@@ -208,6 +229,21 @@ func (a *Analyzer) Seed() int64 { return a.seed }
 
 // SampleCount returns the configured Monte-Carlo sample pool size.
 func (a *Analyzer) SampleCount() int { return a.sampleCount }
+
+// Workers returns the effective worker count of the pool build and batch
+// sweeps: the configured value, or GOMAXPROCS when unset.
+func (a *Analyzer) Workers() int {
+	if a.workers > 0 {
+		return a.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PoolBuildDuration returns the wall time of the most recent successful
+// sample-pool build, or 0 if none has completed yet.
+func (a *Analyzer) PoolBuildDuration() time.Duration {
+	return time.Duration(a.poolBuildNanos.Load())
+}
 
 // PoolBuilds returns how many times the shared sample pool has been (re)built,
 // counting builds that a cancelled context aborted. Concurrent first uses of a
@@ -263,26 +299,17 @@ func (a *Analyzer) samplePool(ctx context.Context) ([]geom.Vector, error) {
 }
 
 // drawPool draws the configured number of samples from the region of
-// interest, polling ctx periodically.
+// interest, sharded across the configured workers. Each fixed-size chunk owns
+// an RNG stream seeded from (seed, chunk index), so the pool is bit-identical
+// for every worker count; cancellation is plumbed through every worker.
 func (a *Analyzer) drawPool(ctx context.Context) ([]geom.Vector, error) {
 	a.poolBuilds.Add(1)
-	s, err := a.sampler(0)
+	start := time.Now()
+	pool, err := mc.BuildPool(ctx, mc.ConeSamplers(a.roi, a.seed), a.sampleCount, a.workers)
 	if err != nil {
 		return nil, err
 	}
-	pool := make([]geom.Vector, a.sampleCount)
-	for i := range pool {
-		if i%4096 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		w, err := s.Sample()
-		if err != nil {
-			return nil, err
-		}
-		pool[i] = w
-	}
+	a.poolBuildNanos.Store(time.Since(start).Nanoseconds())
 	return pool, nil
 }
 
@@ -351,6 +378,68 @@ func (a *Analyzer) VerifyStability(ctx context.Context, r rank.Ranking) (Verific
 		ConfidenceError: confidenceOf(res.Stability, res.SampleCount, a.alpha),
 		Constraints:     res.Constraints,
 	}, nil
+}
+
+// BatchVerification is one ranking's outcome within VerifyBatch: either a
+// Verification or that ranking's own error.
+type BatchVerification struct {
+	Verification
+	// Err is ErrInfeasibleRanking (or a shape error) for this ranking alone;
+	// nil on success. Other entries of the batch are unaffected.
+	Err error
+}
+
+// VerifyBatch answers Problem 1 for many rankings at once. In two dimensions
+// each ranking gets the exact SV2D scan; otherwise the Monte-Carlo sample
+// pool is swept ONCE for the whole batch — the per-sample constraint tests of
+// all rankings are fused into a single sharded pass — instead of once per
+// ranking, which is the dominant cost when verifying many candidates.
+// Per-ranking failures land in the matching BatchVerification.Err; the call
+// itself only fails on context cancellation or an unusable region.
+func (a *Analyzer) VerifyBatch(ctx context.Context, rankings []rank.Ranking) ([]BatchVerification, error) {
+	out := make([]BatchVerification, len(rankings))
+	if a.is2D() {
+		iv, err := a.interval()
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rankings {
+			res, err := twod.Verify(a.ds, r, iv)
+			switch {
+			case errors.Is(err, twod.ErrInfeasibleRanking):
+				out[i].Err = ErrInfeasibleRanking
+			case err != nil:
+				out[i].Err = err
+			default:
+				region := res.Region
+				out[i].Verification = Verification{Stability: res.Stability, Exact: true, Interval: &region}
+			}
+		}
+		return out, nil
+	}
+	pool, err := a.samplePool(ctx)
+	if err != nil {
+		return nil, err
+	}
+	results, err := md.VerifyBatch(ctx, a.ds, rankings, pool, a.workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, br := range results {
+		switch {
+		case errors.Is(br.Err, md.ErrInfeasibleRanking):
+			out[i].Err = ErrInfeasibleRanking
+		case br.Err != nil:
+			out[i].Err = br.Err
+		default:
+			out[i].Verification = Verification{
+				Stability:       br.Stability,
+				ConfidenceError: confidenceOf(br.Stability, br.SampleCount, a.alpha),
+				Constraints:     br.Constraints,
+			}
+		}
+	}
+	return out, nil
 }
 
 // Stable is one enumerated ranking with its stability.
@@ -448,6 +537,35 @@ func (a *Analyzer) TopH(ctx context.Context, h int) ([]Stable, error) {
 			return nil, err
 		}
 		out = append(out, s)
+	}
+	return out, nil
+}
+
+// TopHBatch answers several top-h queries in one enumeration: the region is
+// enumerated once to the largest requested h and each query receives a
+// prefix of that single pass, so the sample pool is partitioned once instead
+// of once per query. The returned slices share one backing enumeration and
+// must be treated as read-only.
+func (a *Analyzer) TopHBatch(ctx context.Context, hs []int) ([][]Stable, error) {
+	maxH := 0
+	for i, h := range hs {
+		if h < 0 {
+			return nil, fmt.Errorf("core: negative h %d at index %d", h, i)
+		}
+		if h > maxH {
+			maxH = h
+		}
+	}
+	out := make([][]Stable, len(hs))
+	if maxH == 0 {
+		return out, nil
+	}
+	all, err := a.TopH(ctx, maxH)
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range hs {
+		out[i] = all[:min(h, len(all))]
 	}
 	return out, nil
 }

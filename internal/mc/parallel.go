@@ -1,12 +1,14 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -15,22 +17,143 @@ import (
 )
 
 // Parallel estimation, an engineering extension beyond the paper: the
-// Monte-Carlo sweep of Algorithm 7 is embarrassingly parallel, so the
-// distribution of ranking (or top-k) frequencies can be gathered on all
-// cores with deterministic per-worker seeds and merged. The result feeds
-// the same stability/confidence machinery as the sequential operator.
+// Monte-Carlo sweeps of Algorithms 7 and 12 are embarrassingly parallel, so
+// both the shared sample pool and the distribution of ranking (or top-k)
+// frequencies can be gathered on all cores and merged.
+//
+// Determinism contract: the work is sharded into fixed-size chunks of
+// PoolChunk samples, every chunk owns an independent RNG stream derived from
+// the base seed and the CHUNK index (never the worker index), and chunk
+// boundaries depend only on the total sample count. Workers merely pick up
+// chunks; which worker draws a chunk cannot influence its contents. The
+// result is therefore bit-identical for any worker count, including 1.
 
-// SamplerFactory builds one independent sampler per worker. Implementations
-// must give distinct workers statistically independent streams; the helper
+// PoolChunk is the fixed shard size of the deterministic parallel sweeps.
+// Small enough that a cancelled context is honored promptly and the chunk
+// queue load-balances uneven sampler costs, large enough that per-chunk
+// sampler construction is amortized away.
+const PoolChunk = 4096
+
+// ChunkSeed derives the RNG seed of shard `chunk` from the base seed with a
+// splitmix64 step, so per-chunk streams are decorrelated from each other and
+// from the low-offset seeds (base+1, base+2, ...) that callers hand to
+// sequential samplers.
+func ChunkSeed(base int64, chunk int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(chunk+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SamplerFactory builds one independent sampler per chunk. Implementations
+// must give distinct chunks statistically independent streams; the helper
 // ConeSamplers does this for the standard regions.
-type SamplerFactory func(worker int) (sampling.Sampler, error)
+type SamplerFactory func(chunk int) (sampling.Sampler, error)
 
 // ConeSamplers returns a SamplerFactory drawing from the region of interest
-// with per-worker seeds baseSeed+worker.
+// with per-chunk seeds ChunkSeed(baseSeed, chunk).
 func ConeSamplers(region geom.Region, baseSeed int64) SamplerFactory {
-	return func(worker int) (sampling.Sampler, error) {
-		return sampling.ForRegion(region, rand.New(rand.NewSource(baseSeed+int64(worker))))
+	return func(chunk int) (sampling.Sampler, error) {
+		return sampling.ForRegion(region, rand.New(rand.NewSource(ChunkSeed(baseSeed, chunk))))
 	}
+}
+
+// sweep runs fn over every chunk of total on the given worker count, stopping
+// early on the first error or context cancellation. fn receives the chunk
+// index and the [lo, hi) sample range it covers; it is called from multiple
+// goroutines but never twice for the same chunk.
+func sweep(ctx context.Context, total, workers int, fn func(chunk, lo, hi int) error) error {
+	if total <= 0 {
+		return nil
+	}
+	chunks := (total + PoolChunk - 1) / PoolChunk
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		sweepErr error
+	)
+	stop := make(chan struct{})
+	fail := func(err error) {
+		errOnce.Do(func() {
+			sweepErr = err
+			close(stop)
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				lo := c * PoolChunk
+				hi := min(lo+PoolChunk, total)
+				if err := fn(c, lo, hi); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return sweepErr
+}
+
+// BuildPool draws `total` samples through the factory, sharded into PoolChunk
+// chunks spread across `workers` goroutines (workers <= 0 uses GOMAXPROCS).
+// The pool is bit-identical for every worker count because chunk contents
+// depend only on the chunk's own sampler; see the determinism contract above.
+// Cancelling ctx aborts every worker promptly and returns the context's
+// error.
+func BuildPool(ctx context.Context, factory SamplerFactory, total, workers int) ([]geom.Vector, error) {
+	if factory == nil {
+		return nil, errors.New("mc: nil sampler factory")
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("mc: negative total %d", total)
+	}
+	pool := make([]geom.Vector, total)
+	err := sweep(ctx, total, workers, func(chunk, lo, hi int) error {
+		s, err := factory(chunk)
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			if (i-lo)%512 == 0 && i > lo {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			w, err := s.Sample()
+			if err != nil {
+				return err
+			}
+			pool[i] = w
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pool, nil
 }
 
 // Estimate is the merged outcome of a parallel sweep.
@@ -69,11 +192,13 @@ func (e Estimate) Top(h int) []string {
 	return keys
 }
 
-// ParallelEstimate draws `total` samples split across `workers` goroutines
-// (workers <= 0 uses GOMAXPROCS) and returns the merged ranking-frequency
-// distribution under the given mode/k. The outcome is deterministic for a
-// fixed factory and worker count.
-func ParallelEstimate(ds *dataset.Dataset, factory SamplerFactory, mode Mode, k, total, workers int) (Estimate, error) {
+// ParallelEstimate draws `total` samples split into PoolChunk shards across
+// `workers` goroutines (workers <= 0 uses GOMAXPROCS) and returns the merged
+// ranking-frequency distribution under the given mode/k. Per the determinism
+// contract, the outcome is bit-identical for a fixed factory and total
+// regardless of the worker count. Cancelling ctx aborts the sweep with the
+// context's error.
+func ParallelEstimate(ctx context.Context, ds *dataset.Dataset, factory SamplerFactory, mode Mode, k, total, workers int) (Estimate, error) {
 	if ds == nil || ds.N() == 0 {
 		return Estimate{}, dataset.ErrEmptyDataset
 	}
@@ -92,69 +217,52 @@ func ParallelEstimate(ds *dataset.Dataset, factory SamplerFactory, mode Mode, k,
 	default:
 		return Estimate{}, fmt.Errorf("mc: unknown mode %d", int(mode))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total && total > 0 {
-		workers = total
-	}
 	if total == 0 {
 		return Estimate{Counts: map[string]int{}}, nil
 	}
 
-	type partial struct {
-		counts map[string]int
-		err    error
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		share := total / workers
-		if w < total%workers {
-			share++
+	// One ranking computer and one partial count map per worker slot would
+	// race on chunk pickup, so allocate them per chunk instead: a computer is
+	// cheap next to the PoolChunk rankings it then produces, and merging
+	// per-chunk maps keeps the final counts independent of scheduling.
+	chunks := (total + PoolChunk - 1) / PoolChunk
+	parts := make([]map[string]int, chunks)
+	err := sweep(ctx, total, workers, func(chunk, lo, hi int) error {
+		s, err := factory(chunk)
+		if err != nil {
+			return err
 		}
-		wg.Add(1)
-		go func(w, share int) {
-			defer wg.Done()
-			s, err := factory(w)
+		if s.Dim() != ds.D() {
+			return fmt.Errorf("mc: sampler dimension %d != dataset dimension %d", s.Dim(), ds.D())
+		}
+		comp := rank.NewComputer(ds)
+		counts := make(map[string]int)
+		for i := lo; i < hi; i++ {
+			wv, err := s.Sample()
 			if err != nil {
-				parts[w] = partial{err: err}
-				return
+				return err
 			}
-			if s.Dim() != ds.D() {
-				parts[w] = partial{err: fmt.Errorf("mc: sampler dimension %d != dataset dimension %d", s.Dim(), ds.D())}
-				return
+			var key string
+			switch mode {
+			case TopKSet:
+				key = comp.TopKSetKeyOf(wv, k)
+			case TopKRanked:
+				key = comp.TopKRankedKeyOf(wv, k)
+			default:
+				key = comp.Compute(wv).Key()
 			}
-			comp := rank.NewComputer(ds)
-			counts := make(map[string]int)
-			for i := 0; i < share; i++ {
-				wv, err := s.Sample()
-				if err != nil {
-					parts[w] = partial{err: err}
-					return
-				}
-				var key string
-				switch mode {
-				case TopKSet:
-					key = comp.TopKSetKeyOf(wv, k)
-				case TopKRanked:
-					key = comp.TopKRankedKeyOf(wv, k)
-				default:
-					key = comp.Compute(wv).Key()
-				}
-				counts[key]++
-			}
-			parts[w] = partial{counts: counts}
-		}(w, share)
+			counts[key]++
+		}
+		parts[chunk] = counts
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
 	}
-	wg.Wait()
 	merged := make(map[string]int)
 	n := 0
 	for _, p := range parts {
-		if p.err != nil {
-			return Estimate{}, p.err
-		}
-		for k, c := range p.counts {
+		for k, c := range p {
 			merged[k] += c
 			n += c
 		}

@@ -1,11 +1,14 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
+	"stablerank/internal/sampling"
 	"stablerank/internal/twod"
 )
 
@@ -16,7 +19,7 @@ func TestParallelEstimateMatchesExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 201),
+	est, err := ParallelEstimate(ctx, ds, ConeSamplers(geom.FullSpace{D: 2}, 201),
 		Complete, 0, 80000, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -36,29 +39,35 @@ func TestParallelEstimateMatchesExact(t *testing.T) {
 	}
 }
 
-func TestParallelEstimateDeterministic(t *testing.T) {
+// TestParallelEstimateWorkerInvariance is the determinism contract: the
+// merged counts must be bit-identical for every worker count, because shards
+// are seeded by chunk index, never by worker index.
+func TestParallelEstimateWorkerInvariance(t *testing.T) {
 	ds := dataset.Figure1()
-	a, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 7), Complete, 0, 5000, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 7), Complete, 0, 5000, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(a.Counts) != len(b.Counts) {
-		t.Fatal("runs differ in key sets")
-	}
-	for k, c := range a.Counts {
-		if b.Counts[k] != c {
-			t.Fatalf("key %s: %d vs %d", k, c, b.Counts[k])
+	var base Estimate
+	for i, workers := range []int{1, 2, 8} {
+		est, err := ParallelEstimate(ctx, ds, ConeSamplers(geom.FullSpace{D: 2}, 7), Complete, 0, 9000, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = est
+			continue
+		}
+		if len(est.Counts) != len(base.Counts) {
+			t.Fatalf("workers=%d: key set differs (%d vs %d keys)", workers, len(est.Counts), len(base.Counts))
+		}
+		for k, c := range base.Counts {
+			if est.Counts[k] != c {
+				t.Fatalf("workers=%d key %s: %d vs %d", workers, k, est.Counts[k], c)
+			}
 		}
 	}
 }
 
 func TestParallelEstimateTopKModes(t *testing.T) {
 	ds := dataset.Toy225()
-	est, err := ParallelEstimate(ds, ConeSamplers(geom.FullSpace{D: 2}, 8), TopKSet, 3, 20000, 0)
+	est, err := ParallelEstimate(ctx, ds, ConeSamplers(geom.FullSpace{D: 2}, 8), TopKSet, 3, 20000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,28 +80,28 @@ func TestParallelEstimateTopKModes(t *testing.T) {
 func TestParallelEstimateValidation(t *testing.T) {
 	ds := dataset.Figure1()
 	f := ConeSamplers(geom.FullSpace{D: 2}, 1)
-	if _, err := ParallelEstimate(nil, f, Complete, 0, 10, 1); err == nil {
+	if _, err := ParallelEstimate(ctx, nil, f, Complete, 0, 10, 1); err == nil {
 		t.Error("nil dataset accepted")
 	}
-	if _, err := ParallelEstimate(ds, nil, Complete, 0, 10, 1); err == nil {
+	if _, err := ParallelEstimate(ctx, ds, nil, Complete, 0, 10, 1); err == nil {
 		t.Error("nil factory accepted")
 	}
-	if _, err := ParallelEstimate(ds, f, TopKSet, 0, 10, 1); err == nil {
+	if _, err := ParallelEstimate(ctx, ds, f, TopKSet, 0, 10, 1); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := ParallelEstimate(ds, f, Mode(9), 0, 10, 1); err == nil {
+	if _, err := ParallelEstimate(ctx, ds, f, Mode(9), 0, 10, 1); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if _, err := ParallelEstimate(ds, f, Complete, 0, -1, 1); err == nil {
+	if _, err := ParallelEstimate(ctx, ds, f, Complete, 0, -1, 1); err == nil {
 		t.Error("negative total accepted")
 	}
 	// Dimension mismatch surfaces from the worker.
 	bad := ConeSamplers(geom.FullSpace{D: 3}, 1)
-	if _, err := ParallelEstimate(ds, bad, Complete, 0, 10, 2); err == nil {
+	if _, err := ParallelEstimate(ctx, ds, bad, Complete, 0, 10, 2); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
 	// Zero samples: empty estimate.
-	est, err := ParallelEstimate(ds, f, Complete, 0, 0, 4)
+	est, err := ParallelEstimate(ctx, ds, f, Complete, 0, 0, 4)
 	if err != nil || est.Total != 0 || len(est.Counts) != 0 {
 		t.Errorf("zero-total estimate: %+v, %v", est, err)
 	}
@@ -100,8 +109,72 @@ func TestParallelEstimateValidation(t *testing.T) {
 		t.Error("stability of empty estimate should be 0")
 	}
 	// More workers than samples.
-	est, err = ParallelEstimate(ds, f, Complete, 0, 3, 16)
+	est, err = ParallelEstimate(ctx, ds, f, Complete, 0, 3, 16)
 	if err != nil || est.Total != 3 {
 		t.Errorf("workers>total: %+v, %v", est, err)
+	}
+}
+
+func TestParallelEstimateCancelled(t *testing.T) {
+	ds := dataset.Figure1()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParallelEstimate(cancelled, ds, ConeSamplers(geom.FullSpace{D: 2}, 1), Complete, 0, 50000, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBuildPoolWorkerInvariance: the pool is bit-identical for worker counts
+// 1, 2 and 8 — including a total that is not a multiple of the chunk size, so
+// the short tail chunk is covered.
+func TestBuildPoolWorkerInvariance(t *testing.T) {
+	factory := ConeSamplers(geom.FullSpace{D: 3}, 42)
+	total := 2*PoolChunk + 777
+	var base []geom.Vector
+	for i, workers := range []int{1, 2, 8} {
+		pool, err := BuildPool(ctx, factory, total, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pool) != total {
+			t.Fatalf("workers=%d: len = %d, want %d", workers, len(pool), total)
+		}
+		if i == 0 {
+			base = pool
+			continue
+		}
+		for j := range pool {
+			for c := range pool[j] {
+				if pool[j][c] != base[j][c] {
+					t.Fatalf("workers=%d: sample %d component %d differs: %v vs %v",
+						workers, j, c, pool[j][c], base[j][c])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildPoolValidationAndCancel(t *testing.T) {
+	factory := ConeSamplers(geom.FullSpace{D: 2}, 1)
+	if _, err := BuildPool(ctx, nil, 10, 1); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := BuildPool(ctx, factory, -1, 1); err == nil {
+		t.Error("negative total accepted")
+	}
+	pool, err := BuildPool(ctx, factory, 0, 4)
+	if err != nil || len(pool) != 0 {
+		t.Errorf("zero total: len=%d err=%v", len(pool), err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildPool(cancelled, factory, 100000, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// A failing factory surfaces its error.
+	boom := errors.New("boom")
+	_, err = BuildPool(ctx, func(int) (sampling.Sampler, error) { return nil, boom }, 10, 2)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
 	}
 }

@@ -1,0 +1,132 @@
+package md
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+)
+
+// Batch verification: one sweep of the sample pool amortized across many
+// rankings. A single Verify call costs O(n + |constraints| * |samples|); m
+// separate calls re-walk the pool m times from cold caches, while VerifyBatch
+// walks it once, testing every ranking's constraint set against each sample
+// in turn, sharded across workers.
+
+// BatchResult is one ranking's outcome within a VerifyBatch call.
+type BatchResult struct {
+	VerifyResult
+	// Err is ErrInfeasibleRanking (or a shape error) for this ranking alone;
+	// other rankings in the batch are unaffected.
+	Err error
+}
+
+// batchBlock is the per-worker pool shard size of the batch sweep; context
+// cancellation is polled once per block.
+const batchBlock = 4096
+
+// VerifyBatch verifies every ranking against the same sample pool in a
+// single sharded sweep (workers <= 0 uses GOMAXPROCS). Per-ranking failures
+// (infeasibility, shape mismatches) are reported in the corresponding
+// BatchResult.Err without failing the batch; only an empty pool or a
+// cancelled context fails the call as a whole. The counts are exact sums, so
+// the results are identical for every worker count.
+func VerifyBatch(ctx context.Context, ds *dataset.Dataset, rankings []rank.Ranking, samples []geom.Vector, workers int) ([]BatchResult, error) {
+	out := make([]BatchResult, len(rankings))
+	if len(rankings) == 0 {
+		return out, nil
+	}
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	constraints := make([][]geom.Halfspace, len(rankings))
+	live := make([]int, 0, len(rankings))
+	for i, r := range rankings {
+		c, err := RankingRegion(ds, r)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		constraints[i] = c
+		live = append(live, i)
+	}
+	if len(live) == 0 {
+		return out, nil
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blocks := (len(samples) + batchBlock - 1) / batchBlock
+	if workers > blocks {
+		workers = blocks
+	}
+	counts := make([][]int, workers)
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		sweepErr error
+	)
+	stop := make(chan struct{})
+	fail := func(err error) {
+		errOnce.Do(func() {
+			sweepErr = err
+			close(stop)
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]int, len(rankings))
+			counts[w] = local
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				lo := b * batchBlock
+				hi := min(lo+batchBlock, len(samples))
+				for _, wv := range samples[lo:hi] {
+					for _, i := range live {
+						if insideAll(constraints[i], wv) {
+							local[i]++
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
+	total := make([]int, len(rankings))
+	for _, local := range counts {
+		for i, c := range local {
+			total[i] += c
+		}
+	}
+	for _, i := range live {
+		out[i].VerifyResult = VerifyResult{
+			Stability:   float64(total[i]) / float64(len(samples)),
+			Constraints: constraints[i],
+			SampleCount: len(samples),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package md
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/datagen"
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+	"stablerank/internal/sampling"
+)
+
+func batchPool(t *testing.T, d, n int, seed int64) []geom.Vector {
+	t.Helper()
+	s, err := sampling.ForRegion(geom.FullSpace{D: d}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]geom.Vector, n)
+	for i := range pool {
+		if pool[i], err = s.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pool
+}
+
+// TestVerifyBatchMatchesSingle: the batch sweep must agree exactly with
+// per-ranking Verify calls over the same pool, for every worker count.
+func TestVerifyBatchMatchesSingle(t *testing.T) {
+	ds := datagen.Diamonds(rand.New(rand.NewSource(5)), 40)
+	p, err := ds.Project(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := batchPool(t, 3, 20000, 9)
+	weights := [][]float64{{1, 1, 1}, {2, 1, 0.5}, {0.2, 1, 1}, {1, 3, 1}}
+	rankings := make([]rank.Ranking, len(weights))
+	for i, w := range weights {
+		rankings[i] = rank.Compute(p, geom.NewVector(w...))
+	}
+	for _, workers := range []int{1, 3, 8} {
+		batch, err := VerifyBatch(context.Background(), p, rankings, pool, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(rankings) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(batch), len(rankings))
+		}
+		for i, r := range rankings {
+			single, err := Verify(context.Background(), p, r, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i].Err != nil {
+				t.Fatalf("workers=%d ranking %d: unexpected err %v", workers, i, batch[i].Err)
+			}
+			if batch[i].Stability != single.Stability {
+				t.Errorf("workers=%d ranking %d: batch %v vs single %v", workers, i, batch[i].Stability, single.Stability)
+			}
+			if batch[i].SampleCount != single.SampleCount {
+				t.Errorf("workers=%d ranking %d: sample count %d vs %d", workers, i, batch[i].SampleCount, single.SampleCount)
+			}
+		}
+	}
+}
+
+// TestVerifyBatchInfeasible: an infeasible ranking fails alone, not the
+// whole batch.
+func TestVerifyBatchInfeasible(t *testing.T) {
+	ds := datagen.Diamonds(rand.New(rand.NewSource(5)), 30)
+	p, err := ds.Project(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := batchPool(t, 3, 5000, 2)
+	good := rank.Compute(p, geom.NewVector(1, 1, 1))
+	// An adjacent dominated-above-dominator pair makes a ranking infeasible
+	// for every scoring function; find one such pair in the catalog.
+	di, dj := -1, -1
+	for i := 0; i < p.N() && di < 0; i++ {
+		for j := 0; j < p.N(); j++ {
+			if i != j && dataset.Dominates(p.Item(i), p.Item(j)) {
+				di, dj = i, j
+				break
+			}
+		}
+	}
+	if di < 0 {
+		t.Skip("no dominating pair in this catalog")
+	}
+	bad := rank.Ranking{Order: make([]int, 0, p.N())}
+	bad.Order = append(bad.Order, dj, di)
+	for i := 0; i < p.N(); i++ {
+		if i != di && i != dj {
+			bad.Order = append(bad.Order, i)
+		}
+	}
+	batch, err := VerifyBatch(context.Background(), p, []rank.Ranking{good, bad}, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Err != nil {
+		t.Errorf("feasible ranking: err = %v", batch[0].Err)
+	}
+	if batch[0].Stability <= 0 {
+		t.Errorf("feasible ranking: stability = %v, want > 0", batch[0].Stability)
+	}
+	if !errors.Is(batch[1].Err, ErrInfeasibleRanking) {
+		t.Errorf("dominated-first ranking: err = %v, want ErrInfeasibleRanking", batch[1].Err)
+	}
+}
+
+func TestVerifyBatchEdgeCases(t *testing.T) {
+	ds := datagen.Diamonds(rand.New(rand.NewSource(5)), 10)
+	p, err := ds.Project(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rank.Compute(p, geom.NewVector(1, 1, 1))
+	// Empty batch: no error, no results.
+	out, err := VerifyBatch(context.Background(), p, nil, nil, 0)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+	// Empty pool with work to do: ErrNoSamples.
+	if _, err := VerifyBatch(context.Background(), p, []rank.Ranking{r}, nil, 0); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty pool: err = %v, want ErrNoSamples", err)
+	}
+	// Cancelled context aborts the sweep.
+	pool := batchPool(t, 3, 50000, 3)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := VerifyBatch(cancelled, p, []rank.Ranking{r}, pool, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled: err = %v, want context.Canceled", err)
+	}
+	// A batch of only broken rankings returns per-item errors, no sweep.
+	short := rank.Ranking{Order: []int{0, 1}}
+	out, err = VerifyBatch(context.Background(), p, []rank.Ranking{short}, pool, 0)
+	if err != nil || out[0].Err == nil {
+		t.Errorf("all-broken batch: %v, %v", out, err)
+	}
+}

@@ -1,0 +1,205 @@
+package stablerank_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stablerank"
+)
+
+// parallelTestDataset is a 3D catalog (Monte-Carlo engine) shared by the
+// parallelism tests.
+func parallelTestDataset() *stablerank.Dataset {
+	return stablerank.Independent(rand.New(rand.NewSource(11)), 25, 3)
+}
+
+func parallelTestAnalyzer(t *testing.T, workers int) *stablerank.Analyzer {
+	t.Helper()
+	a, err := stablerank.New(parallelTestDataset(),
+		stablerank.WithCone([]float64{1, 1, 1}, 0.3),
+		stablerank.WithSeed(17),
+		stablerank.WithSampleCount(30_000),
+		stablerank.WithWorkers(workers),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestWorkerCountDeterminism is the tentpole's property test: for the same
+// seed, worker counts 1, 2 and 8 must produce IDENTICAL Stability and TopH
+// results — not statistically close, bit-equal — because the sample pool is
+// drawn in fixed chunks seeded by chunk index, never by worker.
+func TestWorkerCountDeterminism(t *testing.T) {
+	ds := parallelTestDataset()
+	ranking := stablerank.RankingOf(ds, []float64{1, 1, 1})
+	type outcome struct {
+		verify stablerank.Verification
+		topH   []stablerank.Stable
+	}
+	var base outcome
+	for i, workers := range []int{1, 2, 8} {
+		a := parallelTestAnalyzer(t, workers)
+		v, err := a.VerifyStability(ctx, ranking)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topH, err := a.TopH(ctx, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Workers() != workers {
+			t.Errorf("Workers() = %d, want %d", a.Workers(), workers)
+		}
+		if a.PoolBuildDuration() <= 0 {
+			t.Errorf("workers=%d: PoolBuildDuration = %v, want > 0", workers, a.PoolBuildDuration())
+		}
+		if i == 0 {
+			base = outcome{verify: v, topH: topH}
+			continue
+		}
+		if v.Stability != base.verify.Stability || v.ConfidenceError != base.verify.ConfidenceError {
+			t.Errorf("workers=%d: verify %v±%v, workers=1 gave %v±%v",
+				workers, v.Stability, v.ConfidenceError, base.verify.Stability, base.verify.ConfidenceError)
+		}
+		if len(topH) != len(base.topH) {
+			t.Fatalf("workers=%d: %d rankings, workers=1 gave %d", workers, len(topH), len(base.topH))
+		}
+		for j := range topH {
+			if topH[j].Stability != base.topH[j].Stability {
+				t.Errorf("workers=%d topH[%d]: stability %v vs %v", workers, j, topH[j].Stability, base.topH[j].Stability)
+			}
+			if !topH[j].Ranking.Equal(base.topH[j].Ranking) {
+				t.Errorf("workers=%d topH[%d]: ranking differs", workers, j)
+			}
+		}
+	}
+}
+
+func TestWithWorkersValidation(t *testing.T) {
+	if _, err := stablerank.New(parallelTestDataset(), stablerank.WithWorkers(-1)); err == nil {
+		t.Error("WithWorkers(-1) accepted")
+	}
+	a, err := stablerank.New(parallelTestDataset(), stablerank.WithWorkers(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workers() < 1 {
+		t.Errorf("Workers() with default = %d, want >= 1 (GOMAXPROCS)", a.Workers())
+	}
+}
+
+// TestVerifyBatchMatchesSingleCalls: the facade batch sweep returns exactly
+// what per-ranking VerifyStability calls return over the same pool.
+func TestVerifyBatchMatchesSingleCalls(t *testing.T) {
+	ds := parallelTestDataset()
+	a := parallelTestAnalyzer(t, 4)
+	weights := [][]float64{{1, 1, 1}, {1.2, 1, 0.9}, {0.9, 1.1, 1}}
+	rankings := make([]stablerank.Ranking, len(weights))
+	for i, w := range weights {
+		rankings[i] = stablerank.RankingOf(ds, w)
+	}
+	batch, err := a.VerifyBatch(ctx, rankings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rankings {
+		single, err := a.VerifyStability(ctx, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Err != nil {
+			t.Fatalf("batch[%d]: unexpected error %v", i, batch[i].Err)
+		}
+		if batch[i].Stability != single.Stability || batch[i].ConfidenceError != single.ConfidenceError {
+			t.Errorf("batch[%d]: %v±%v vs single %v±%v",
+				i, batch[i].Stability, batch[i].ConfidenceError, single.Stability, single.ConfidenceError)
+		}
+	}
+	if a.PoolBuilds() != 1 {
+		t.Errorf("pool built %d times across batch + singles, want 1", a.PoolBuilds())
+	}
+}
+
+// TestTopHBatchPrefixes: one enumeration serves every requested h as a
+// prefix of the longest answer.
+func TestTopHBatchPrefixes(t *testing.T) {
+	a := parallelTestAnalyzer(t, 2)
+	batches, err := a.TopHBatch(ctx, []int{2, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 {
+		t.Fatalf("%d batches, want 3", len(batches))
+	}
+	if len(batches[0]) > 2 || len(batches[2]) != 0 {
+		t.Fatalf("batch sizes %d/%d/%d", len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	for i := range batches[0] {
+		if !batches[0][i].Ranking.Equal(batches[1][i].Ranking) {
+			t.Errorf("h=2 answer is not a prefix of h=5 at %d", i)
+		}
+	}
+	if _, err := a.TopHBatch(ctx, []int{3, -1}); err == nil {
+		t.Error("negative h accepted")
+	}
+}
+
+// TestConcurrentBatchQueries hammers one shared Analyzer with concurrent
+// VerifyBatch and TopHBatch calls — the race-detector companion of the
+// tentpole (CI runs the suite under -race): all goroutines must coalesce
+// onto one pool build and observe identical results.
+func TestConcurrentBatchQueries(t *testing.T) {
+	ds := parallelTestDataset()
+	a := parallelTestAnalyzer(t, 4)
+	rankings := []stablerank.Ranking{
+		stablerank.RankingOf(ds, []float64{1, 1, 1}),
+		stablerank.RankingOf(ds, []float64{1.1, 0.9, 1}),
+	}
+	const goroutines = 16
+	verifications := make([][]stablerank.BatchVerification, goroutines)
+	topHs := make([][][]stablerank.Stable, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				verifications[g], errs[g] = a.VerifyBatch(context.Background(), rankings)
+			} else {
+				topHs[g], errs[g] = a.TopHBatch(context.Background(), []int{3, 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if got := a.PoolBuilds(); got != 1 {
+		t.Errorf("pool built %d times under concurrency, want 1", got)
+	}
+	for g := 2; g < goroutines; g += 2 {
+		for i := range rankings {
+			if verifications[g][i].Stability != verifications[0][i].Stability {
+				t.Errorf("goroutine %d verify[%d] = %v, goroutine 0 saw %v",
+					g, i, verifications[g][i].Stability, verifications[0][i].Stability)
+			}
+		}
+	}
+	for g := 3; g < goroutines; g += 2 {
+		if len(topHs[g][0]) != len(topHs[1][0]) {
+			t.Fatalf("goroutine %d topH size %d, goroutine 1 saw %d", g, len(topHs[g][0]), len(topHs[1][0]))
+		}
+		for i := range topHs[g][0] {
+			if topHs[g][0][i].Stability != topHs[1][0][i].Stability {
+				t.Errorf("goroutine %d topH[%d] stability differs", g, i)
+			}
+		}
+	}
+}

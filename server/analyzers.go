@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,9 +50,35 @@ func (rs regionSpec) canonical() string {
 	return b.String()
 }
 
-// options translates the spec into analyzer options.
-func (rs regionSpec) options(seed int64, samples int) ([]stablerank.Option, error) {
-	opts := []stablerank.Option{stablerank.WithSeed(seed), stablerank.WithSampleCount(samples)}
+// validate enforces the semantic region contract shared by the GET query
+// parameters and the POST /batch body fields: weights must match the dataset
+// dimension, and a present-but-unusable theta/cosine must fail loudly
+// (silently falling back to the full function space would answer a very
+// different question with a 200). thetaSet/cosineSet distinguish "absent"
+// from an explicit zero, which the GET path derives from parameter presence
+// and the batch path from a non-zero JSON field.
+func (rs regionSpec) validate(d int, thetaSet, cosineSet bool) error {
+	if len(rs.weights) > 0 && len(rs.weights) != d {
+		return errBadRequest("region weights have %d components, dataset has %d attributes", len(rs.weights), d)
+	}
+	if thetaSet && !(rs.theta > 0 && rs.theta <= math.Pi) {
+		return errBadRequest("theta must be in (0, pi], got %v", rs.theta)
+	}
+	if cosineSet && !(rs.cosine > 0 && rs.cosine <= 1) {
+		return errBadRequest("cosine must be in (0, 1], got %v", rs.cosine)
+	}
+	return nil
+}
+
+// options translates the spec into analyzer options. workers is a pure
+// throughput knob (deterministic seeding makes results independent of it),
+// which is why it is configured per pool rather than keyed per analyzer.
+func (rs regionSpec) options(seed int64, samples, workers int) ([]stablerank.Option, error) {
+	opts := []stablerank.Option{
+		stablerank.WithSeed(seed),
+		stablerank.WithSampleCount(samples),
+		stablerank.WithWorkers(workers),
+	}
 	region, err := stablerank.RegionOption(rs.weights, rs.theta, rs.cosine)
 	if err != nil {
 		return nil, errBadRequest("%v", err)
@@ -92,6 +119,7 @@ func (k analyzerKey) String() string {
 type analyzerPool struct {
 	mu      sync.Mutex
 	max     int
+	workers int        // sample-pool build workers per analyzer (0 = GOMAXPROCS)
 	order   *list.List // front = most recently used; values *poolItem
 	entries map[analyzerKey]*list.Element
 
@@ -122,12 +150,16 @@ func (e *analyzerEntry) done() bool {
 	}
 }
 
-func newAnalyzerPool(max int) *analyzerPool {
+func newAnalyzerPool(max, workers int) *analyzerPool {
 	if max < 1 {
 		max = 1
 	}
+	if workers < 0 {
+		workers = 0
+	}
 	return &analyzerPool{
 		max:     max,
+		workers: workers,
 		order:   list.New(),
 		entries: make(map[analyzerKey]*list.Element),
 	}
@@ -165,7 +197,7 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 
 	p.builds.Add(1)
 	p.inflight.Add(1)
-	opts, err := spec.options(key.seed, key.samples)
+	opts, err := spec.options(key.seed, key.samples, p.workers)
 	if err == nil {
 		e.a, e.err = stablerank.New(ds, opts...)
 	} else {
@@ -189,10 +221,12 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 
 // analyzerStat is one resident analyzer's /statsz row.
 type analyzerStat struct {
-	Key         string `json:"key"`
-	SampleCount int    `json:"sample_count"`
-	PoolBuilt   bool   `json:"pool_built"`
-	PoolBuilds  int64  `json:"pool_builds"`
+	Key         string  `json:"key"`
+	SampleCount int     `json:"sample_count"`
+	PoolBuilt   bool    `json:"pool_built"`
+	PoolBuilds  int64   `json:"pool_builds"`
+	Workers     int     `json:"workers"`
+	PoolBuildMS float64 `json:"pool_build_ms"`
 }
 
 // snapshot reports the resident analyzers and the pool counters.
@@ -216,6 +250,8 @@ func (p *analyzerPool) snapshot() (stats []analyzerStat, builds, dedupHits, infl
 			SampleCount: item.e.a.SampleCount(),
 			PoolBuilt:   item.e.a.PoolBuilt(),
 			PoolBuilds:  item.e.a.PoolBuilds(),
+			Workers:     item.e.a.Workers(),
+			PoolBuildMS: float64(item.e.a.PoolBuildDuration().Microseconds()) / 1000,
 		})
 	}
 	return stats, p.builds.Load(), p.dedupHits.Load(), p.inflight.Load(), p.evictions.Load()

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"stablerank"
+)
+
+// POST /batch: many stability queries against one analyzer in one request.
+// The verify operations are answered by Analyzer.VerifyBatch — a single
+// sharded sweep of the Monte-Carlo sample pool with every ranking's
+// constraint tests fused — and the toph operations by Analyzer.TopHBatch,
+// which enumerates once to the largest requested h. Responses are not LRU
+// cached (the analyzer and its sample pool are still shared through the
+// analyzer pool, which is where the dominant cost lives).
+
+// batchVerifySpec is one verify operation: either the ranking induced by
+// weights, or an explicit ranking as comma-separated item IDs.
+type batchVerifySpec struct {
+	Weights []float64 `json:"weights,omitempty"`
+	Ranking string    `json:"ranking,omitempty"`
+}
+
+// batchRequest is the POST /batch body. Region, seed and samples have the
+// same semantics and defaults as the GET query parameters of the same names
+// and select the shared analyzer; verify and toph list the operations.
+type batchRequest struct {
+	Dataset string    `json:"dataset"`
+	Weights []float64 `json:"weights,omitempty"`
+	Theta   float64   `json:"theta,omitempty"`
+	Cosine  float64   `json:"cosine,omitempty"`
+	Seed    *int64    `json:"seed,omitempty"`
+	Samples *int      `json:"samples,omitempty"`
+
+	Verify []batchVerifySpec `json:"verify,omitempty"`
+	TopH   []int             `json:"toph,omitempty"`
+}
+
+// batchVerifyResult is one verify operation's outcome; exactly one of the
+// stability fields and Error is meaningful.
+type batchVerifyResult struct {
+	Ranking         []itemRef `json:"ranking,omitempty"`
+	Stability       float64   `json:"stability"`
+	ConfidenceError float64   `json:"confidence_error"`
+	Exact           bool      `json:"exact"`
+	Error           string    `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Dataset string              `json:"dataset"`
+	Verify  []batchVerifyResult `json:"verify,omitempty"`
+	TopH    []topHResponse      `json:"toph,omitempty"`
+}
+
+// maxBatchBody bounds the request body; batch requests are parameter lists,
+// not dataset uploads.
+const maxBatchBody = 1 << 20
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, statusError{code: http.StatusRequestEntityTooLarge, msg: "batch body exceeds 1 MiB"})
+			return
+		}
+		writeError(w, errBadRequest("decoding batch request: %v", err))
+		return
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, errBadRequest("batch request has trailing data"))
+		return
+	}
+	resp, err := s.computeBatch(r, &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) computeBatch(r *http.Request, req *batchRequest) (*batchResponse, error) {
+	if err := r.Context().Err(); err != nil {
+		return nil, err
+	}
+	if len(req.Verify)+len(req.TopH) == 0 {
+		return nil, errBadRequest("batch requires at least one verify or toph operation")
+	}
+	if ops := len(req.Verify) + len(req.TopH); ops > s.cfg.MaxBatchOps {
+		return nil, errBadRequest("batch has %d operations, limit %d", ops, s.cfg.MaxBatchOps)
+	}
+	ds, gen, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		return nil, errNotFound("unknown dataset %q", req.Dataset)
+	}
+	spec := regionSpec{weights: req.Weights, theta: req.Theta, cosine: req.Cosine}
+	if err := spec.validate(ds.D(), req.Theta != 0, req.Cosine != 0); err != nil {
+		return nil, err
+	}
+	seed := s.cfg.DefaultSeed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	samples := s.cfg.DefaultSampleCount
+	if req.Samples != nil {
+		samples = *req.Samples
+	}
+	if samples < 1 || samples > s.cfg.MaxSampleCount {
+		return nil, errBadRequest("samples %d out of range [1, %d]", samples, s.cfg.MaxSampleCount)
+	}
+
+	// Parse every operation before touching the analyzer, so a malformed
+	// entry rejects the request instead of surfacing after partial work.
+	rankings := make([]stablerank.Ranking, len(req.Verify))
+	for i, spec := range req.Verify {
+		switch {
+		case spec.Ranking != "" && len(spec.Weights) > 0:
+			return nil, errBadRequest("verify[%d]: use weights or ranking, not both", i)
+		case spec.Ranking != "":
+			rk, err := parseRanking(spec.Ranking, ds)
+			if err != nil {
+				return nil, errBadRequest("verify[%d]: %v", i, err)
+			}
+			rankings[i] = rk
+		case len(spec.Weights) > 0:
+			if len(spec.Weights) != ds.D() {
+				return nil, errBadRequest("verify[%d]: weights have %d components, dataset has %d attributes", i, len(spec.Weights), ds.D())
+			}
+			rankings[i] = stablerank.RankingOf(ds, spec.Weights)
+		default:
+			return nil, errBadRequest("verify[%d]: requires weights or ranking", i)
+		}
+	}
+	for i, h := range req.TopH {
+		if h < 1 || h > s.cfg.MaxEnumerate {
+			return nil, errBadRequest("toph[%d]: h must be in [1, %d]", i, s.cfg.MaxEnumerate)
+		}
+	}
+
+	key := analyzerKey{dataset: req.Dataset, gen: gen, region: spec.canonical(), seed: seed, samples: samples}
+	a, err := s.analyzers.get(key, ds, spec)
+	if err != nil {
+		if _, isStatus := err.(statusError); isStatus {
+			return nil, err
+		}
+		return nil, errBadRequest("building analyzer: %v", err)
+	}
+
+	resp := &batchResponse{Dataset: req.Dataset}
+	if len(rankings) > 0 {
+		verifications, err := a.VerifyBatch(r.Context(), rankings)
+		if err != nil {
+			return nil, err
+		}
+		resp.Verify = make([]batchVerifyResult, len(verifications))
+		for i, v := range verifications {
+			if v.Err != nil {
+				resp.Verify[i] = batchVerifyResult{Error: v.Err.Error()}
+				continue
+			}
+			resp.Verify[i] = batchVerifyResult{
+				Ranking:         s.itemRefs(ds, rankings[i].Order),
+				Stability:       v.Stability,
+				ConfidenceError: v.ConfidenceError,
+				Exact:           v.Exact,
+			}
+		}
+	}
+	if len(req.TopH) > 0 {
+		batches, err := a.TopHBatch(r.Context(), req.TopH)
+		if err != nil {
+			return nil, err
+		}
+		resp.TopH = make([]topHResponse, len(batches))
+		for i, stables := range batches {
+			resp.TopH[i] = topHResponse{
+				Dataset:  req.Dataset,
+				H:        req.TopH[i],
+				Rankings: s.stableResponses(ds, stables, 0),
+			}
+		}
+	}
+	return resp, nil
+}

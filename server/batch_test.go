@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postBatch posts body to /batch and decodes the JSON response into v (when
+// non-nil), returning the status code.
+func postBatch(t *testing.T, ts *httptest.Server, body string, v any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("POST /batch: bad JSON (%v):\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestBatchVerifyAndTopH: a mixed batch over the Monte-Carlo 3D dataset
+// agrees with the corresponding single-query endpoints.
+func TestBatchVerifyAndTopH(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var batch batchResponse
+	code := postBatch(t, ts, `{
+		"dataset": "ind3",
+		"verify": [{"weights": [1, 1, 1]}, {"weights": [2, 1, 0.5]}],
+		"toph": [3, 5]
+	}`, &batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if len(batch.Verify) != 2 || len(batch.TopH) != 2 {
+		t.Fatalf("batch shape: %d verify, %d toph", len(batch.Verify), len(batch.TopH))
+	}
+	// Cross-check each verify entry against the single-query endpoint (same
+	// seed and sample count select the same shared analyzer and pool).
+	for i, wstr := range []string{"1,1,1", "2,1,0.5"} {
+		var single verifyResponse
+		sc, _ := get(t, ts, "/v1/ind3/verify?weights="+wstr, &single)
+		if sc != http.StatusOK {
+			t.Fatalf("single verify %d = %d", i, sc)
+		}
+		if batch.Verify[i].Error != "" {
+			t.Fatalf("verify[%d]: unexpected error %q", i, batch.Verify[i].Error)
+		}
+		if batch.Verify[i].Stability != single.Stability {
+			t.Errorf("verify[%d]: batch %v vs single %v", i, batch.Verify[i].Stability, single.Stability)
+		}
+	}
+	if batch.TopH[0].H != 3 || batch.TopH[1].H != 5 {
+		t.Errorf("toph h = %d, %d", batch.TopH[0].H, batch.TopH[1].H)
+	}
+	if len(batch.TopH[0].Rankings) > 3 {
+		t.Errorf("toph[0] returned %d rankings for h=3", len(batch.TopH[0].Rankings))
+	}
+	// The h=3 answer must be a prefix of the h=5 answer.
+	for i, r := range batch.TopH[0].Rankings {
+		if r.Stability != batch.TopH[1].Rankings[i].Stability {
+			t.Errorf("toph prefix mismatch at %d", i)
+		}
+	}
+}
+
+// TestBatchExact2D: batch verification against the exact 2D engine.
+func TestBatchExact2D(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var batch batchResponse
+	code := postBatch(t, ts, `{"dataset": "fig1", "verify": [{"weights": [1, 1]}]}`, &batch)
+	if code != http.StatusOK || len(batch.Verify) != 1 {
+		t.Fatalf("batch = %d %+v", code, batch)
+	}
+	if !batch.Verify[0].Exact || batch.Verify[0].Stability <= 0 {
+		t.Errorf("2D batch verify: %+v", batch.Verify[0])
+	}
+}
+
+// TestBatchPerItemError: an infeasible ranking reports its own error while
+// the rest of the batch succeeds.
+func TestBatchPerItemError(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	ds, _, _ := s.registry.Get("ind3")
+	// Build a worst-to-best id list; with 12 independent items some adjacent
+	// pair is dominated, making the reversed ranking infeasible. If not,
+	// the entry still answers (with stability ~0), so only assert on the
+	// feasible entry and on batch integrity.
+	ids := make([]string, ds.N())
+	for i := 0; i < ds.N(); i++ {
+		ids[ds.N()-1-i] = ds.Item(i).ID
+	}
+	body, err := json.Marshal(map[string]any{
+		"dataset": "ind3",
+		"verify": []map[string]any{
+			{"weights": []float64{1, 1, 1}},
+			{"ranking": strings.Join(ids, ",")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch batchResponse
+	code := postBatch(t, ts, string(body), &batch)
+	if code != http.StatusOK || len(batch.Verify) != 2 {
+		t.Fatalf("batch = %d %+v", code, batch)
+	}
+	if batch.Verify[0].Error != "" || batch.Verify[0].Stability <= 0 {
+		t.Errorf("feasible entry: %+v", batch.Verify[0])
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatchOps = 4 })
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"empty ops", `{"dataset": "ind3"}`, http.StatusBadRequest},
+		{"unknown dataset", `{"dataset": "nope", "toph": [1]}`, http.StatusNotFound},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"dataset": "ind3", "topk": [1]}`, http.StatusBadRequest},
+		{"both weights and ranking", `{"dataset": "ind3", "verify": [{"weights": [1,1,1], "ranking": "a,b"}]}`, http.StatusBadRequest},
+		{"verify without either", `{"dataset": "ind3", "verify": [{}]}`, http.StatusBadRequest},
+		{"h out of range", `{"dataset": "ind3", "toph": [0]}`, http.StatusBadRequest},
+		{"too many ops", `{"dataset": "ind3", "toph": [1, 1, 1, 1, 1]}`, http.StatusBadRequest},
+		{"bad region weights", `{"dataset": "ind3", "weights": [1, 2], "toph": [1]}`, http.StatusBadRequest},
+		{"bad theta", `{"dataset": "ind3", "weights": [1,1,1], "theta": -2, "toph": [1]}`, http.StatusBadRequest},
+		{"bad samples", `{"dataset": "ind3", "samples": 0, "toph": [1]}`, http.StatusBadRequest},
+		{"trailing data", `{"dataset": "ind3", "toph": [1]} {"x": 1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e errorResponse
+			if code := postBatch(t, ts, tc.body, &e); code != tc.code {
+				t.Errorf("code = %d, want %d (error %q)", code, tc.code, e.Error)
+			}
+		})
+	}
+}
+
+// TestBatchBodyTooLarge: an oversized body maps to 413.
+func TestBatchBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	// A syntactically valid prefix forces the decoder to read past the
+	// limit, so the MaxBytesReader (not a syntax error) rejects it.
+	big := append([]byte(`{"dataset": "`), bytes.Repeat([]byte("x"), maxBatchBody+1)...)
+	big = append(big, []byte(`"}`)...)
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBatchSharesAnalyzer: a batch and the equivalent GET queries coalesce
+// onto one analyzer, so the pool is built exactly once.
+func TestBatchSharesAnalyzer(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	if code := postBatch(t, ts, `{"dataset": "ind3", "toph": [2]}`, nil); code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if code, _ := get(t, ts, "/v1/ind3/verify?weights=1,1,1", nil); code != http.StatusOK {
+		t.Fatalf("verify = %d", code)
+	}
+	var stats struct {
+		Analyzers struct {
+			Resident []analyzerStat `json:"resident"`
+		} `json:"analyzers"`
+		Workers int `json:"workers"`
+	}
+	if code, _ := get(t, ts, "/statsz", &stats); code != http.StatusOK {
+		t.Fatal("statsz failed")
+	}
+	if stats.Workers < 1 {
+		t.Errorf("statsz workers = %d, want >= 1", stats.Workers)
+	}
+	if len(stats.Analyzers.Resident) != 1 {
+		t.Fatalf("%d resident analyzers, want 1 (batch and GET should share)", len(stats.Analyzers.Resident))
+	}
+	st := stats.Analyzers.Resident[0]
+	if st.PoolBuilds != 1 || !st.PoolBuilt {
+		t.Errorf("pool builds = %d built = %v, want exactly 1 shared build", st.PoolBuilds, st.PoolBuilt)
+	}
+	if st.Workers < 1 {
+		t.Errorf("analyzer workers = %d, want >= 1", st.Workers)
+	}
+	if st.PoolBuildMS <= 0 {
+		t.Errorf("pool_build_ms = %v, want > 0", st.PoolBuildMS)
+	}
+}

@@ -84,7 +84,7 @@ func TestConcurrentIdenticalQueriesShareOnePoolBuild(t *testing.T) {
 // TestAnalyzerPoolSingleflightDirect hammers the pool without HTTP in
 // between: 32 goroutines requesting the same key get the same *Analyzer.
 func TestAnalyzerPoolSingleflightDirect(t *testing.T) {
-	pool := newAnalyzerPool(64)
+	pool := newAnalyzerPool(64, 0)
 	ds := stablerank.Independent(rand.New(rand.NewSource(3)), 10, 3)
 	key := analyzerKey{dataset: "d", gen: 1, region: "full:", seed: 1, samples: 1000}
 

@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -100,6 +100,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/{dataset}/above", s.query(s.handleAbove))
 	mux.HandleFunc("GET /v1/{dataset}/itemrank", s.query(s.handleItemRank))
 	mux.HandleFunc("GET /v1/{dataset}/rankings", s.query(s.handleRankings))
+	mux.HandleFunc("POST /batch", s.handleBatch)
 	return mux
 }
 
@@ -185,17 +186,11 @@ func (s *Server) queryContextFor(r *http.Request) (*queryContext, error) {
 	if spec.theta, err = floatParam(q.Get("theta"), 0); err != nil {
 		return nil, errBadRequest("bad theta: %v", err)
 	}
-	// A present-but-unusable region parameter must fail loudly: silently
-	// falling back to the full function space would answer a very different
-	// question with a 200.
-	if q.Get("theta") != "" && !(spec.theta > 0 && spec.theta <= math.Pi) {
-		return nil, errBadRequest("theta must be in (0, pi], got %v", q.Get("theta"))
-	}
 	if spec.cosine, err = floatParam(q.Get("cosine"), 0); err != nil {
 		return nil, errBadRequest("bad cosine: %v", err)
 	}
-	if q.Get("cosine") != "" && !(spec.cosine > 0 && spec.cosine <= 1) {
-		return nil, errBadRequest("cosine must be in (0, 1], got %v", q.Get("cosine"))
+	if err := spec.validate(ds.D(), q.Get("theta") != "", q.Get("cosine") != ""); err != nil {
+		return nil, err
 	}
 	seed, err := intParam(q.Get("seed"), s.cfg.DefaultSeed)
 	if err != nil {
@@ -433,8 +428,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			"evictions":       evictions,
 		},
 		"inflight_requests": s.inflightRequests.Load(),
+		"workers":           s.workerCount(),
 		"datasets":          s.registry.Names(),
 	})
+}
+
+// workerCount resolves the configured per-analyzer worker count for display:
+// 0 means "all cores", reported as the actual GOMAXPROCS value.
+func (s *Server) workerCount() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {

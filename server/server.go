@@ -17,11 +17,15 @@
 //	GET  /v1/{dataset}/above           Problem 2: rankings with stability >= ?s=
 //	GET  /v1/{dataset}/itemrank        Example 1: rank distribution of ?item=
 //	GET  /v1/{dataset}/rankings        Problem 3: paginated enumeration
+//	POST /batch                        many verify/toph queries in one pass
 //
 // Query endpoints share the region parameters ?weights= (comma-separated)
 // with optional ?theta= (hypercone half-angle) or ?cosine= (minimum cosine
 // similarity), plus ?seed= and ?samples=. Identical parameter tuples map to
-// one shared Analyzer and one cache slot.
+// one shared Analyzer and one cache slot. POST /batch takes the same
+// region/seed/samples fields in its JSON body plus verify and toph operation
+// lists; its verify operations share one sweep of the sample pool and its
+// toph operations share one enumeration.
 package server
 
 import (
@@ -60,6 +64,13 @@ type Config struct {
 	// MaxRankingItems truncates rankings in responses to this many leading
 	// items (default 100).
 	MaxRankingItems int
+	// Workers is the per-analyzer worker count for sample-pool builds and
+	// batch sweeps (default 0 = GOMAXPROCS). Results are deterministic
+	// regardless of this value; it is a throughput knob only.
+	Workers int
+	// MaxBatchOps caps the number of operations in one POST /batch request
+	// (default 256).
+	MaxBatchOps int
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +107,9 @@ func (c Config) Defaults() Config {
 	if c.MaxRankingItems == 0 {
 		c.MaxRankingItems = 100
 	}
+	if c.MaxBatchOps == 0 {
+		c.MaxBatchOps = 256
+	}
 	return c
 }
 
@@ -119,7 +133,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		registry:  cfg.Registry,
-		analyzers: newAnalyzerPool(cfg.MaxAnalyzers),
+		analyzers: newAnalyzerPool(cfg.MaxAnalyzers, cfg.Workers),
 		cache:     newLRUCache(cfg.CacheSize),
 		start:     time.Now(),
 	}

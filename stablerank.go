@@ -3,6 +3,7 @@ package stablerank
 import (
 	"context"
 	"errors"
+	"time"
 
 	"stablerank/internal/core"
 	"stablerank/internal/dataset"
@@ -53,6 +54,10 @@ type Stable = core.Stable
 // summed. See Analyzer.TopHMerged.
 type MergedStable = core.MergedStable
 
+// BatchVerification is one ranking's outcome within Analyzer.VerifyBatch:
+// either a Verification or that ranking's own error.
+type BatchVerification = core.BatchVerification
+
 // BoundaryFacet is one facet of a ranking region: crossing it swaps exactly
 // the named item pair. See Analyzer.Boundary.
 type BoundaryFacet = md.BoundaryFacet
@@ -92,6 +97,14 @@ func WithSampleCount(n int) Option { return core.WithSampleCount(n) }
 // WithConfidenceLevel sets 1-alpha for reported confidence errors (default
 // alpha = 0.05).
 func WithConfidenceLevel(alpha float64) Option { return core.WithConfidenceLevel(alpha) }
+
+// WithWorkers sets how many goroutines shard the Monte-Carlo sample-pool
+// build and the VerifyBatch sweep (default 0 = GOMAXPROCS). Determinism is
+// independent of this knob: the pool is drawn in fixed-size chunks whose RNG
+// streams are seeded from (seed, chunk index), so worker counts 1, 2 and 64
+// all produce bit-identical pools — and therefore identical stability
+// results — for the same seed.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
 
 // RegionOption translates the textual region parameterization that the CLI
 // flags and the HTTP query parameters share — reference weights plus either
@@ -168,6 +181,15 @@ func (a *Analyzer) PoolBuilds() int64 { return a.core.PoolBuilds() }
 // PoolBuilt reports whether the shared sample pool is resident.
 func (a *Analyzer) PoolBuilt() bool { return a.core.PoolBuilt() }
 
+// Workers returns the effective worker count of the pool build and batch
+// sweeps: the WithWorkers value, or GOMAXPROCS when unset.
+func (a *Analyzer) Workers() int { return a.core.Workers() }
+
+// PoolBuildDuration returns the wall time of the most recent successful
+// sample-pool build, or 0 if none has completed yet — the number /statsz
+// exposes per resident analyzer.
+func (a *Analyzer) PoolBuildDuration() time.Duration { return a.core.PoolBuildDuration() }
+
 // VerifyStability computes the stability of ranking r in the region of
 // interest — the fraction of acceptable scoring functions that induce it:
 // exact in two dimensions, a Monte-Carlo estimate with a confidence error
@@ -177,9 +199,27 @@ func (a *Analyzer) VerifyStability(ctx context.Context, r Ranking) (Verification
 	return a.core.VerifyStability(orBackground(ctx), r)
 }
 
+// VerifyBatch computes the stability of many rankings in one pass: exact
+// per-ranking scans in two dimensions, otherwise a single sharded sweep of
+// the Monte-Carlo sample pool with every ranking's constraint tests fused —
+// the amortized form of Problem 1 behind the service's POST /batch endpoint.
+// Per-ranking failures (e.g. ErrInfeasibleRanking) are reported in the
+// matching BatchVerification.Err without failing the rest of the batch.
+func (a *Analyzer) VerifyBatch(ctx context.Context, rankings []Ranking) ([]BatchVerification, error) {
+	return a.core.VerifyBatch(orBackground(ctx), rankings)
+}
+
 // TopH returns the h most stable rankings (batch Problem 2, count form).
 func (a *Analyzer) TopH(ctx context.Context, h int) ([]Stable, error) {
 	return a.core.TopH(orBackground(ctx), h)
+}
+
+// TopHBatch answers several top-h queries with one enumeration to the
+// largest requested h; each query receives a prefix of that single pass. The
+// returned slices share one backing enumeration and must be treated as
+// read-only.
+func (a *Analyzer) TopHBatch(ctx context.Context, hs []int) ([][]Stable, error) {
+	return a.core.TopHBatch(orBackground(ctx), hs)
 }
 
 // AboveThreshold returns every ranking with stability >= s (batch Problem 2,
