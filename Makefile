@@ -2,13 +2,14 @@ GO ?= go
 
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
 # comparable across the PR sequence.
-BENCHJSON ?= BENCH_pr3.json
+BENCHJSON ?= BENCH_pr4.json
 
 # Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
-# benchmark families (pool build + every verification path), the tolerated
-# slowdown, and the noise floor below which 1x timings are not trusted.
-BENCHBASE ?= BENCH_pr2.json
-GATEMATCH ?= PoolBuild|VerifyBatch|SV2D|SVMD
+# benchmark families (pool build, every verification path, and the flat
+# vecmat/rank kernels), the tolerated slowdown, and the noise floor below
+# which 1x timings are not trusted.
+BENCHBASE ?= BENCH_pr3.json
+GATEMATCH ?= PoolBuild|VerifyBatch|SV2D|SVMD|Kernel
 GATETHRESHOLD ?= 1.25
 # 2ms gates every verification benchmark tier that runs long enough to be
 # stable at -benchtime 1x while skipping microsecond-scale noise.

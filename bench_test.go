@@ -23,6 +23,7 @@ import (
 	"stablerank/internal/rank"
 	"stablerank/internal/sampling"
 	"stablerank/internal/twod"
+	"stablerank/internal/vecmat"
 )
 
 const benchSeed = 42
@@ -641,6 +642,92 @@ func BenchmarkVerifyBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Kernel benchmarks: the flat vecmat hot loops in isolation, sized so one
+// iteration clears the perf gate's noise floor (GATEMIN) at -benchtime 1x.
+// These are the primitives every operator above reduces to; a regression
+// here regresses everything, so the CI gate matches them by the "Kernel"
+// prefix.
+
+// benchMatrix fills an n x d matrix with region-of-interest samples.
+func benchMatrix(b *testing.B, n, d int) vecmat.Matrix {
+	b.Helper()
+	s, err := sampling.NewUniform(d, rand.New(rand.NewSource(benchSeed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vecmat.New(n, d)
+	for i := 0; i < n; i++ {
+		if err := s.SampleInto(m.Row(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkKernelEvalRows: batched hyperplane·row sweeps — the raw memory
+// bandwidth ceiling of every partition and oracle pass.
+func BenchmarkKernelEvalRows(b *testing.B) {
+	const n, d, normals = 100_000, 4, 32
+	m := benchMatrix(b, n, d)
+	nm := benchMatrix(b, normals, d)
+	out := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < normals; j++ {
+			m.EvalRows(nm.Row(j), 0, n, out)
+		}
+	}
+}
+
+// BenchmarkKernelPartitionRows: the in-place Section 5.4 quick-sort
+// partition that GET-NEXTmd performs per candidate hyperplane.
+func BenchmarkKernelPartitionRows(b *testing.B) {
+	const n, d = 500_000, 4
+	m := benchMatrix(b, n, d)
+	normal := []float64{1, -1, 0.5, -0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate the normal's sign so every iteration moves rows instead
+		// of sweeping an already-partitioned range.
+		if i%2 == 1 {
+			for k := range normal {
+				normal[k] = -normal[k]
+			}
+		}
+		m.PartitionRows(normal, 0, n)
+	}
+}
+
+// BenchmarkKernelCountInside: the Algorithm 12 counting sweep with a
+// constraint set nothing violates — the no-early-exit worst case.
+func BenchmarkKernelCountInside(b *testing.B) {
+	const n, d, constraints = 200_000, 4, 16
+	m := benchMatrix(b, n, d)
+	cons := benchMatrix(b, constraints, d) // non-negative rows: all samples inside
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := cons.CountInside(m, 0, n); got != n {
+			b.Fatalf("count = %d, want %d", got, n)
+		}
+	}
+}
+
+// BenchmarkKernelRankCompute: the allocation-free argsort ranking 200k
+// items — the per-sample unit of every randomized operator.
+func BenchmarkKernelRankCompute(b *testing.B) {
+	ds := benchDiamonds(200_000, 3)
+	c := rank.NewComputer(ds)
+	w := geom.NewVector(benchEqual(3)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compute(w)
+	}
 }
 
 // BenchmarkLPIntersection: the exact hyperplane-region LP test in isolation.

@@ -3,8 +3,8 @@
 // artifacts, e.g. BENCH_pr2.json vs BENCH_pr3.json) and fails when a
 // benchmark slowed down beyond a tolerance threshold.
 //
-//	benchgate -baseline BENCH_pr2.json -candidate BENCH_pr3.json \
-//	    -match 'PoolBuild|Verify|SV2D|SVMD' -threshold 1.25 -min 25ms
+//	benchgate -baseline BENCH_pr3.json -candidate BENCH_pr4.json \
+//	    -match 'PoolBuild|Verify|SV2D|SVMD|Kernel' -threshold 1.25 -min 25ms
 //
 // Only benchmarks present in BOTH streams and matching -match are gated;
 // baselines faster than -min are skipped, because single-iteration timings

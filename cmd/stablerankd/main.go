@@ -18,6 +18,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +50,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		parallel    = fs.Int("parallel", 0, "sample-pool build workers per analyzer (0 = all cores; results are identical for any value)")
 		noHeader    = fs.Bool("no-header", false, "startup CSVs have no header row")
 		quiet       = fs.Bool("quiet", false, "disable request logging")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty disables; non-loopback hosts are rejected)")
 		datasetSpec []string
 	)
 	fs.Func("dataset", "name=path CSV dataset to serve (repeatable)", func(v string) error {
@@ -110,6 +112,21 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Opt-in profiling endpoint, deliberately on its own listener so the
+	// debug surface never shares a port with the public API, and restricted
+	// to loopback so it cannot be exposed by accident.
+	if *pprofAddr != "" {
+		pln, err := listenLoopback(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "stablerankd: -pprof: %v\n", err)
+			return 2
+		}
+		pprofSrv := &http.Server{Handler: pprofMux()}
+		go func() { _ = pprofSrv.Serve(pln) }()
+		defer pprofSrv.Close() // debug listener: closed on any exit, no drain
+		logger.Printf("pprof listening on http://%s/debug/pprof/", pln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "stablerankd: listen: %v\n", err)
@@ -138,4 +155,36 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	}
 	logger.Printf("drained cleanly")
 	return 0
+}
+
+// listenLoopback listens on addr after verifying the host is a loopback
+// address ("localhost", 127.0.0.0/8, ::1); a bare ":port" binds 127.0.0.1.
+func listenLoopback(addr string) (net.Listener, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("bad address %q: %v", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return nil, fmt.Errorf("address %q is not loopback; profiling is localhost-only", addr)
+		}
+	}
+	return net.Listen("tcp", net.JoinHostPort(host, port))
+}
+
+// pprofMux routes the net/http/pprof handlers on a dedicated mux instead of
+// http.DefaultServeMux, so importing the package leaks nothing onto the
+// public API server.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

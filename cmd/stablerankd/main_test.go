@@ -22,6 +22,8 @@ func TestRunFlagAndStartupErrors(t *testing.T) {
 		{"bad dataset spec", []string{"-dataset", "justaname"}, 2, "want name=path"},
 		{"missing csv", []string{"-dataset", "x=/nonexistent/file.csv"}, 1, "no such file"},
 		{"bad listen addr", []string{"-addr", "256.256.256.256:0"}, 1, "listen"},
+		{"pprof non-loopback", []string{"-pprof", "0.0.0.0:0"}, 2, "loopback"},
+		{"pprof bad address", []string{"-pprof", "no-port-here"}, 2, "bad address"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,6 +80,62 @@ func TestRunServesAndDrainsGracefully(t *testing.T) {
 		if code != 0 {
 			t.Fatalf("graceful shutdown exit = %d: %s", code, stderr.String())
 		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never drained")
+	}
+}
+
+// TestPprofOptIn: -pprof serves the profiling index on its own loopback
+// listener, and the default (no flag) exposes no pprof anywhere.
+func TestPprofOptIn(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stderr strings.Builder
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0", "-quiet"},
+			&stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("server exited early with %d: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// The pprof listener logs its bound address to stderr; fish it out.
+	var pprofURL string
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if i := strings.Index(line, "http://"); i >= 0 && strings.Contains(line, "pprof") {
+			pprofURL = strings.TrimSpace(line[i:])
+		}
+	}
+	if pprofURL == "" {
+		t.Fatalf("pprof address not logged; stderr: %s", stderr.String())
+	}
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+	// The public API listener must NOT serve the debug surface.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("public listener serves /debug/pprof/; it must stay on the dedicated loopback listener")
+	}
+	cancel()
+	select {
+	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never drained")
 	}

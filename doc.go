@@ -20,7 +20,19 @@
 // and therefore identical results, for the same WithSeed. Repeated queries
 // amortize through the batch calls: VerifyBatch fuses every ranking's
 // constraint tests into one sweep of the pool, and TopHBatch answers several
-// top-h queries from one enumeration. Typical use:
+// top-h queries from one enumeration.
+//
+// Performance model: the pool is stored as one contiguous row-major matrix
+// (internal/vecmat) and every verification, partition, and ranking inner
+// loop is a flat batched kernel over it — no per-sample heap pointers, no
+// per-sample allocations, ranking identities interned as collision-checked
+// 64-bit hashes rather than strings. The flat layout changes storage only:
+// sweep and accumulation orders match the earlier slice-of-vectors code bit
+// for bit, so seeded results are reproducible across layouts and worker
+// counts alike. PoolMemoryBytes reports the pool's resident size; the
+// README's "Performance" section shows how to profile with pprof and
+// benchstat (stablerankd exposes an opt-in loopback -pprof listener).
+// Typical use:
 //
 //	ds, _ := stablerank.ReadCSV(f, true)
 //	a, _ := stablerank.New(ds, stablerank.WithCosineSimilarity(weights, 0.998))

@@ -35,6 +35,7 @@ import (
 	"stablerank/internal/sampling"
 	"stablerank/internal/stats"
 	"stablerank/internal/twod"
+	"stablerank/internal/vecmat"
 )
 
 // Sentinel errors, re-exported so callers depend only on this package.
@@ -78,10 +79,12 @@ type Analyzer struct {
 	poolBuildNanos atomic.Int64
 }
 
-// poolState is one attempt at building the shared sample pool.
+// poolState is one attempt at building the shared sample pool. The pool is
+// one contiguous row-major matrix (stride = the dataset dimension), the
+// storage every flat verification and enumeration kernel sweeps directly.
 type poolState struct {
 	once    sync.Once
-	samples []geom.Vector
+	samples vecmat.Matrix
 	err     error
 	// built is set (after once completes) iff the attempt succeeded; it lets
 	// PoolBuilt peek without racing a build in flight.
@@ -276,7 +279,7 @@ func (a *Analyzer) sampler(seedOffset int64) (sampling.Sampler, error) {
 // blocked on it; the failed cell is then replaced and callers whose own
 // context is still live retry with it instead of inheriting someone else's
 // cancellation.
-func (a *Analyzer) samplePool(ctx context.Context) ([]geom.Vector, error) {
+func (a *Analyzer) samplePool(ctx context.Context) (vecmat.Matrix, error) {
 	for {
 		st := a.pool.Load()
 		st.once.Do(func() {
@@ -288,29 +291,41 @@ func (a *Analyzer) samplePool(ctx context.Context) ([]geom.Vector, error) {
 		}
 		a.pool.CompareAndSwap(st, &poolState{})
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
+			return vecmat.Matrix{}, ctxErr
 		}
 		if !errors.Is(st.err, context.Canceled) && !errors.Is(st.err, context.DeadlineExceeded) {
 			// A deterministic failure (bad sampler, degenerate region) would
 			// recur; surface it instead of spinning.
-			return nil, st.err
+			return vecmat.Matrix{}, st.err
 		}
 	}
 }
 
 // drawPool draws the configured number of samples from the region of
-// interest, sharded across the configured workers. Each fixed-size chunk owns
-// an RNG stream seeded from (seed, chunk index), so the pool is bit-identical
-// for every worker count; cancellation is plumbed through every worker.
-func (a *Analyzer) drawPool(ctx context.Context) ([]geom.Vector, error) {
+// interest straight into one contiguous matrix, sharded across the
+// configured workers. Each fixed-size chunk owns an RNG stream seeded from
+// (seed, chunk index), so the pool is bit-identical for every worker count;
+// cancellation is plumbed through every worker.
+func (a *Analyzer) drawPool(ctx context.Context) (vecmat.Matrix, error) {
 	a.poolBuilds.Add(1)
 	start := time.Now()
-	pool, err := mc.BuildPool(ctx, mc.ConeSamplers(a.roi, a.seed), a.sampleCount, a.workers)
+	pool, err := mc.BuildPoolMatrix(ctx, mc.ConeSamplers(a.roi, a.seed), a.sampleCount, a.ds.D(), a.workers)
 	if err != nil {
-		return nil, err
+		return vecmat.Matrix{}, err
 	}
 	a.poolBuildNanos.Store(time.Since(start).Nanoseconds())
 	return pool, nil
+}
+
+// PoolMemoryBytes returns the resident size of the shared Monte-Carlo
+// sample pool's backing array, or 0 while no pool is built — the number
+// stablerankd surfaces per analyzer in /statsz.
+func (a *Analyzer) PoolMemoryBytes() int64 {
+	st := a.pool.Load()
+	if st == nil || !st.built.Load() {
+		return 0
+	}
+	return st.samples.Bytes()
 }
 
 // is2D reports whether the exact 2D machinery applies.
@@ -363,7 +378,7 @@ func (a *Analyzer) VerifyStability(ctx context.Context, r rank.Ranking) (Verific
 	if err != nil {
 		return Verification{}, err
 	}
-	res, err := md.Verify(ctx, a.ds, r, pool)
+	res, err := md.VerifyMatrix(ctx, a.ds, r, pool)
 	if errors.Is(err, md.ErrInfeasibleRanking) {
 		return Verification{}, ErrInfeasibleRanking
 	}
@@ -421,7 +436,7 @@ func (a *Analyzer) VerifyBatch(ctx context.Context, rankings []rank.Ranking) ([]
 	if err != nil {
 		return nil, err
 	}
-	results, err := md.VerifyBatch(ctx, a.ds, rankings, pool, a.workers)
+	results, err := md.VerifyBatchMatrix(ctx, a.ds, rankings, pool, a.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -483,11 +498,10 @@ func (a *Analyzer) Enumerator(ctx context.Context) (*Enumerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The engine partitions the pool in place; hand it a copy so verification
-	// calls on the analyzer keep their own ordering (contents are identical).
-	own := make([]geom.Vector, len(pool))
-	copy(own, pool)
-	e, err := md.NewEngine(a.ds, a.roi, own, md.SamplePartition)
+	// The engine partitions the pool in place; hand it a deep copy (one
+	// contiguous memcpy) so verification calls on the analyzer keep their
+	// own row ordering (contents are identical).
+	e, err := md.NewEngineMatrix(a.ds, a.roi, pool.Clone(), md.SamplePartition)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,9 @@ import (
 type Rotation interface {
 	// Apply returns the rotated image of v as a new vector.
 	Apply(v Vector) Vector
+	// ApplyTo writes the rotated image of v into dst without allocating.
+	// dst must have the rotation's dimension; dst and v may alias.
+	ApplyTo(dst, v Vector)
 	// Dim returns the dimension the rotation operates in.
 	Dim() int
 }
@@ -61,27 +64,33 @@ func NewAxisRotation(axis Vector) (Rotation, error) {
 func (r *axisRotation) Dim() int { return len(r.p) }
 
 func (r *axisRotation) Apply(v Vector) Vector {
+	out := make(Vector, len(v))
+	r.ApplyTo(out, v)
+	return out
+}
+
+func (r *axisRotation) ApplyTo(dst, v Vector) {
 	if r.identity {
-		return v.Clone()
+		copy(dst, v)
+		return
 	}
 	if r.flip != nil {
 		// 180-degree rotation in span(flip, p): negate both coordinates.
-		out := v.Clone()
 		a := r.flip.Dot(v)
 		b := r.p.Dot(v)
-		for i := range out {
-			out[i] -= 2 * (a*r.flip[i] + b*r.p[i])
+		copy(dst, v)
+		for i := range dst {
+			dst[i] -= 2 * (a*r.flip[i] + b*r.p[i])
 		}
-		return out
+		return
 	}
 	// R v = v - (p+q) * ((p+q).v)/(1+p.q) + 2 q (p.v)
 	s := r.pq.Dot(v) / r.denom
 	t := 2 * r.p.Dot(v)
-	out := v.Clone()
-	for i := range out {
-		out[i] += -s*r.pq[i] + t*r.q[i]
+	copy(dst, v)
+	for i := range dst {
+		dst[i] += -s*r.pq[i] + t*r.q[i]
 	}
-	return out
 }
 
 // givensRotation composes plane rotations, mirroring Appendix A: it is built
@@ -142,11 +151,16 @@ func NewGivensRotation(axis Vector) (Rotation, error) {
 func (g *givensRotation) Dim() int { return g.d }
 
 func (g *givensRotation) Apply(v Vector) Vector {
-	out := v.Clone()
-	for _, p := range g.planes {
-		x, y := out[p.i], out[p.j]
-		out[p.i] = p.c*x - p.s*y
-		out[p.j] = p.s*x + p.c*y
-	}
+	out := make(Vector, len(v))
+	g.ApplyTo(out, v)
 	return out
+}
+
+func (g *givensRotation) ApplyTo(dst, v Vector) {
+	copy(dst, v)
+	for _, p := range g.planes {
+		x, y := dst[p.i], dst[p.j]
+		dst[p.i] = p.c*x - p.s*y
+		dst[p.j] = p.s*x + p.c*y
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
 	"stablerank/internal/sampling"
+	"stablerank/internal/vecmat"
 )
 
 // Per-item rank distributions: Example 1's consumer question in
@@ -115,15 +116,29 @@ func ItemRankDistribution(ctx context.Context, ds *dataset.Dataset, sampler samp
 		return RankDistribution{}, fmt.Errorf("mc: need >= 1 sample, got %d", n)
 	}
 	dist := RankDistribution{Item: item, Counts: make(map[int]int), Best: ds.N() + 1}
+	// Copy the item attributes into one contiguous row-major matrix so the
+	// per-sample rank sweep walks sequential memory, and reuse one sample
+	// buffer across draws: the loop body is allocation-free.
+	attrs := vecmat.New(ds.N(), ds.D())
+	for i := 0; i < ds.N(); i++ {
+		attrs.SetRow(i, ds.Attrs(i))
+	}
+	into, _ := sampler.(sampling.IntoSampler)
+	wbuf := make(geom.Vector, ds.D())
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return RankDistribution{}, err
 		}
-		w, err := sampler.Sample()
+		var err error
+		if into != nil {
+			err = into.SampleInto(wbuf)
+		} else {
+			err = sampling.Into(sampler, wbuf)
+		}
 		if err != nil {
 			return RankDistribution{}, err
 		}
-		r := rankOf(ds, w, item)
+		r := rankOf(attrs, wbuf, item)
 		dist.Counts[r]++
 		if r < dist.Best {
 			dist.Best = r
@@ -136,15 +151,19 @@ func ItemRankDistribution(ctx context.Context, ds *dataset.Dataset, sampler samp
 	return dist, nil
 }
 
-// rankOf returns the 1-based rank of item under w in O(n).
-func rankOf(ds *dataset.Dataset, w geom.Vector, item int) int {
-	score := ds.Score(w, item)
+// rankOf returns the 1-based rank of item under w in one O(n) flat sweep:
+// one plus the number of items scoring strictly higher (or tying with a
+// smaller index). The per-item dot products accumulate in the same order as
+// dataset.Score, so ranks match the slice-of-vectors implementation bit for
+// bit.
+func rankOf(attrs vecmat.Matrix, w geom.Vector, item int) int {
+	score := vecmat.Dot(w, attrs.Row(item))
 	rank := 1
-	for i := 0; i < ds.N(); i++ {
+	for i, n := 0, attrs.Rows(); i < n; i++ {
 		if i == item {
 			continue
 		}
-		s := ds.Score(w, i)
+		s := vecmat.Dot(w, attrs.Row(i))
 		if s > score || (s == score && i < item) {
 			rank++
 		}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
@@ -77,7 +78,11 @@ type Result struct {
 
 // Operator is the stateful GET-NEXTr: it accumulates ranking observations
 // across calls (Algorithms 7 and 8 both reuse previous aggregates) and
-// remembers which rankings it has already returned.
+// remembers which rankings it has already returned. Observations are
+// counted under interned 64-bit ranking hashes (collision-checked; see
+// intern.go) with the sample vector and top-k scratch reused across draws,
+// so the per-sample loop performs no allocations beyond first-seen
+// rankings.
 type Operator struct {
 	ds       *dataset.Dataset
 	sampler  sampling.Sampler
@@ -86,10 +91,10 @@ type Operator struct {
 	k        int
 	alpha    float64
 
-	counts   map[string]int
-	firstW   map[string]geom.Vector
-	returned map[string]bool
-	total    int
+	table  *internTable
+	total  int
+	wbuf   geom.Vector // reusable sample buffer
+	setbuf []int       // reusable sorted top-k set buffer
 }
 
 // Option configures an Operator.
@@ -144,9 +149,8 @@ func NewOperator(ds *dataset.Dataset, sampler sampling.Sampler, opts ...Option) 
 		computer: rank.NewComputer(ds),
 		mode:     Complete,
 		alpha:    0.05,
-		counts:   make(map[string]int),
-		firstW:   make(map[string]geom.Vector),
-		returned: make(map[string]bool),
+		table:    newInternTable(),
+		wbuf:     make(geom.Vector, ds.D()),
 	}
 	for _, opt := range opts {
 		if err := opt(o); err != nil {
@@ -160,43 +164,33 @@ func NewOperator(ds *dataset.Dataset, sampler sampling.Sampler, opts ...Option) 
 func (o *Operator) TotalSamples() int { return o.total }
 
 // DistinctObserved returns the number of distinct rankings observed so far.
-func (o *Operator) DistinctObserved() int { return len(o.counts) }
+func (o *Operator) DistinctObserved() int { return o.table.distinct }
 
-// keyOf computes the mode-appropriate key of the ranking induced by w.
-func (o *Operator) keyOf(r rank.Ranking) string {
+// observe draws one sample into the reused buffer, ranks, and updates the
+// interned aggregates. Top-k modes use O(n log k) selection instead of a
+// full sort (see rank.TopKSelect). No per-sample allocation happens beyond
+// the first observation of each distinct ranking.
+func (o *Operator) observe() error {
+	if err := sampling.Into(o.sampler, o.wbuf); err != nil {
+		return err
+	}
+	var sel []int
 	switch o.mode {
 	case TopKSet:
-		return r.TopKSetKey(o.k)
+		o.setbuf = append(o.setbuf[:0], o.computer.TopKSelect(o.wbuf, o.k)...)
+		slices.Sort(o.setbuf)
+		sel = o.setbuf
 	case TopKRanked:
-		return r.TopKRankedKey(o.k)
+		sel = o.computer.TopKSelect(o.wbuf, o.k)
 	default:
-		return r.Key()
+		sel = o.computer.Compute(o.wbuf).Order
 	}
-}
-
-// observe draws one sample, ranks, and updates the aggregates; it returns
-// the observed key. Top-k modes use O(n log k) selection instead of a full
-// sort (see rank.TopKSelect).
-func (o *Operator) observe() (string, error) {
-	w, err := o.sampler.Sample()
-	if err != nil {
-		return "", err
-	}
-	var key string
-	switch o.mode {
-	case TopKSet:
-		key = o.computer.TopKSetKeyOf(w, o.k)
-	case TopKRanked:
-		key = o.computer.TopKRankedKeyOf(w, o.k)
-	default:
-		key = o.keyOf(o.computer.Compute(w))
-	}
-	o.counts[key]++
-	if _, ok := o.firstW[key]; !ok {
-		o.firstW[key] = w
+	e, fresh := o.table.observe(sel)
+	if fresh {
+		e.firstW = o.wbuf.Clone()
 	}
 	o.total++
-	return key, nil
+	return nil
 }
 
 // Cancellation policy: every observation ranks the whole dataset
@@ -204,35 +198,15 @@ func (o *Operator) observe() (string, error) {
 // is noise next to the work it guards, and cancellation lands within one
 // observation even on million-row catalogs.
 
-// best returns the undiscovered key with the maximum count, or "" if every
-// observed key has been returned already. Count ties break by key for
-// determinism.
-func (o *Operator) best() string {
-	bestKey := ""
-	bestCount := -1
-	for key, c := range o.counts {
-		if o.returned[key] {
-			continue
-		}
-		if c > bestCount || (c == bestCount && key < bestKey) {
-			bestKey, bestCount = key, c
-		}
-	}
-	return bestKey
-}
-
-// resultFor assembles the Result for a key and marks it returned.
-func (o *Operator) resultFor(key string, fresh int) (Result, error) {
-	items, err := rank.DecodeKey(key)
-	if err != nil {
-		return Result{}, err
-	}
-	s := float64(o.counts[key]) / float64(o.total)
-	o.returned[key] = true
+// resultFor assembles the Result for an interned entry and marks it
+// returned. The string key only materializes here, at the API edge.
+func (o *Operator) resultFor(e *internEntry, fresh int) (Result, error) {
+	s := float64(e.count) / float64(o.total)
+	e.returned = true
 	return Result{
-		Key:             key,
-		Items:           items,
-		Weights:         o.firstW[key],
+		Key:             e.key(),
+		Items:           append([]int(nil), e.order...),
+		Weights:         e.firstW,
 		Stability:       s,
 		ConfidenceError: stats.ConfidenceError(s, o.total, o.alpha),
 		SamplesUsed:     fresh,
@@ -253,15 +227,15 @@ func (o *Operator) NextFixedBudget(ctx context.Context, n int) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		if _, err := o.observe(); err != nil {
+		if err := o.observe(); err != nil {
 			return Result{}, err
 		}
 	}
-	key := o.best()
-	if key == "" {
+	e := o.table.best()
+	if e == nil {
 		return Result{}, ErrExhausted
 	}
-	return o.resultFor(key, n)
+	return o.resultFor(e, n)
 }
 
 // NextFixedError samples until the confidence error of the stability
@@ -281,20 +255,20 @@ func (o *Operator) NextFixedError(ctx context.Context, e float64, maxSamples int
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		if key := o.best(); key != "" && o.total >= minSamplesForCI {
+		if best := o.table.best(); best != nil && o.total >= minSamplesForCI {
 			// The stopping rule uses a Laplace-adjusted proportion so that
 			// extreme estimates (0 or 1) do not make the Wald half-width
 			// collapse to zero after a handful of samples; the reported
 			// error in the result remains the paper's Equation 10.
-			adj := (float64(o.counts[key]) + 1) / (float64(o.total) + 2)
+			adj := (float64(best.count) + 1) / (float64(o.total) + 2)
 			if stats.ConfidenceError(adj, o.total, o.alpha) <= e {
-				return o.resultFor(key, fresh)
+				return o.resultFor(best, fresh)
 			}
 		}
 		if fresh >= maxSamples {
 			return Result{}, fmt.Errorf("%w (cap %d, error target %v)", ErrBudget, maxSamples, e)
 		}
-		if _, err := o.observe(); err != nil {
+		if err := o.observe(); err != nil {
 			return Result{}, err
 		}
 		fresh++
@@ -363,11 +337,11 @@ func (o *Operator) DiscoveryCurve(ctx context.Context, budget, every int) ([]Cur
 		if err := ctx.Err(); err != nil {
 			return curve, err
 		}
-		if _, err := o.observe(); err != nil {
+		if err := o.observe(); err != nil {
 			return curve, err
 		}
 		if i%every == 0 || i == budget {
-			curve = append(curve, CurvePoint{Samples: o.total, Distinct: len(o.counts)})
+			curve = append(curve, CurvePoint{Samples: o.total, Distinct: o.table.distinct})
 		}
 	}
 	return curve, nil

@@ -14,6 +14,7 @@ import (
 	"stablerank/internal/geom"
 	"stablerank/internal/rank"
 	"stablerank/internal/sampling"
+	"stablerank/internal/vecmat"
 )
 
 // Parallel estimation, an engineering extension beyond the paper: the
@@ -117,12 +118,63 @@ func sweep(ctx context.Context, total, workers int, fn func(chunk, lo, hi int) e
 	return sweepErr
 }
 
-// BuildPool draws `total` samples through the factory, sharded into PoolChunk
+// BuildPoolMatrix draws `total` d-dimensional samples through the factory
+// directly into one contiguous row-major matrix, sharded into PoolChunk
 // chunks spread across `workers` goroutines (workers <= 0 uses GOMAXPROCS).
-// The pool is bit-identical for every worker count because chunk contents
-// depend only on the chunk's own sampler; see the determinism contract above.
-// Cancelling ctx aborts every worker promptly and returns the context's
-// error.
+// Each worker writes its chunk's rows in place (no per-sample allocation,
+// via sampling.IntoSampler when the factory's samplers support it), and the
+// per-chunk splitmix64 seeding is untouched, so the pool is bit-identical
+// for every worker count; see the determinism contract above. Cancelling
+// ctx aborts every worker promptly and returns the context's error.
+func BuildPoolMatrix(ctx context.Context, factory SamplerFactory, total, d, workers int) (vecmat.Matrix, error) {
+	if factory == nil {
+		return vecmat.Matrix{}, errors.New("mc: nil sampler factory")
+	}
+	if total < 0 {
+		return vecmat.Matrix{}, fmt.Errorf("mc: negative total %d", total)
+	}
+	if d < 1 {
+		return vecmat.Matrix{}, fmt.Errorf("mc: dimension %d < 1", d)
+	}
+	pool := vecmat.New(total, d)
+	err := sweep(ctx, total, workers, func(chunk, lo, hi int) error {
+		s, err := factory(chunk)
+		if err != nil {
+			return err
+		}
+		if s.Dim() != d {
+			return fmt.Errorf("mc: sampler dimension %d != pool dimension %d", s.Dim(), d)
+		}
+		into, _ := s.(sampling.IntoSampler)
+		for i := lo; i < hi; i++ {
+			if (i-lo)%512 == 0 && i > lo {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			row := geom.Vector(pool.Row(i))
+			if into != nil {
+				err = into.SampleInto(row)
+			} else {
+				err = sampling.Into(s, row)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return vecmat.Matrix{}, err
+	}
+	return pool, nil
+}
+
+// BuildPool is BuildPoolMatrix returning the pool as per-sample vectors:
+// the returned slice's elements are row views into one contiguous backing
+// array, so the layout (and allocation count) matches the matrix form while
+// the API stays slice-of-vectors. Contents are bit-identical to
+// BuildPoolMatrix for every worker count.
 func BuildPool(ctx context.Context, factory SamplerFactory, total, workers int) ([]geom.Vector, error) {
 	if factory == nil {
 		return nil, errors.New("mc: nil sampler factory")
@@ -130,28 +182,22 @@ func BuildPool(ctx context.Context, factory SamplerFactory, total, workers int) 
 	if total < 0 {
 		return nil, fmt.Errorf("mc: negative total %d", total)
 	}
-	pool := make([]geom.Vector, total)
-	err := sweep(ctx, total, workers, func(chunk, lo, hi int) error {
-		s, err := factory(chunk)
-		if err != nil {
-			return err
-		}
-		for i := lo; i < hi; i++ {
-			if (i-lo)%512 == 0 && i > lo {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			w, err := s.Sample()
-			if err != nil {
-				return err
-			}
-			pool[i] = w
-		}
-		return nil
-	})
+	if total == 0 {
+		return make([]geom.Vector, 0), nil
+	}
+	// Probe one sampler for the dimension; chunk 0's sweep constructs its
+	// own fresh sampler, so the probe perturbs nothing.
+	probe, err := factory(0)
 	if err != nil {
 		return nil, err
+	}
+	m, err := BuildPoolMatrix(ctx, factory, total, probe.Dim(), workers)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]geom.Vector, total)
+	for i := range pool {
+		pool[i] = geom.Vector(m.Row(i))
 	}
 	return pool, nil
 }
@@ -221,12 +267,16 @@ func ParallelEstimate(ctx context.Context, ds *dataset.Dataset, factory SamplerF
 		return Estimate{Counts: map[string]int{}}, nil
 	}
 
-	// One ranking computer and one partial count map per worker slot would
-	// race on chunk pickup, so allocate them per chunk instead: a computer is
-	// cheap next to the PoolChunk rankings it then produces, and merging
-	// per-chunk maps keeps the final counts independent of scheduling.
+	// One ranking computer and one partial intern table per worker slot
+	// would race on chunk pickup, so allocate them per chunk instead: a
+	// computer is cheap next to the PoolChunk rankings it then produces, and
+	// merging per-chunk tables keeps the final counts independent of
+	// scheduling. Within a chunk, rankings are counted under interned
+	// 64-bit hashes (collision-checked) with the sample buffer reused, so
+	// the per-sample loop allocates only for first-seen rankings; string
+	// keys materialize once per distinct ranking during the merge.
 	chunks := (total + PoolChunk - 1) / PoolChunk
-	parts := make([]map[string]int, chunks)
+	parts := make([]*internTable, chunks)
 	err := sweep(ctx, total, workers, func(chunk, lo, hi int) error {
 		s, err := factory(chunk)
 		if err != nil {
@@ -235,25 +285,34 @@ func ParallelEstimate(ctx context.Context, ds *dataset.Dataset, factory SamplerF
 		if s.Dim() != ds.D() {
 			return fmt.Errorf("mc: sampler dimension %d != dataset dimension %d", s.Dim(), ds.D())
 		}
+		into, _ := s.(sampling.IntoSampler)
 		comp := rank.NewComputer(ds)
-		counts := make(map[string]int)
+		table := newInternTable()
+		wbuf := make(geom.Vector, ds.D())
+		var setbuf []int
 		for i := lo; i < hi; i++ {
-			wv, err := s.Sample()
+			if into != nil {
+				err = into.SampleInto(wbuf)
+			} else {
+				err = sampling.Into(s, wbuf)
+			}
 			if err != nil {
 				return err
 			}
-			var key string
+			var sel []int
 			switch mode {
 			case TopKSet:
-				key = comp.TopKSetKeyOf(wv, k)
+				setbuf = append(setbuf[:0], comp.TopKSelect(wbuf, k)...)
+				sort.Ints(setbuf)
+				sel = setbuf
 			case TopKRanked:
-				key = comp.TopKRankedKeyOf(wv, k)
+				sel = comp.TopKSelect(wbuf, k)
 			default:
-				key = comp.Compute(wv).Key()
+				sel = comp.Compute(wbuf).Order
 			}
-			counts[key]++
+			table.observe(sel)
 		}
-		parts[chunk] = counts
+		parts[chunk] = table
 		return nil
 	})
 	if err != nil {
@@ -262,10 +321,10 @@ func ParallelEstimate(ctx context.Context, ds *dataset.Dataset, factory SamplerF
 	merged := make(map[string]int)
 	n := 0
 	for _, p := range parts {
-		for k, c := range p {
-			merged[k] += c
-			n += c
-		}
+		p.forEach(func(e *internEntry) {
+			merged[e.key()] += e.count
+			n += e.count
+		})
 	}
 	return Estimate{Counts: merged, Total: n}, nil
 }

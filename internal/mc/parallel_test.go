@@ -154,6 +154,60 @@ func TestBuildPoolWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestBuildPoolMatrixMatchesBuildPool: the matrix pool and the
+// slice-of-vectors wrapper hold bit-identical samples (they share the
+// chunked seeding), and the matrix build is worker-invariant too — the
+// determinism contract survives the contiguous storage.
+func TestBuildPoolMatrixMatchesBuildPool(t *testing.T) {
+	factory := ConeSamplers(geom.FullSpace{D: 3}, 42)
+	total := PoolChunk + 123
+	pool, err := BuildPool(ctx, factory, total, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comparing every worker count's matrix against the one BuildPool
+	// result proves both matrix-vs-wrapper equality and worker invariance.
+	for _, workers := range []int{1, 4} {
+		m, err := BuildPoolMatrix(ctx, factory, total, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Rows() != total || m.Stride() != 3 {
+			t.Fatalf("matrix shape %dx%d", m.Rows(), m.Stride())
+		}
+		for i := 0; i < total; i++ {
+			row := m.Row(i)
+			for c := range row {
+				if row[c] != pool[i][c] {
+					t.Fatalf("workers=%d: row %d component %d: %v vs %v", workers, i, c, row[c], pool[i][c])
+				}
+			}
+		}
+	}
+	// Dimension mismatch between factory and pool is rejected.
+	if _, err := BuildPoolMatrix(ctx, factory, 10, 4, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// TestBuildPoolAllocationBudget: the chunked matrix build allocates per
+// chunk (sampler construction), never per sample.
+func TestBuildPoolAllocationBudget(t *testing.T) {
+	factory := ConeSamplers(geom.FullSpace{D: 3}, 7)
+	total := 2 * PoolChunk
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := BuildPoolMatrix(ctx, factory, total, 3, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 2 chunks x a handful of sampler allocations + the pool itself; the
+	// historical build allocated >= 2*total.
+	if allocs > 64 {
+		t.Errorf("BuildPoolMatrix allocates %.0f for %d samples (%.3f/sample), want per-chunk only",
+			allocs, total, allocs/float64(total))
+	}
+}
+
 func TestBuildPoolValidationAndCancel(t *testing.T) {
 	factory := ConeSamplers(geom.FullSpace{D: 2}, 1)
 	if _, err := BuildPool(ctx, nil, 10, 1); err == nil {

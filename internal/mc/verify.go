@@ -38,11 +38,19 @@ func (o *Operator) VerifyKey(target string, n int) (VerifyResult, error) {
 		return VerifyResult{}, fmt.Errorf("mc: verification needs >= 1 sample, got %d", n)
 	}
 	for i := 0; i < n; i++ {
-		if _, err := o.observe(); err != nil {
+		if err := o.observe(); err != nil {
 			return VerifyResult{}, err
 		}
 	}
-	s := float64(o.counts[target]) / float64(o.total)
+	count := 0
+	// A malformed target can never have been observed; report stability 0
+	// for it, matching the historical exact-string lookup.
+	if items, err := rank.DecodeKey(target); err == nil {
+		if e := o.table.lookup(items); e != nil {
+			count = e.count
+		}
+	}
+	s := float64(count) / float64(o.total)
 	return VerifyResult{
 		Stability:       s,
 		ConfidenceError: stats.ConfidenceError(s, o.total, o.alpha),

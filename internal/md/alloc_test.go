@@ -1,0 +1,100 @@
+package md
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/datagen"
+	"stablerank/internal/geom"
+	"stablerank/internal/rank"
+	"stablerank/internal/sampling"
+	"stablerank/internal/vecmat"
+)
+
+// Allocation discipline of the verify hot path: the oracle sweep must not
+// allocate per sample. The per-call allocations (constraint matrix,
+// halfspace views, result) are O(dataset), so doubling the pool size must
+// not change the allocation count at all.
+func TestVerifyMatrixAllocsIndependentOfPoolSize(t *testing.T) {
+	ds := datagen.Synthetic(rand.New(rand.NewSource(6)), datagen.KindIndependent, 50, 3)
+	r := rank.Compute(ds, geom.Vector{1, 1, 1})
+	pools := make([]vecmat.Matrix, 2)
+	for pi, n := range []int{2000, 20000} {
+		s, err := sampling.NewUniform(3, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := vecmat.New(n, 3)
+		for i := 0; i < n; i++ {
+			if err := s.SampleInto(pool.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pools[pi] = pool
+	}
+	ctx := context.Background()
+	measure := func(pool vecmat.Matrix) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := VerifyMatrix(ctx, ds, r, pool); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(pools[0]), measure(pools[1])
+	if small != large {
+		t.Errorf("allocs scale with pool size: %v at 2k samples vs %v at 20k", small, large)
+	}
+	if large > 16 {
+		t.Errorf("VerifyMatrix allocates %v per call, want a small constant", large)
+	}
+}
+
+// The engine's partition/centroid sweeps share the same discipline: one
+// Next call may allocate regions and the result, but nothing per sample, so
+// a 10x larger pool must not raise the allocation count materially.
+func TestEngineNextAllocsIndependentOfPoolSize(t *testing.T) {
+	ds := datagen.Synthetic(rand.New(rand.NewSource(12)), datagen.KindIndependent, 25, 3)
+	cone, err := geom.NewCone(geom.Vector{1, 1, 1}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(n int) float64 {
+		var total float64
+		const runs = 5
+		for run := 0; run < runs; run++ {
+			s, err := sampling.NewCap(cone, rand.New(rand.NewSource(31)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := vecmat.New(n, 3)
+			for i := 0; i < n; i++ {
+				if err := s.SampleInto(pool.Row(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e, err := NewEngineMatrix(ds, cone, pool, SamplePartition)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += testing.AllocsPerRun(1, func() {
+				if _, err := e.Next(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		return total / runs
+	}
+	small, large := measure(2000), measure(20000)
+	// A denser pool legitimately allocates a few more Region nodes (more
+	// hyperplanes get samples on both sides), but a per-sample allocation
+	// anywhere in the partition sweep would show up as thousands of extra
+	// allocations for the 10x pool. Demand sub-linear growth and a per-Next
+	// budget far below one allocation per sample.
+	if large > 4*small+64 {
+		t.Errorf("engine Next allocations scale with pool size: %v at 2k vs %v at 20k samples", small, large)
+	}
+	if large > 2000/4 { // << 20000 samples
+		t.Errorf("engine Next allocates %v per call over 20k samples; the partition sweep must be allocation-free per sample", large)
+	}
+}

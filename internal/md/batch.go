@@ -9,6 +9,7 @@ import (
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
 	"stablerank/internal/rank"
+	"stablerank/internal/vecmat"
 )
 
 // Batch verification: one sweep of the sample pool amortized across many
@@ -30,28 +31,51 @@ type BatchResult struct {
 const batchBlock = 4096
 
 // VerifyBatch verifies every ranking against the same sample pool in a
-// single sharded sweep (workers <= 0 uses GOMAXPROCS). Per-ranking failures
-// (infeasibility, shape mismatches) are reported in the corresponding
-// BatchResult.Err without failing the batch; only an empty pool or a
-// cancelled context fails the call as a whole. The counts are exact sums, so
-// the results are identical for every worker count.
+// single sharded sweep (workers <= 0 uses GOMAXPROCS). The samples are
+// copied into a contiguous matrix first; callers holding a resident pool
+// should use VerifyBatchMatrix and skip the copy.
 func VerifyBatch(ctx context.Context, ds *dataset.Dataset, rankings []rank.Ranking, samples []geom.Vector, workers int) ([]BatchResult, error) {
-	out := make([]BatchResult, len(rankings))
 	if len(rankings) == 0 {
-		return out, nil
+		return make([]BatchResult, 0), nil
 	}
 	if len(samples) == 0 {
 		return nil, ErrNoSamples
 	}
+	pool, err := matrixOfSamples(ds.D(), samples)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyBatchMatrix(ctx, ds, rankings, pool, workers)
+}
+
+// VerifyBatchMatrix verifies every ranking against one contiguous row-major
+// sample pool in a single sharded sweep (workers <= 0 uses GOMAXPROCS).
+// Within a pool block each live ranking's oriented constraint matrix sweeps
+// the block with the flat counting kernel — no pointer chasing and no
+// allocation per sample. Per-ranking failures (infeasibility, shape
+// mismatches) are reported in the corresponding BatchResult.Err without
+// failing the batch; only an empty pool or a cancelled context fails the
+// call as a whole. The counts are exact sums, so the results are identical
+// for every worker count.
+func VerifyBatchMatrix(ctx context.Context, ds *dataset.Dataset, rankings []rank.Ranking, pool vecmat.Matrix, workers int) ([]BatchResult, error) {
+	out := make([]BatchResult, len(rankings))
+	if len(rankings) == 0 {
+		return out, nil
+	}
+	if pool.Rows() == 0 {
+		return nil, ErrNoSamples
+	}
 	constraints := make([][]geom.Halfspace, len(rankings))
+	consMat := make([]vecmat.Matrix, len(rankings))
 	live := make([]int, 0, len(rankings))
 	for i, r := range rankings {
-		c, err := RankingRegion(ds, r)
+		m, c, err := rankingRegionMatrix(ds, r)
 		if err != nil {
 			out[i].Err = err
 			continue
 		}
 		constraints[i] = c
+		consMat[i] = m
 		live = append(live, i)
 	}
 	if len(live) == 0 {
@@ -61,7 +85,7 @@ func VerifyBatch(ctx context.Context, ds *dataset.Dataset, rankings []rank.Ranki
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	blocks := (len(samples) + batchBlock - 1) / batchBlock
+	blocks := (pool.Rows() + batchBlock - 1) / batchBlock
 	if workers > blocks {
 		workers = blocks
 	}
@@ -100,13 +124,12 @@ func VerifyBatch(ctx context.Context, ds *dataset.Dataset, rankings []rank.Ranki
 					return
 				}
 				lo := b * batchBlock
-				hi := min(lo+batchBlock, len(samples))
-				for _, wv := range samples[lo:hi] {
-					for _, i := range live {
-						if insideAll(constraints[i], wv) {
-							local[i]++
-						}
-					}
+				hi := min(lo+batchBlock, pool.Rows())
+				// Constraint-major within the block: each ranking's flat
+				// constraint matrix stays hot in cache for the whole block
+				// instead of being reloaded per sample.
+				for _, i := range live {
+					local[i] += consMat[i].CountInside(pool, lo, hi)
 				}
 			}
 		}(w)
@@ -123,9 +146,9 @@ func VerifyBatch(ctx context.Context, ds *dataset.Dataset, rankings []rank.Ranki
 	}
 	for _, i := range live {
 		out[i].VerifyResult = VerifyResult{
-			Stability:   float64(total[i]) / float64(len(samples)),
+			Stability:   float64(total[i]) / float64(pool.Rows()),
 			Constraints: constraints[i],
-			SampleCount: len(samples),
+			SampleCount: pool.Rows(),
 		}
 	}
 	return out, nil

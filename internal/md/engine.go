@@ -10,6 +10,7 @@ import (
 	"stablerank/internal/geom"
 	"stablerank/internal/lp"
 	"stablerank/internal/rank"
+	"stablerank/internal/vecmat"
 )
 
 // Region is one (partially refined) cell of the arrangement of ordering
@@ -63,7 +64,7 @@ const (
 type Engine struct {
 	ds       *dataset.Dataset
 	hps      []geom.Hyperplane
-	samples  []geom.Vector // shared array, partitioned in place
+	samples  vecmat.Matrix // shared contiguous matrix, partitioned in place
 	total    int
 	regions  regionHeap
 	computer *rank.Computer
@@ -76,8 +77,9 @@ type Engine struct {
 
 // NewEngine prepares GET-NEXTmd over the dataset within the region of
 // interest, with samples drawn (by the caller) uniformly from that region.
-// The samples slice is owned by the engine afterwards and reordered in
-// place.
+// The samples are copied into the engine's contiguous matrix, so the input
+// slice is left untouched; callers already holding a matrix pool should use
+// NewEngineMatrix and skip the copy.
 func NewEngine(ds *dataset.Dataset, roi geom.Region, samples []geom.Vector, mode IntersectionMode) (*Engine, error) {
 	if ds.N() == 0 {
 		return nil, dataset.ErrEmptyDataset
@@ -86,24 +88,44 @@ func NewEngine(ds *dataset.Dataset, roi geom.Region, samples []geom.Vector, mode
 		return nil, ErrNoSamples
 	}
 	d := ds.D()
-	if roi.Dim() != d {
-		return nil, fmt.Errorf("md: region of interest dimension %d != dataset dimension %d", roi.Dim(), d)
-	}
-	for _, s := range samples {
+	m := vecmat.New(len(samples), d)
+	for i, s := range samples {
 		if len(s) != d {
 			return nil, fmt.Errorf("md: sample dimension %d != dataset dimension %d", len(s), d)
 		}
+		m.SetRow(i, s)
+	}
+	return NewEngineMatrix(ds, roi, m, mode)
+}
+
+// NewEngineMatrix is NewEngine over a contiguous row-major sample matrix
+// (stride = the dataset dimension). The matrix is owned by the engine
+// afterwards and its rows are reordered in place by the Section 5.4
+// partition sweeps.
+func NewEngineMatrix(ds *dataset.Dataset, roi geom.Region, samples vecmat.Matrix, mode IntersectionMode) (*Engine, error) {
+	if ds.N() == 0 {
+		return nil, dataset.ErrEmptyDataset
+	}
+	if samples.Rows() == 0 {
+		return nil, ErrNoSamples
+	}
+	d := ds.D()
+	if roi.Dim() != d {
+		return nil, fmt.Errorf("md: region of interest dimension %d != dataset dimension %d", roi.Dim(), d)
+	}
+	if samples.Stride() != d {
+		return nil, fmt.Errorf("md: sample dimension %d != dataset dimension %d", samples.Stride(), d)
 	}
 	e := &Engine{
 		ds:       ds,
 		hps:      ExchangeHyperplanes(ds, roi),
 		samples:  samples,
-		total:    len(samples),
+		total:    samples.Rows(),
 		computer: rank.NewComputer(ds),
 		mode:     mode,
 		returned: make(map[string]bool),
 	}
-	root := &Region{Stability: 1, pending: 0, sb: 0, se: len(samples)}
+	root := &Region{Stability: 1, pending: 0, sb: 0, se: samples.Rows()}
 	e.regions = regionHeap{root}
 	heap.Init(&e.regions)
 	return e, nil
@@ -144,7 +166,7 @@ func (e *Engine) Next(ctx context.Context) (Result, error) {
 			}
 			h := e.hps[r.pending]
 			r.pending++
-			mid := partitionSamples(e.samples, r.sb, r.se, h)
+			mid := e.samples.PartitionRows(h.Normal, r.sb, r.se)
 			if mid == r.sb || mid == r.se {
 				continue // does not pass through this region
 			}
@@ -206,34 +228,15 @@ func (e *Engine) Next(ctx context.Context) (Result, error) {
 }
 
 // centroid returns the normalized average of the region's samples: a point
-// interior to the (convex) region.
+// interior to the (convex) region. The accumulation is a flat row sweep
+// whose order matches the historical slice-of-vectors loop bit for bit.
 func (e *Engine) centroid(r *Region) geom.Vector {
-	d := e.ds.D()
-	c := make(geom.Vector, d)
-	for i := r.sb; i < r.se; i++ {
-		for j := 0; j < d; j++ {
-			c[j] += e.samples[i][j]
-		}
-	}
+	c := make(geom.Vector, e.ds.D())
+	e.samples.CentroidRows(r.sb, r.se, c)
 	if u, err := c.Normalize(); err == nil {
 		return u
 	}
-	return e.samples[r.sb].Clone()
-}
-
-// partitionSamples reorders samples[lo:hi] so that all samples in the
-// negative halfspace of h come first, returning the split index (the
-// quick-sort partition of Section 5.4). Samples exactly on the hyperplane
-// (measure zero) are assigned to the positive side.
-func partitionSamples(samples []geom.Vector, lo, hi int, h geom.Hyperplane) int {
-	i := lo
-	for j := lo; j < hi; j++ {
-		if h.Eval(samples[j]) < 0 {
-			samples[i], samples[j] = samples[j], samples[i]
-			i++
-		}
-	}
-	return i
+	return geom.Vector(e.samples.Row(r.sb)).Clone()
 }
 
 func appendHalfspace(cs []geom.Halfspace, hs geom.Halfspace) []geom.Halfspace {

@@ -1,0 +1,133 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/geom"
+)
+
+// referenceCompute is the historical implementation — per-item ds.Score and
+// a stable sort with the explicit tie-break — kept here as the oracle for
+// the argsort rewrite.
+func referenceCompute(ds *dataset.Dataset, w geom.Vector) Ranking {
+	r := Ranking{Order: make([]int, ds.N())}
+	scores := make([]float64, ds.N())
+	for i := range r.Order {
+		r.Order[i] = i
+		scores[i] = ds.Score(w, i)
+	}
+	sort.SliceStable(r.Order, func(a, b int) bool {
+		ia, ib := r.Order[a], r.Order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return ia < ib
+	})
+	return r
+}
+
+// TestArgsortMatchesReference: random datasets (including negative
+// attributes, exact duplicates, and zero weights that produce score ties)
+// rank identically under the flat argsort and the historical stable sort.
+func TestArgsortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		d := 2 + rng.Intn(3)
+		ds, err := dataset.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			attrs := make(geom.Vector, d)
+			for j := range attrs {
+				switch rng.Intn(4) {
+				case 0:
+					attrs[j] = 0 // ties and zero scores
+				case 1:
+					attrs[j] = -rng.Float64() // negative attributes
+				default:
+					attrs[j] = math.Floor(rng.Float64()*4) / 2 // coarse grid: duplicates
+				}
+			}
+			if err := ds.Add("x", attrs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := make(geom.Vector, d)
+		for j := range w {
+			w[j] = math.Floor(rng.Float64()*3) / 2 // zeros included
+		}
+		comp := NewComputer(ds)
+		got := comp.Compute(w)
+		want := referenceCompute(ds, w)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: argsort %v, reference %v (w=%v)", trial, got.Order, want.Order, w)
+		}
+		// And the free function delegates to the same logic.
+		if free := Compute(ds, w); !free.Equal(want) {
+			t.Fatalf("trial %d: Compute %v, reference %v", trial, free.Order, want.Order)
+		}
+	}
+}
+
+// TestComputeReturnsIndependentRanking: the free function's result must not
+// alias internal buffers (callers retain it).
+func TestComputeReturnsIndependentRanking(t *testing.T) {
+	ds := dataset.MustNew(2)
+	ds.MustAdd("a", 1, 0)
+	ds.MustAdd("b", 0, 1)
+	r1 := Compute(ds, geom.Vector{1, 0})
+	r2 := Compute(ds, geom.Vector{0, 1})
+	if r1.Equal(r2) {
+		t.Fatal("opposite weights gave equal rankings")
+	}
+	if r1.Order[0] != 0 || r2.Order[0] != 1 {
+		t.Fatalf("orders %v / %v", r1.Order, r2.Order)
+	}
+}
+
+// TestComputerComputeAllocationFree: the ranking inner loop of every
+// Monte-Carlo operator performs zero allocations per call.
+func TestComputerComputeAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds, err := dataset.New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := ds.Add("x", geom.Vector{rng.Float64(), rng.Float64(), rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comp := NewComputer(ds)
+	w := geom.Vector{0.5, 0.3, 0.2}
+	if allocs := testing.AllocsPerRun(10, func() { comp.Compute(w) }); allocs != 0 {
+		t.Errorf("Computer.Compute allocates %.1f per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { comp.TopKSelect(w, 10) }); allocs != 0 {
+		t.Errorf("Computer.TopKSelect allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestSortKeyOrdering: the packed order key is monotone over the float
+// order, descending, with both zeros collapsed.
+func TestSortKeyOrdering(t *testing.T) {
+	vals := []float64{math.Inf(-1), -2.5, -1e-300, math.Copysign(0, -1), 0, 1e-300, 0.5, 2.5, math.Inf(1)}
+	for i := 0; i+1 < len(vals); i++ {
+		a, b := vals[i], vals[i+1]
+		ka, kb := sortKey(a), sortKey(b)
+		switch {
+		case a == b: // the two zeros
+			if ka != kb {
+				t.Errorf("sortKey(%v) != sortKey(%v)", a, b)
+			}
+		case ka <= kb:
+			t.Errorf("sortKey not descending: key(%v)=%x <= key(%v)=%x", a, ka, b, kb)
+		}
+	}
+}

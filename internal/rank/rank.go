@@ -7,12 +7,15 @@ package rank
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
+	"stablerank/internal/vecmat"
 )
 
 // Ranking is a permutation of item indices, best first. It is produced by
@@ -24,56 +27,95 @@ type Ranking struct {
 }
 
 // Compute returns the ranking of the dataset induced by the weight vector w.
-// It is the operator named nabla_f(D) in the paper.
+// It is the operator named nabla_f(D) in the paper. It delegates to a
+// one-shot Computer so the sort and tie-break logic exists in exactly one
+// place; loops ranking the same dataset repeatedly should hold their own
+// Computer to amortize its buffers.
 func Compute(ds *dataset.Dataset, w geom.Vector) Ranking {
-	r := Ranking{Order: make([]int, ds.N())}
-	scores := make([]float64, ds.N())
-	for i := range r.Order {
-		r.Order[i] = i
-		scores[i] = ds.Score(w, i)
-	}
-	sort.SliceStable(r.Order, func(a, b int) bool {
-		ia, ib := r.Order[a], r.Order[b]
-		if scores[ia] != scores[ib] {
-			return scores[ia] > scores[ib]
-		}
-		return ia < ib
-	})
-	return r
+	return NewComputer(ds).Compute(w).Clone()
 }
 
-// buffersFor reuses allocations across repeated Compute calls; the Monte-
-// Carlo operators rank the same dataset tens of thousands of times.
+// Computer ranks one dataset repeatedly without allocating: the item
+// attributes live in a contiguous row-major matrix (one dot-product sweep
+// scores every item), and the sort is an argsort over precomputed order
+// keys in reused buffers. The Monte-Carlo operators rank the same dataset
+// tens of thousands of times, so Compute performs zero allocations per
+// call.
 type Computer struct {
 	ds     *dataset.Dataset
+	attrs  vecmat.Matrix // n x d contiguous copy of the item attributes
 	order  []int
 	scores []float64
+	keys   []scoredIdx
+}
+
+// scoredIdx is one argsort element: a precomputed order key (ascending key
+// = descending score; see sortKey) plus the item index as tie-break.
+type scoredIdx struct {
+	key uint64
+	idx int32
 }
 
 // NewComputer returns a reusable ranking computer over ds.
 func NewComputer(ds *dataset.Dataset) *Computer {
+	n := ds.N()
+	attrs := vecmat.New(n, ds.D())
+	for i := 0; i < n; i++ {
+		attrs.SetRow(i, ds.Attrs(i))
+	}
 	return &Computer{
 		ds:     ds,
-		order:  make([]int, ds.N()),
-		scores: make([]float64, ds.N()),
+		attrs:  attrs,
+		order:  make([]int, n),
+		scores: make([]float64, n),
+		keys:   make([]scoredIdx, n),
 	}
+}
+
+// scoreAll fills c.scores with w . attrs for every item in one contiguous
+// sweep. The per-item accumulation order matches dataset.Score bit for bit.
+func (c *Computer) scoreAll(w geom.Vector) {
+	c.attrs.MulVec(w, c.scores)
+}
+
+// sortKey maps a score to a uint64 whose ascending order is descending
+// score order: the standard sign-flip trick makes float bits monotonic,
+// and complementing reverses the direction. Both zeros collapse to one key
+// so -0.0 and +0.0 tie (and fall through to the index tie-break), exactly
+// like the == comparison of the historical comparator.
+func sortKey(f float64) uint64 {
+	if f == 0 {
+		return ^(uint64(1) << 63)
+	}
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		b = ^b
+	} else {
+		b |= 1 << 63
+	}
+	return ^b
 }
 
 // Compute returns the ranking induced by w. The returned slice is owned by
 // the computer and overwritten on the next call; callers needing to retain
 // it must copy (or use Ranking.Clone).
 func (c *Computer) Compute(w geom.Vector) Ranking {
-	for i := range c.order {
-		c.order[i] = i
-		c.scores[i] = c.ds.Score(w, i)
+	c.scoreAll(w)
+	for i, s := range c.scores {
+		c.keys[i] = scoredIdx{key: sortKey(s), idx: int32(i)}
 	}
-	sort.SliceStable(c.order, func(a, b int) bool {
-		ia, ib := c.order[a], c.order[b]
-		if c.scores[ia] != c.scores[ib] {
-			return c.scores[ia] > c.scores[ib]
+	slices.SortFunc(c.keys, func(a, b scoredIdx) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
 		}
-		return ia < ib
+		return int(a.idx) - int(b.idx)
 	})
+	for i, p := range c.keys {
+		c.order[i] = int(p.idx)
+	}
 	return Ranking{Order: c.order}
 }
 

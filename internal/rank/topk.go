@@ -24,9 +24,7 @@ func (c *Computer) TopKSelect(w geom.Vector, k int) []int {
 	if k <= 0 {
 		return c.order[:0]
 	}
-	for i := 0; i < n; i++ {
-		c.scores[i] = c.ds.Score(w, i)
-	}
+	c.scoreAll(w)
 	// Bounded min-heap over c.order[:k]: the root is the WORST currently
 	// kept item (lowest score; ties: largest index).
 	h := c.order[:k]

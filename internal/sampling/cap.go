@@ -27,6 +27,7 @@ type Cap struct {
 	rot      geom.Rotation
 	table    *stats.RiemannTable // nil when a closed form applies
 	maxTries int
+	buf      geom.Vector // pre-rotation scratch point, reused across draws
 }
 
 // DefaultRiemannPartitions is the table resolution gamma used by NewCap for
@@ -51,7 +52,7 @@ func NewCap(cone geom.Cone, rng *rand.Rand) (*Cap, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cap{cone: cone, rng: rng, rot: rot, maxTries: DefaultRejectionBudget}
+	c := &Cap{cone: cone, rng: rng, rot: rot, maxTries: DefaultRejectionBudget, buf: make(geom.Vector, d)}
 	if d > 3 {
 		tab, err := stats.NewRiemannTable(d, cone.Theta, DefaultRiemannPartitions)
 		if err != nil {
@@ -85,10 +86,24 @@ func (c *Cap) polarAngle() float64 {
 // Sample draws a uniform point on the cap, rejecting draws outside the
 // non-negative orthant.
 func (c *Cap) Sample() (geom.Vector, error) {
+	w := make(geom.Vector, c.cone.Dim())
+	if err := c.SampleInto(w); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// SampleInto is Sample writing into dst (see IntoSampler): the
+// pre-rotation point lives in a reused scratch buffer and the rotation
+// writes straight into dst, so a draw performs no allocation.
+func (c *Cap) SampleInto(dst geom.Vector) error {
 	d := c.cone.Dim()
+	if len(dst) != d {
+		return fmt.Errorf("sampling: buffer dimension %d != sampler dimension %d", len(dst), d)
+	}
 	for try := 0; try < c.maxTries; try++ {
 		x := c.polarAngle()
-		p := make(geom.Vector, d)
+		p := c.buf
 		if d == 2 {
 			// The (d-2)-sphere is two points: choose the side at random.
 			if c.rng.Intn(2) == 0 {
@@ -115,19 +130,19 @@ func (c *Cap) Sample() (geom.Vector, error) {
 			}
 			p[d-1] = math.Cos(x)
 		}
-		w := c.rot.Apply(p)
-		if w.NonNegative(geom.Eps) {
+		c.rot.ApplyTo(dst, p)
+		if dst.NonNegative(geom.Eps) {
 			// Clamp the numerically-negligible negatives introduced by the
 			// rotation so downstream orthant checks see clean values.
-			for i := range w {
-				if w[i] < 0 {
-					w[i] = 0
+			for i := range dst {
+				if dst[i] < 0 {
+					dst[i] = 0
 				}
 			}
-			return w, nil
+			return nil
 		}
 	}
-	return nil, fmt.Errorf("%w (cap outside orthant too often)", ErrRejectionBudget)
+	return fmt.Errorf("%w (cap outside orthant too often)", ErrRejectionBudget)
 }
 
 // ForRegion returns an unbiased sampler for the given region of interest,

@@ -27,6 +27,32 @@ type Sampler interface {
 	Dim() int
 }
 
+// IntoSampler is implemented by samplers that can write the drawn vector
+// into a caller-provided buffer, eliminating the per-sample allocation of
+// Sample. SampleInto consumes exactly the same RNG stream as Sample, so a
+// sequence of draws is bit-identical whichever entry point is used.
+type IntoSampler interface {
+	Sampler
+	// SampleInto draws a fresh unit vector in the region into dst, which
+	// must have the sampler's dimension.
+	SampleInto(dst geom.Vector) error
+}
+
+// Into draws one sample into dst, using SampleInto when the sampler
+// supports it and falling back to Sample plus a copy otherwise. Hot loops
+// drawing many samples should hoist the type assertion themselves.
+func Into(s Sampler, dst geom.Vector) error {
+	if si, ok := s.(IntoSampler); ok {
+		return si.SampleInto(dst)
+	}
+	w, err := s.Sample()
+	if err != nil {
+		return err
+	}
+	copy(dst, w)
+	return nil
+}
+
 // ErrRejectionBudget is returned when acceptance-rejection sampling exceeds
 // its trial budget, which indicates a region of (near-)zero volume.
 var ErrRejectionBudget = errors.New("sampling: acceptance-rejection trial budget exhausted")
@@ -58,19 +84,30 @@ func (u *Uniform) Dim() int { return u.d }
 // Sample implements Algorithm 9 (SampleU).
 func (u *Uniform) Sample() (geom.Vector, error) {
 	v := make(geom.Vector, u.d)
+	if err := u.SampleInto(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// SampleInto is Sample writing into dst (see IntoSampler).
+func (u *Uniform) SampleInto(dst geom.Vector) error {
+	if len(dst) != u.d {
+		return fmt.Errorf("sampling: buffer dimension %d != sampler dimension %d", len(dst), u.d)
+	}
 	for {
 		var norm2 float64
-		for i := range v {
+		for i := range dst {
 			x := math.Abs(u.rng.NormFloat64())
-			v[i] = x
+			dst[i] = x
 			norm2 += x * x
 		}
 		if norm2 > 1e-24 {
 			n := math.Sqrt(norm2)
-			for i := range v {
-				v[i] /= n
+			for i := range dst {
+				dst[i] /= n
 			}
-			return v.Clone(), nil
+			return nil
 		}
 		// All-zero draw: astronomically unlikely; retry.
 	}
@@ -146,18 +183,26 @@ func (r *Rejection) Dim() int { return r.proposal.Dim() }
 
 // Sample draws until a proposal lands in the region or the budget runs out.
 func (r *Rejection) Sample() (geom.Vector, error) {
+	v := make(geom.Vector, r.Dim())
+	if err := r.SampleInto(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// SampleInto is Sample writing into dst (see IntoSampler).
+func (r *Rejection) SampleInto(dst geom.Vector) error {
 	for i := 0; i < r.maxTries; i++ {
-		w, err := r.proposal.Sample()
-		if err != nil {
-			return nil, err
+		if err := Into(r.proposal, dst); err != nil {
+			return err
 		}
 		r.trials++
-		if r.region.Contains(w) {
+		if r.region.Contains(dst) {
 			r.accepts++
-			return w, nil
+			return nil
 		}
 	}
-	return nil, fmt.Errorf("%w (budget %d)", ErrRejectionBudget, r.maxTries)
+	return fmt.Errorf("%w (budget %d)", ErrRejectionBudget, r.maxTries)
 }
 
 // AcceptanceRate reports the empirical acceptance probability so far, or 0

@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // RiemannTable implements Algorithm 10 of the paper: a tabulated, normalized
@@ -16,6 +15,12 @@ type RiemannTable struct {
 	Step  float64   // partition width epsilon = theta/gamma
 	L     []float64 // L[i] = F(i * Step), L[0] = 0, L[gamma] = 1
 	Total float64   // unnormalized integral of sin^{d-2} over [0, theta]
+	// guide[k] hints the first index i with L[i] >= k/len(guide), turning
+	// the inverse-CDF lookup from a binary search into an O(1) bucket jump
+	// plus a short exact scan. Purely an accelerator: lookups correct the
+	// hint in both directions, so results are bit-identical with or without
+	// it.
+	guide []int32
 }
 
 // NewRiemannTable tabulates the cap CDF for dimension d and half-angle theta
@@ -48,7 +53,16 @@ func NewRiemannTable(d int, theta float64, gamma int) (*RiemannTable, error) {
 	for i := range l {
 		l[i] /= acc
 	}
-	return &RiemannTable{Theta: theta, D: d, Step: eps, L: l, Total: acc * eps}, nil
+	guide := make([]int32, gamma)
+	j := 0
+	for k := range guide {
+		yk := float64(k) / float64(gamma)
+		for j < len(l) && l[j] < yk {
+			j++
+		}
+		guide[k] = int32(j)
+	}
+	return &RiemannTable{Theta: theta, D: d, Step: eps, L: l, Total: acc * eps, guide: guide}, nil
 }
 
 // InverseCDF returns the angle x in [0, Theta] with F(x) ~ y, by binary
@@ -63,8 +77,29 @@ func (t *RiemannTable) InverseCDF(y float64) float64 {
 	if y >= 1 {
 		return t.Theta
 	}
-	// First index with L[i] >= y.
-	i := sort.SearchFloat64s(t.L, y)
+	// First index with L[i] >= y: jump to the guide bucket's hint, then
+	// correct exactly in both directions (the hint can be off by a step when
+	// y*len(guide) rounds across an integer, and the forward scan is the
+	// within-bucket search itself). The CDF is smooth, so the scans are a
+	// couple of steps — far cheaper than a binary search over the table.
+	var i int
+	if len(t.guide) > 0 {
+		k := int(y * float64(len(t.guide)))
+		if k >= len(t.guide) {
+			k = len(t.guide) - 1
+		}
+		i = int(t.guide[k])
+		for i < len(t.L) && t.L[i] < y {
+			i++
+		}
+		for i > 0 && t.L[i-1] >= y {
+			i--
+		}
+	} else {
+		for i < len(t.L) && t.L[i] < y {
+			i++
+		}
+	}
 	if i == 0 {
 		return 0
 	}

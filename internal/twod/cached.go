@@ -68,10 +68,11 @@ func NewCachedEnumerator(ds *dataset.Dataset, iv geom.Interval2D, maxCells int) 
 			ErrCacheBudget, len(regions), ds.N(), maxCells)
 	}
 	h := make(cachedHeap, 0, len(regions))
+	computer := rank.NewComputer(ds) // one attrs matrix + sort buffers for all regions
 	for _, reg := range regions {
 		h = append(h, cachedRegion{
 			region:  reg,
-			ranking: rank.Compute(ds, reg.Midpoint()),
+			ranking: computer.Compute(reg.Midpoint()).Clone(),
 		})
 	}
 	heap.Init(&h)

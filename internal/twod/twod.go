@@ -268,8 +268,9 @@ func pairKey(a, b int) [2]int {
 // Algorithm 3). The first construction performs the ray sweep; each Next is
 // O(log R + n log n) where R is the number of regions.
 type Enumerator struct {
-	ds      *dataset.Dataset
-	regions regionHeap
+	ds       *dataset.Dataset
+	regions  regionHeap
+	computer *rank.Computer // amortizes the per-Next ranking
 }
 
 type regionHeap []Region2D
@@ -294,7 +295,7 @@ func NewEnumerator(ds *dataset.Dataset, iv geom.Interval2D) (*Enumerator, error)
 	}
 	h := regionHeap(regions)
 	heap.Init(&h)
-	return &Enumerator{ds: ds, regions: h}, nil
+	return &Enumerator{ds: ds, regions: h, computer: rank.NewComputer(ds)}, nil
 }
 
 // Result is one enumerated stable ranking.
@@ -311,7 +312,7 @@ func (e *Enumerator) Next() (Result, error) {
 	}
 	r := heap.Pop(&e.regions).(Region2D)
 	return Result{
-		Ranking:   rank.Compute(e.ds, r.Midpoint()),
+		Ranking:   e.computer.Compute(r.Midpoint()).Clone(),
 		Region:    r,
 		Stability: r.Stability,
 	}, nil

@@ -1,0 +1,192 @@
+package vecmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Reference implementations over [][]float64 — the shapes the flat kernels
+// replaced. The property tests drive random inputs through both and demand
+// bit-identical results, including the exact row order after partitioning.
+
+func refDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func refPartition(rows [][]float64, lo, hi int, normal []float64) int {
+	i := lo
+	for j := lo; j < hi; j++ {
+		if refDot(normal, rows[j]) < 0 {
+			rows[i], rows[j] = rows[j], rows[i]
+			i++
+		}
+	}
+	return i
+}
+
+func refCentroid(rows [][]float64, lo, hi, d int) []float64 {
+	c := make([]float64, d)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < d; j++ {
+			c[j] += rows[i][j]
+		}
+	}
+	return c
+}
+
+func refCountInside(cons [][]float64, rows [][]float64, lo, hi int) int {
+	count := 0
+	for i := lo; i < hi; i++ {
+		inside := true
+		for _, c := range cons {
+			if refDot(c, rows[i]) < 0 {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			count++
+		}
+	}
+	return count
+}
+
+func randRows(rng *rand.Rand, n, d int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+func matrixOf(t *testing.T, d int, rows [][]float64) Matrix {
+	t.Helper()
+	m, err := FromRows(d, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestKernelsMatchReference: EvalRows, PartitionRows (split index AND exact
+// row order), CentroidRows, and CountInside agree with the slice-of-vector
+// reference on random inputs across the specialized strides and the generic
+// fallback.
+func TestKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{2, 3, 4, 5, 8} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(200)
+			rows := randRows(rng, n, d)
+			normal := randRows(rng, 1, d)[0]
+			m := matrixOf(t, d, rows)
+
+			// EvalRows over a random sub-range.
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo+1)
+			out := make([]float64, hi-lo)
+			m.EvalRows(normal, lo, hi, out)
+			for i := lo; i < hi; i++ {
+				if want := refDot(normal, rows[i]); out[i-lo] != want {
+					t.Fatalf("d=%d EvalRows[%d] = %v, want %v", d, i, out[i-lo], want)
+				}
+			}
+
+			// PartitionRows: same split and bit-identical row order.
+			ref := make([][]float64, n)
+			for i := range ref {
+				ref[i] = append([]float64(nil), rows[i]...)
+			}
+			gotMid := m.PartitionRows(normal, lo, hi)
+			wantMid := refPartition(ref, lo, hi, normal)
+			if gotMid != wantMid {
+				t.Fatalf("d=%d PartitionRows split %d, want %d", d, gotMid, wantMid)
+			}
+			for i := 0; i < n; i++ {
+				row := m.Row(i)
+				for j := 0; j < d; j++ {
+					if row[j] != ref[i][j] {
+						t.Fatalf("d=%d row %d differs after partition", d, i)
+					}
+				}
+			}
+
+			// CentroidRows over the partitioned state.
+			sum := make([]float64, d)
+			m.CentroidRows(lo, hi, sum)
+			wantSum := refCentroid(ref, lo, hi, d)
+			for j := 0; j < d; j++ {
+				if sum[j] != wantSum[j] {
+					t.Fatalf("d=%d CentroidRows[%d] = %v, want %v", d, j, sum[j], wantSum[j])
+				}
+			}
+
+			// CountInside with a random constraint matrix (including empty).
+			nc := rng.Intn(4)
+			cons := randRows(rng, nc, d)
+			cm := matrixOf(t, d, cons)
+			if got, want := cm.CountInside(m, lo, hi), refCountInside(cons, ref, lo, hi); got != want {
+				t.Fatalf("d=%d CountInside = %d, want %d", d, got, want)
+			}
+		}
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := New(3, 2)
+	if m.Rows() != 3 || m.Stride() != 2 || m.Bytes() != 48 {
+		t.Fatalf("shape = %dx%d, %d bytes", m.Rows(), m.Stride(), m.Bytes())
+	}
+	m.SetRow(1, []float64{4, 5})
+	clone := m.Clone()
+	m.SwapRows(0, 1)
+	if m.Row(0)[0] != 4 || clone.Row(0)[0] != 0 {
+		t.Fatal("SwapRows leaked into Clone or did not swap")
+	}
+	var empty Matrix
+	if empty.Rows() != 0 {
+		t.Fatalf("zero Matrix rows = %d", empty.Rows())
+	}
+	if _, err := FromData(3, make([]float64, 7)); err == nil {
+		t.Fatal("FromData accepted a non-multiple length")
+	}
+	wrapped, err := FromData(2, []float64{1, 2, 3, 4})
+	if err != nil || wrapped.Rows() != 2 || wrapped.Row(1)[0] != 3 {
+		t.Fatalf("FromData = %v rows=%d", err, wrapped.Rows())
+	}
+	if _, err := FromRows(2, [][]float64{{1}}); err == nil {
+		t.Fatal("FromRows accepted a short row")
+	}
+}
+
+// TestKernelsAllocationFree: the inner loops of the hot path allocate
+// nothing per sample — partition, eval, centroid and counting sweeps are
+// all zero-allocation regardless of how many rows they touch.
+func TestKernelsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, d = 4096, 3
+	m := matrixOf(t, d, randRows(rng, n, d))
+	cons := matrixOf(t, d, randRows(rng, 8, d))
+	normal := []float64{0.3, -0.2, 0.5}
+	out := make([]float64, n)
+	sum := make([]float64, d)
+	cases := map[string]func(){
+		"EvalRows":      func() { m.EvalRows(normal, 0, n, out) },
+		"PartitionRows": func() { m.PartitionRows(normal, 0, n) },
+		"CentroidRows":  func() { m.CentroidRows(0, n, sum) },
+		"CountInside":   func() { cons.CountInside(m, 0, n) },
+		"MulVec":        func() { m.MulVec(normal, out) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per run over %d rows, want 0", name, allocs, n)
+		}
+	}
+}

@@ -227,6 +227,7 @@ type analyzerStat struct {
 	PoolBuilds  int64   `json:"pool_builds"`
 	Workers     int     `json:"workers"`
 	PoolBuildMS float64 `json:"pool_build_ms"`
+	PoolBytes   int64   `json:"pool_bytes"`
 }
 
 // snapshot reports the resident analyzers and the pool counters.
@@ -252,6 +253,7 @@ func (p *analyzerPool) snapshot() (stats []analyzerStat, builds, dedupHits, infl
 			PoolBuilds:  item.e.a.PoolBuilds(),
 			Workers:     item.e.a.Workers(),
 			PoolBuildMS: float64(item.e.a.PoolBuildDuration().Microseconds()) / 1000,
+			PoolBytes:   item.e.a.PoolMemoryBytes(),
 		})
 	}
 	return stats, p.builds.Load(), p.dedupHits.Load(), p.inflight.Load(), p.evictions.Load()

@@ -411,6 +411,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
 	analyzers, builds, dedupHits, inflight, evictions := s.analyzers.snapshot()
+	var poolBytes int64
+	for _, a := range analyzers {
+		poolBytes += a.PoolBytes
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache": map[string]any{
 			"hits":     hits,
@@ -420,12 +424,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			"hit_rate": hitRate,
 		},
 		"analyzers": map[string]any{
-			"resident":        analyzers,
-			"capacity":        s.cfg.MaxAnalyzers,
-			"builds":          builds,
-			"dedup_hits":      dedupHits,
-			"inflight_builds": inflight,
-			"evictions":       evictions,
+			"resident":         analyzers,
+			"capacity":         s.cfg.MaxAnalyzers,
+			"builds":           builds,
+			"dedup_hits":       dedupHits,
+			"inflight_builds":  inflight,
+			"evictions":        evictions,
+			"pool_bytes_total": poolBytes,
 		},
 		"inflight_requests": s.inflightRequests.Load(),
 		"workers":           s.workerCount(),

@@ -181,6 +181,12 @@ func (a *Analyzer) PoolBuilds() int64 { return a.core.PoolBuilds() }
 // PoolBuilt reports whether the shared sample pool is resident.
 func (a *Analyzer) PoolBuilt() bool { return a.core.PoolBuilt() }
 
+// PoolMemoryBytes returns the resident size of the shared Monte-Carlo
+// sample pool's contiguous backing array (SampleCount x dimension float64s),
+// or 0 while no pool is built — the per-analyzer memory figure stablerankd
+// reports in /statsz.
+func (a *Analyzer) PoolMemoryBytes() int64 { return a.core.PoolMemoryBytes() }
+
 // Workers returns the effective worker count of the pool build and batch
 // sweeps: the WithWorkers value, or GOMAXPROCS when unset.
 func (a *Analyzer) Workers() int { return a.core.Workers() }
