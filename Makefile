@@ -2,20 +2,20 @@ GO ?= go
 
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
 # comparable across the PR sequence.
-BENCHJSON ?= BENCH_pr4.json
+BENCHJSON ?= BENCH_pr5.json
 
 # Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
-# benchmark families (pool build, every verification path, and the flat
-# vecmat/rank kernels), the tolerated slowdown, and the noise floor below
-# which 1x timings are not trusted.
-BENCHBASE ?= BENCH_pr3.json
-GATEMATCH ?= PoolBuild|VerifyBatch|SV2D|SVMD|Kernel
+# benchmark families (pool build, every verification path, the fused query
+# plan, and the flat vecmat/rank kernels), the tolerated slowdown, and the
+# noise floor below which 1x timings are not trusted.
+BENCHBASE ?= BENCH_pr4.json
+GATEMATCH ?= PoolBuild|VerifyBatch|QueryFused|SV2D|SVMD|Kernel
 GATETHRESHOLD ?= 1.25
 # 2ms gates every verification benchmark tier that runs long enough to be
 # stable at -benchtime 1x while skipping microsecond-scale noise.
 GATEMIN ?= 2ms
 
-.PHONY: all build test race vet fmt bench bench-short benchjson perfgate cover ci
+.PHONY: all build test race vet fmt bench bench-short benchjson perfgate cover apicheck apisnapshot ci
 
 all: build
 
@@ -66,5 +66,24 @@ cover:
 	$(GO) tool cover -html=coverage.out -o coverage.html
 	$(GO) tool cover -func=coverage.out | tail -1
 
+## apicheck: fail when the exported API surface (root package + server)
+## drifts from the checked-in API.txt snapshot, so breaking changes are an
+## explicit diff in review rather than a surprise downstream. Run
+## `make apisnapshot` to accept an intentional change.
+apicheck:
+	@$(GO) doc -all . > .api.current.txt
+	@$(GO) doc -all ./server >> .api.current.txt
+	@if ! diff -u API.txt .api.current.txt; then \
+		echo ""; echo "apicheck: exported API changed; review the diff and run 'make apisnapshot' to accept"; \
+		rm -f .api.current.txt; exit 1; fi
+	@rm -f .api.current.txt
+	@echo "apicheck: exported API matches API.txt"
+
+## apisnapshot: regenerate the API.txt surface snapshot after an intentional
+## API change
+apisnapshot:
+	$(GO) doc -all . > API.txt
+	$(GO) doc -all ./server >> API.txt
+
 ## ci: everything the CI workflow's core job runs
-ci: build fmt vet test race
+ci: build fmt vet test race apicheck

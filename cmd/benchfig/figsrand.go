@@ -41,7 +41,7 @@ func fig16(r run) {
 	for _, n := range sizes {
 		ds := diamondsD(r.seed, n, 3)
 		op := randomizedOp(ds, stablerank.TopKRanked, k, r.seed+6)
-		var res stablerank.Result
+		var res stablerank.RandomizedResult
 		var err error
 		dur := timed(func() { res, err = op.NextFixedBudget(ctx, 5000) })
 		if err != nil {
@@ -53,7 +53,7 @@ func fig16(r run) {
 
 // topHSeries prints the stability of the top-10 partial rankings under both
 // top-k semantics, the series of Figures 17 and 20.
-func topHSeries(ds *stablerank.Dataset, k int, seed int64) (set, ranked []stablerank.Result) {
+func topHSeries(ds *stablerank.Dataset, k int, seed int64) (set, ranked []stablerank.RandomizedResult) {
 	opSet := randomizedOp(ds, stablerank.TopKSet, k, seed)
 	s, err := opSet.TopH(ctx, 10, 5000, 1000)
 	if err != nil {
@@ -67,7 +67,7 @@ func topHSeries(ds *stablerank.Dataset, k int, seed int64) (set, ranked []stable
 	return s, rk
 }
 
-func printSeries(label string, results []stablerank.Result) {
+func printSeries(label string, results []stablerank.RandomizedResult) {
 	fmt.Printf("%-22s", label)
 	for _, r := range results {
 		fmt.Printf(" %8.4f", r.Stability)
@@ -109,7 +109,7 @@ func fig18(r run) {
 	for _, n := range sizes {
 		ds := stablerank.Flights(rand.New(rand.NewSource(r.seed)), n)
 		op := randomizedOp(ds, stablerank.TopKSet, k, r.seed+8)
-		var first stablerank.Result
+		var first stablerank.RandomizedResult
 		var err error
 		firstDur := timed(func() { first, err = op.NextFixedBudget(ctx, 5000) })
 		if err != nil {
@@ -137,7 +137,7 @@ func fig19(r run) {
 	for _, d := range []int{3, 4, 5} {
 		ds := diamondsD(r.seed, n, d)
 		op := randomizedOp(ds, stablerank.TopKRanked, k, r.seed+9)
-		var res stablerank.Result
+		var res stablerank.RandomizedResult
 		var err error
 		dur := timed(func() { res, err = op.NextFixedBudget(ctx, 5000) })
 		if err != nil {

@@ -68,10 +68,11 @@ func cmdExport(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	results, err := a.TopH(ctx, *h)
+	res, err := a.Do(ctx, stablerank.TopHQuery{H: *h})
 	if err != nil {
 		return err
 	}
+	results := res[0].Stables
 	doc := exportDoc{
 		N:      ds.N(),
 		D:      ds.D(),

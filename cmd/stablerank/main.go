@@ -213,10 +213,14 @@ func cmdVerify(ctx context.Context, args []string) error {
 		return err
 	}
 	r := stablerank.RankingOf(ds, w)
-	v, err := a.VerifyStability(ctx, r)
+	results, err := a.Do(ctx, stablerank.VerifyQuery{Ranking: r})
 	if err != nil {
 		return err
 	}
+	if results[0].Err != nil {
+		return results[0].Err
+	}
+	v := results[0].Verification
 	fmt.Printf("ranking: %s\n", r.Describe(ds, 10))
 	if v.Exact {
 		fmt.Printf("stability: %.6f (exact)\n", v.Stability)
@@ -254,23 +258,29 @@ func cmdEnumerate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	var results []stablerank.Stable
+	// Stream the enumeration so results print as they are discovered; the
+	// delayed arrangement construction makes early answers much cheaper than
+	// the full enumeration.
+	var query stablerank.Query
 	if *threshold > 0 {
-		results, err = a.AboveThreshold(ctx, *threshold)
+		query = stablerank.AboveQuery{Threshold: *threshold}
 	} else {
-		results, err = a.TopH(ctx, *h)
+		query = stablerank.TopHQuery{H: *h}
 	}
-	if err != nil {
-		return err
-	}
-	for i, s := range results {
+	count := 0
+	for res, err := range a.Stream(ctx, query) {
+		if err != nil {
+			return err
+		}
+		s := res.Stable
 		kind := "mc"
 		if s.Exact {
 			kind = "exact"
 		}
-		fmt.Printf("%3d. stability %.6f (%s)  %s\n", i+1, s.Stability, kind, s.Ranking.Describe(ds, *show))
+		count++
+		fmt.Printf("%3d. stability %.6f (%s)  %s\n", count, s.Stability, kind, s.Ranking.Describe(ds, *show))
 	}
-	if len(results) == 0 {
+	if count == 0 {
 		fmt.Println("no rankings found in the region of interest")
 	}
 	return nil

@@ -1,5 +1,7 @@
 // Command stablerankd serves the stable-ranking operators over HTTP: a
 // named-dataset registry (loaded from CSV at startup, extendable via POST),
+// the unified /v1/query surface (heterogeneous query lists sharing one
+// analyzer plan), NDJSON streaming enumeration, an async job worker pool,
 // shared per-query-key analyzers so concurrent identical queries share one
 // Monte-Carlo sample pool, an LRU result cache, per-request timeouts, and a
 // graceful SIGTERM drain.
@@ -51,6 +53,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		noHeader    = fs.Bool("no-header", false, "startup CSVs have no header row")
 		quiet       = fs.Bool("quiet", false, "disable request logging")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty disables; non-loopback hosts are rejected)")
+		jobWorkers  = fs.Int("job-workers", 2, "async job worker pool size (negative disables /v1/jobs)")
+		jobQueue    = fs.Int("job-queue", 16, "queued-but-not-running job bound (full queue answers 503)")
+		jobTTL      = fs.Duration("job-ttl", 10*time.Minute, "how long finished job results stay retrievable")
+		jobTimeout  = fs.Duration("job-timeout", 5*time.Minute, "per-job computation bound (0 disables)")
+		streamRows  = fs.Int("max-stream-rows", 100000, "largest NDJSON stream / async enumeration depth")
 		datasetSpec []string
 	)
 	fs.Func("dataset", "name=path CSV dataset to serve (repeatable)", func(v string) error {
@@ -95,6 +102,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	if cacheEntries == 0 {
 		cacheEntries = -1
 	}
+	jobDeadline := *jobTimeout
+	if jobDeadline == 0 {
+		jobDeadline = -1
+	}
 	srv := server.New(server.Config{
 		Registry:           registry,
 		RequestTimeout:     reqTimeout,
@@ -104,8 +115,14 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		MaxSampleCount:     *maxSamples,
 		DefaultSeed:        *seed,
 		Workers:            *parallel,
+		JobWorkers:         *jobWorkers,
+		JobQueueSize:       *jobQueue,
+		JobTTL:             *jobTTL,
+		JobTimeout:         jobDeadline,
+		MaxStreamRows:      *streamRows,
 		Logf:               logf,
 	})
+	defer srv.Close()
 
 	// SIGINT/SIGTERM cancels ctx; the HTTP server then drains in-flight
 	// requests for up to -drain before closing their connections.

@@ -17,10 +17,19 @@
 // sample-pool build — the dominant cost of every analyzer — is sharded
 // across WithWorkers goroutines (default GOMAXPROCS) with deterministic
 // per-chunk seeding: worker counts 1, 2 and 64 produce bit-identical pools,
-// and therefore identical results, for the same WithSeed. Repeated queries
-// amortize through the batch calls: VerifyBatch fuses every ranking's
-// constraint tests into one sweep of the pool, and TopHBatch answers several
-// top-h queries from one enumeration.
+// and therefore identical results, for the same WithSeed.
+//
+// The query model: every operation is a value of the sealed Query union
+// (VerifyQuery, TopHQuery, AboveQuery, ItemRankQuery, BoundaryQuery,
+// EnumerateQuery), and Analyzer.Do answers any mix of them in one shared
+// plan — all verify and pool-sized item-rank queries fold into a single
+// fused sweep of the sample pool, and all enumeration-shaped queries share
+// one cursor driven to the deepest demand. Analyzer.Stream yields
+// enumeration results incrementally as an iter.Seq2. The per-operation
+// methods (VerifyStability, TopH, AboveThreshold, ItemRankDistribution,
+// Boundary, VerifyBatch, TopHBatch) are thin wrappers over Do, so results
+// are bit-identical whichever surface is called at the same seed;
+// PoolBuilds and Sweeps make the plan sharing observable.
 //
 // Performance model: the pool is stored as one contiguous row-major matrix
 // (internal/vecmat) and every verification, partition, and ranking inner
@@ -54,8 +63,9 @@
 // Choosing an entry point: LIBRARY users who want the operators in-process
 // import this package and share one Analyzer across goroutines. SERVICE
 // users who want the operators behind HTTP — shared analyzers and sample
-// pools across many clients, batch queries via POST /batch, an LRU result
-// cache, per-request timeouts, runtime dataset registration — run
+// pools across many clients, heterogeneous query lists via POST /v1/query,
+// NDJSON streaming enumeration, async jobs for long enumerations, an LRU
+// result cache, per-request timeouts, runtime dataset registration — run
 // cmd/stablerankd, which is a thin listener around the server package. Both
 // CLIs take -parallel to pin the pool-build worker count (0 = all cores;
 // results are identical for any value).

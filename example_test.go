@@ -1,0 +1,67 @@
+package stablerank_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"stablerank"
+)
+
+// ExampleAnalyzer_Do answers a heterogeneous batch — a consumer's stability
+// question and a producer's top-3 enumeration — with one call sharing one
+// plan. In 2D both answers are exact, so the output is deterministic.
+func ExampleAnalyzer_Do() {
+	ds := stablerank.Figure1()
+	a, err := stablerank.New(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	published := stablerank.RankingOf(ds, []float64{1, 1})
+	results, err := a.Do(context.Background(),
+		stablerank.VerifyQuery{Ranking: published},
+		stablerank.TopHQuery{H: 3},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+	}
+	fmt.Printf("published stability: %.4f\n", results[0].Verification.Stability)
+	for i, s := range results[1].Stables {
+		fmt.Printf("top %d: stability %.4f\n", i+1, s.Stability)
+	}
+	// Output:
+	// published stability: 0.0880
+	// top 1: stability 0.3949
+	// top 2: stability 0.1444
+	// top 3: stability 0.1013
+}
+
+// ExampleAnalyzer_Stream consumes an enumeration incrementally: one result
+// per ranking in decreasing stability, without materializing the full
+// answer. Breaking out of the loop stops the enumeration.
+func ExampleAnalyzer_Stream() {
+	a, err := stablerank.New(stablerank.Figure1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mass := 0.0
+	count := 0
+	for res, err := range a.Stream(context.Background(), stablerank.EnumerateQuery{}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		mass += res.Stable.Stability
+		count++
+		if mass > 0.75 {
+			break // enough of the distribution; stop enumerating
+		}
+	}
+	fmt.Printf("%d rankings cover %.0f%% of the stability mass\n", count, 100*mass)
+	// Output:
+	// 5 rankings cover 80% of the stability mass
+}

@@ -44,21 +44,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Full enumeration over U (exact in 2D).
-	e, err := a.Enumerator(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Full enumeration over U (exact in 2D), streamed through the unified
+	// query API.
 	var all []stablerank.Stable
 	refPos := -1
-	for s, err := range e.Rankings(ctx) {
+	for res, err := range a.Stream(ctx, stablerank.EnumerateQuery{}) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if s.Ranking.Equal(reference) {
+		if res.Stable.Ranking.Equal(reference) {
 			refPos = len(all) + 1
 		}
-		all = append(all, s)
+		all = append(all, *res.Stable)
 	}
 
 	fmt.Printf("Simulated CSMetrics, n=%d institutions, alpha=0.3 reference weights (%.1f, %.1f)\n",
@@ -66,10 +63,14 @@ func main() {
 	fmt.Printf("Feasible rankings over the whole weight space: %d\n", len(all))
 	fmt.Printf("Uniform baseline stability (1/#rankings):      %.4f\n", 1/float64(len(all)))
 
-	refV, err := a.VerifyStability(ctx, reference)
+	refRes, err := a.Do(ctx, stablerank.VerifyQuery{Ranking: reference})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if refRes[0].Err != nil {
+		log.Fatal(refRes[0].Err)
+	}
+	refV := refRes[0].Verification
 	fmt.Printf("Reference ranking stability:                   %.4f (exact)\n", refV.Stability)
 	fmt.Printf("Reference ranking stability position:          %d of %d\n", refPos, len(all))
 	fmt.Printf("Most stable ranking stability:                 %.4f (%.1fx the reference)\n",
@@ -96,10 +97,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	near, err := narrow.TopH(ctx, 1<<20)
+	// One heterogeneous Do call answers the producer question (every ranking
+	// in the region) and the consumer question (the rank distribution of the
+	// institution at reference rank 11) against the same analyzer.
+	queries := []stablerank.Query{stablerank.EnumerateQuery{}}
+	if ds.N() >= 11 {
+		queries = append(queries, stablerank.ItemRankQuery{Item: reference.Order[10], Samples: 20000})
+	}
+	narrowRes, err := narrow.Do(ctx, queries...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if narrowRes[0].Err != nil {
+		log.Fatal(narrowRes[0].Err)
+	}
+	near := narrowRes[0].Stables
 	fmt.Printf("\nWithin 0.998 cosine similarity of the reference: %d feasible rankings\n", len(near))
 	show := 5
 	if len(near) < show {
@@ -121,12 +133,12 @@ func main() {
 	// Example 1's consumer question, distributionally: the institution at
 	// reference rank 11 just misses the top-10 — over all acceptable
 	// weights, how often does it make it?
-	if ds.N() >= 11 {
-		eleventh := reference.Order[10]
-		dist, err := narrow.ItemRankDistribution(ctx, eleventh, 20000)
-		if err != nil {
-			log.Fatal(err)
+	if len(narrowRes) > 1 {
+		if narrowRes[1].Err != nil {
+			log.Fatal(narrowRes[1].Err)
 		}
+		eleventh := reference.Order[10]
+		dist := narrowRes[1].RankDistribution
 		fmt.Printf("\n%s holds reference rank 11; within the narrow region it ranks %d-%d\n",
 			ds.Item(eleventh).ID, dist.Best, dist.Worst)
 		fmt.Printf("P(%s in the top-10) = %.3f  (median rank %d)\n",

@@ -19,7 +19,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -52,28 +51,28 @@ func main() {
 
 	fmt.Printf("Simulated FIFA table, n=%d teams, d=4, region: cos >= 0.999 around (1, .5, .3, .2)\n", *n)
 
-	refV, err := a.VerifyStability(ctx, reference)
+	// The unified query API: verify the reference ranking through Do, then
+	// stream the top-h enumeration incrementally (both share the analyzer's
+	// single Monte-Carlo sample pool).
+	verifyRes, err := a.Do(ctx, stablerank.VerifyQuery{Ranking: reference})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if verifyRes[0].Err != nil {
+		log.Fatal(verifyRes[0].Err)
+	}
+	refV := verifyRes[0].Verification
 	fmt.Printf("Reference ranking stability in the region: %.5f ± %.5f\n",
 		refV.Stability, refV.ConfidenceError)
 
-	e, err := a.Enumerator(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("\nTop-%d stable rankings (GET-NEXTmd):\n", *h)
 	var results []stablerank.Stable
 	refSeen := false
-	for len(results) < *h {
-		s, err := e.Next(ctx)
-		if errors.Is(err, stablerank.ErrExhausted) {
-			break
-		}
+	for res, err := range a.Stream(ctx, stablerank.TopHQuery{H: *h}) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		s := *res.Stable
 		if s.Ranking.Equal(reference) {
 			refSeen = true
 		}

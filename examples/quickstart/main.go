@@ -36,30 +36,32 @@ func main() {
 	published := stablerank.RankingOf(ds, []float64{1, 1})
 	fmt.Printf("\nPublished ranking (f = x1 + x2): %s\n", published.Describe(ds, 0))
 
-	// Consumer: verify its stability over ALL weight choices.
+	// Consumer: verify its stability over ALL weight choices, through the
+	// unified query API — one Do call answers any mix of queries.
 	a, err := stablerank.New(ds)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err := a.VerifyStability(ctx, published)
+	results, err := a.Do(ctx, stablerank.VerifyQuery{Ranking: published})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if results[0].Err != nil {
+		log.Fatal(results[0].Err)
+	}
+	v := results[0].Verification
 	fmt.Printf("Stability over the whole weight space: %.4f (exact; region angles [%.4f, %.4f])\n",
 		v.Stability, v.Interval.Lo, v.Interval.Hi)
 
-	// Producer: enumerate every feasible ranking in decreasing stability,
-	// ranging over the enumerator (the sequence ends at exhaustion).
+	// Producer: stream every feasible ranking in decreasing stability (the
+	// sequence ends at exhaustion).
 	fmt.Println("\nAll feasible rankings, most stable first:")
-	e, err := a.Enumerator(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
 	i := 0
-	for s, err := range e.Rankings(ctx) {
+	for res, err := range a.Stream(ctx, stablerank.EnumerateQuery{}) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		s := res.Stable
 		marker := ""
 		if s.Ranking.Equal(published) {
 			marker = "   <- published"
@@ -98,9 +100,9 @@ func halfspace(a, b float64) stablerank.Halfspace {
 }
 
 func mustTopH(ctx context.Context, a *stablerank.Analyzer, h int) []stablerank.Stable {
-	out, err := a.TopH(ctx, h)
+	res, err := a.Do(ctx, stablerank.TopHQuery{H: h})
 	if err != nil {
 		log.Fatal(err)
 	}
-	return out
+	return res[0].Stables
 }

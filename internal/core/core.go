@@ -31,6 +31,7 @@ import (
 	"stablerank/internal/geom"
 	"stablerank/internal/mc"
 	"stablerank/internal/md"
+	"stablerank/internal/plan"
 	"stablerank/internal/rank"
 	"stablerank/internal/sampling"
 	"stablerank/internal/stats"
@@ -77,6 +78,10 @@ type Analyzer struct {
 	// poolBuildNanos records the wall time of the last successful pool build,
 	// for operational visibility (/statsz reports it per analyzer).
 	poolBuildNanos atomic.Int64
+
+	// sweeps counts fused sample-pool sweeps (see Sweeps); together with
+	// poolBuilds it makes the sharing behaviour of Do observable.
+	sweeps atomic.Int64
 }
 
 // poolState is one attempt at building the shared sample pool. The pool is
@@ -336,63 +341,25 @@ func (a *Analyzer) interval() (geom.Interval2D, error) {
 }
 
 // Verification is the answer to the consumer's stability question
-// (Problem 1).
-type Verification struct {
-	// Stability is the fraction of the region of interest generating the
-	// ranking: exact in 2D, a Monte-Carlo estimate otherwise.
-	Stability float64
-	// ConfidenceError is the half-width of the confidence interval around a
-	// Monte-Carlo estimate; 0 when Exact.
-	ConfidenceError float64
-	// Exact reports whether Stability is exact (2D) or estimated.
-	Exact bool
-	// Interval describes the ranking region in 2D (nil otherwise).
-	Interval *geom.Interval2D
-	// Constraints describes the ranking region in higher dimensions as
-	// ordering-exchange halfspaces (nil in 2D).
-	Constraints []geom.Halfspace
-}
+// (Problem 1). A feasible-by-dominance ranking with zero matching samples
+// reports stability 0 rather than ErrInfeasibleRanking, as the Monte-Carlo
+// evidence cannot distinguish the two.
+type Verification = plan.Verification
 
 // VerifyStability computes the stability of ranking r in the region of
 // interest: the exact SV2D scan in two dimensions, the sampled SV oracle
 // otherwise. It returns ErrInfeasibleRanking when no acceptable function
 // induces r, and the context's error if ctx is cancelled while drawing the
-// sample pool or sweeping it.
+// sample pool or sweeping it. It is a wrapper over Do.
 func (a *Analyzer) VerifyStability(ctx context.Context, r rank.Ranking) (Verification, error) {
-	if a.is2D() {
-		iv, err := a.interval()
-		if err != nil {
-			return Verification{}, err
-		}
-		res, err := twod.Verify(a.ds, r, iv)
-		if errors.Is(err, twod.ErrInfeasibleRanking) {
-			return Verification{}, ErrInfeasibleRanking
-		}
-		if err != nil {
-			return Verification{}, err
-		}
-		region := res.Region
-		return Verification{Stability: res.Stability, Exact: true, Interval: &region}, nil
-	}
-	pool, err := a.samplePool(ctx)
+	res, err := a.Do(ctx, VerifyQuery{Ranking: r})
 	if err != nil {
 		return Verification{}, err
 	}
-	res, err := md.VerifyMatrix(ctx, a.ds, r, pool)
-	if errors.Is(err, md.ErrInfeasibleRanking) {
-		return Verification{}, ErrInfeasibleRanking
+	if res[0].Err != nil {
+		return Verification{}, res[0].Err
 	}
-	if err != nil {
-		return Verification{}, err
-	}
-	// A feasible-by-dominance ranking with zero samples may still be
-	// infeasible in the region; report stability 0 rather than an error, as
-	// the Monte-Carlo evidence cannot distinguish the two.
-	return Verification{
-		Stability:       res.Stability,
-		ConfidenceError: confidenceOf(res.Stability, res.SampleCount, a.alpha),
-		Constraints:     res.Constraints,
-	}, nil
+	return *res[0].Verification, nil
 }
 
 // BatchVerification is one ranking's outcome within VerifyBatch: either a
@@ -410,65 +377,30 @@ type BatchVerification struct {
 // all rankings are fused into a single sharded pass — instead of once per
 // ranking, which is the dominant cost when verifying many candidates.
 // Per-ranking failures land in the matching BatchVerification.Err; the call
-// itself only fails on context cancellation or an unusable region.
+// itself only fails on context cancellation or an unusable region. It is a
+// wrapper over Do.
 func (a *Analyzer) VerifyBatch(ctx context.Context, rankings []rank.Ranking) ([]BatchVerification, error) {
+	queries := make([]Query, len(rankings))
+	for i, r := range rankings {
+		queries[i] = VerifyQuery{Ranking: r}
+	}
+	res, err := a.Do(ctx, queries...)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]BatchVerification, len(rankings))
-	if a.is2D() {
-		iv, err := a.interval()
-		if err != nil {
-			return nil, err
+	for i, r := range res {
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
 		}
-		for i, r := range rankings {
-			res, err := twod.Verify(a.ds, r, iv)
-			switch {
-			case errors.Is(err, twod.ErrInfeasibleRanking):
-				out[i].Err = ErrInfeasibleRanking
-			case err != nil:
-				out[i].Err = err
-			default:
-				region := res.Region
-				out[i].Verification = Verification{Stability: res.Stability, Exact: true, Interval: &region}
-			}
-		}
-		return out, nil
-	}
-	pool, err := a.samplePool(ctx)
-	if err != nil {
-		return nil, err
-	}
-	results, err := md.VerifyBatchMatrix(ctx, a.ds, rankings, pool, a.workers)
-	if err != nil {
-		return nil, err
-	}
-	for i, br := range results {
-		switch {
-		case errors.Is(br.Err, md.ErrInfeasibleRanking):
-			out[i].Err = ErrInfeasibleRanking
-		case br.Err != nil:
-			out[i].Err = br.Err
-		default:
-			out[i].Verification = Verification{
-				Stability:       br.Stability,
-				ConfidenceError: confidenceOf(br.Stability, br.SampleCount, a.alpha),
-				Constraints:     br.Constraints,
-			}
-		}
+		out[i].Verification = *r.Verification
 	}
 	return out, nil
 }
 
 // Stable is one enumerated ranking with its stability.
-type Stable struct {
-	// Ranking is the full ranking of the dataset.
-	Ranking rank.Ranking
-	// Stability is exact in 2D, Monte-Carlo otherwise.
-	Stability float64
-	// Weights is a representative acceptable scoring function inducing the
-	// ranking.
-	Weights geom.Vector
-	// Exact reports whether Stability is exact.
-	Exact bool
-}
+type Stable = plan.Stable
 
 // Enumerator yields rankings in decreasing stability (the GET-NEXT operator
 // of Problem 3). In 2D it is exact; otherwise it runs the delayed
@@ -476,6 +408,9 @@ type Stable struct {
 type Enumerator struct {
 	twoD *twod.Enumerator
 	mdE  *md.Engine
+	// conf computes the confidence half-width of a Monte-Carlo stability
+	// estimate (nil for the exact 2D path).
+	conf func(stability float64) float64
 }
 
 // Enumerator prepares the iterative stable-region enumeration. The returned
@@ -505,7 +440,8 @@ func (a *Analyzer) Enumerator(ctx context.Context) (*Enumerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Enumerator{mdE: e}, nil
+	conf := func(s float64) float64 { return confidenceOf(s, pool.Rows(), a.alpha) }
+	return &Enumerator{mdE: e, conf: conf}, nil
 }
 
 // Next returns the next most stable ranking, or ErrExhausted. Cancelling
@@ -532,79 +468,59 @@ func (e *Enumerator) Next(ctx context.Context) (Stable, error) {
 	if err != nil {
 		return Stable{}, err
 	}
-	return Stable{Ranking: r.Ranking, Stability: r.Stability, Weights: r.Weights}, nil
+	return Stable{
+		Ranking:         r.Ranking,
+		Stability:       r.Stability,
+		Weights:         r.Weights,
+		ConfidenceError: e.conf(r.Stability),
+	}, nil
 }
 
-// TopH returns the h most stable rankings (batch Problem 2, count form).
+// TopH returns the h most stable rankings (batch Problem 2, count form). It
+// is a wrapper over Do.
 func (a *Analyzer) TopH(ctx context.Context, h int) ([]Stable, error) {
-	e, err := a.Enumerator(ctx)
+	if h <= 0 {
+		return nil, nil
+	}
+	res, err := a.Do(ctx, TopHQuery{H: h})
 	if err != nil {
 		return nil, err
 	}
-	var out []Stable
-	for len(out) < h {
-		s, err := e.Next(ctx)
-		if errors.Is(err, ErrExhausted) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return res[0].Stables, nil
 }
 
 // TopHBatch answers several top-h queries in one enumeration: the region is
 // enumerated once to the largest requested h and each query receives a
 // prefix of that single pass, so the sample pool is partitioned once instead
 // of once per query. The returned slices share one backing enumeration and
-// must be treated as read-only.
+// must be treated as read-only. It is a wrapper over Do.
 func (a *Analyzer) TopHBatch(ctx context.Context, hs []int) ([][]Stable, error) {
-	maxH := 0
+	queries := make([]Query, len(hs))
 	for i, h := range hs {
 		if h < 0 {
 			return nil, fmt.Errorf("core: negative h %d at index %d", h, i)
 		}
-		if h > maxH {
-			maxH = h
-		}
+		queries[i] = TopHQuery{H: h}
 	}
-	out := make([][]Stable, len(hs))
-	if maxH == 0 {
-		return out, nil
-	}
-	all, err := a.TopH(ctx, maxH)
+	res, err := a.Do(ctx, queries...)
 	if err != nil {
 		return nil, err
 	}
-	for i, h := range hs {
-		out[i] = all[:min(h, len(all))]
+	out := make([][]Stable, len(hs))
+	for i, r := range res {
+		out[i] = r.Stables
 	}
 	return out, nil
 }
 
 // AboveThreshold returns every ranking with stability >= s (batch Problem 2,
-// threshold form), in decreasing stability order.
+// threshold form), in decreasing stability order. It is a wrapper over Do.
 func (a *Analyzer) AboveThreshold(ctx context.Context, s float64) ([]Stable, error) {
-	e, err := a.Enumerator(ctx)
+	res, err := a.Do(ctx, AboveQuery{Threshold: s})
 	if err != nil {
 		return nil, err
 	}
-	var out []Stable
-	for {
-		r, err := e.Next(ctx)
-		if errors.Is(err, ErrExhausted) {
-			return out, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		if r.Stability < s {
-			return out, nil
-		}
-		out = append(out, r)
-	}
+	return res[0].Stables, nil
 }
 
 // Randomized wraps the Monte-Carlo GET-NEXTr operator (Section 4.3) for
@@ -658,28 +574,37 @@ func (r *Randomized) TopH(ctx context.Context, h, firstBudget, stepBudget int) (
 // TotalSamples reports the cumulative number of samples drawn.
 func (r *Randomized) TotalSamples() int { return r.op.TotalSamples() }
 
-// ItemRankDistribution samples the region of interest n times and returns
-// the distribution of the given item's rank — the distributional form of
-// Example 1's consumer question ("does Cornell make the top-10 under
-// acceptable weights?").
+// ItemRankDistribution returns the distribution of the given item's rank
+// over n sampled scoring functions — the distributional form of Example 1's
+// consumer question ("does Cornell make the top-10 under acceptable
+// weights?"). In dimensions above two, requests that fit the shared
+// Monte-Carlo pool are answered from it inside a fused sweep (n <= 0 uses
+// the whole pool); in 2D, or when n exceeds the pool, a dedicated
+// deterministic sampler stream is drawn. It is a wrapper over Do.
 func (a *Analyzer) ItemRankDistribution(ctx context.Context, item, n int) (mc.RankDistribution, error) {
-	s, err := a.sampler(2)
+	res, err := a.Do(ctx, ItemRankQuery{Item: item, Samples: n})
 	if err != nil {
 		return mc.RankDistribution{}, err
 	}
-	return mc.ItemRankDistribution(ctx, a.ds, s, item, n)
+	if res[0].Err != nil {
+		return mc.RankDistribution{}, res[0].Err
+	}
+	return *res[0].RankDistribution, nil
 }
 
 // Boundary returns the non-redundant boundary facets of ranking r's region:
 // the item pairs whose exchange a weight perturbation can realize first
 // (the Section 8 "characterize the boundaries" future work; see
-// md.Boundary). It works in any dimension.
+// md.Boundary). It works in any dimension. It is a wrapper over Do.
 func (a *Analyzer) Boundary(r rank.Ranking) ([]md.BoundaryFacet, error) {
-	facets, err := md.Boundary(a.ds, r)
-	if errors.Is(err, md.ErrInfeasibleRanking) {
-		return nil, ErrInfeasibleRanking
+	res, err := a.Do(context.Background(), BoundaryQuery{Ranking: r})
+	if err != nil {
+		return nil, err
 	}
-	return facets, err
+	if res[0].Err != nil {
+		return nil, res[0].Err
+	}
+	return res[0].Facets, nil
 }
 
 func confidenceOf(s float64, n int, alpha float64) float64 {

@@ -138,7 +138,7 @@ func ItemRankDistribution(ctx context.Context, ds *dataset.Dataset, sampler samp
 		if err != nil {
 			return RankDistribution{}, err
 		}
-		r := rankOf(attrs, wbuf, item)
+		r := RankOf(attrs, wbuf, item)
 		dist.Counts[r]++
 		if r < dist.Best {
 			dist.Best = r
@@ -151,12 +151,13 @@ func ItemRankDistribution(ctx context.Context, ds *dataset.Dataset, sampler samp
 	return dist, nil
 }
 
-// rankOf returns the 1-based rank of item under w in one O(n) flat sweep:
-// one plus the number of items scoring strictly higher (or tying with a
-// smaller index). The per-item dot products accumulate in the same order as
-// dataset.Score, so ranks match the slice-of-vectors implementation bit for
-// bit.
-func rankOf(attrs vecmat.Matrix, w geom.Vector, item int) int {
+// RankOf returns the 1-based rank of item under w in one O(n) flat sweep
+// over a contiguous attrs matrix (one row per dataset item): one plus the
+// number of items scoring strictly higher (or tying with a smaller index).
+// The per-item dot products accumulate in the same order as dataset.Score,
+// so ranks match the slice-of-vectors implementation bit for bit. It is the
+// kernel the fused query sweep shares with ItemRankDistribution.
+func RankOf(attrs vecmat.Matrix, w geom.Vector, item int) int {
 	score := vecmat.Dot(w, attrs.Row(item))
 	rank := 1
 	for i, n := 0, attrs.Rows(); i < n; i++ {

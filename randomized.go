@@ -24,9 +24,11 @@ const (
 // before the requested confidence error.
 var ErrBudget = mc.ErrBudget
 
-// Result is one stable ranking discovered by the randomized operator, with
-// its Monte-Carlo stability estimate and confidence error.
-type Result = mc.Result
+// RandomizedResult is one stable ranking discovered by the randomized
+// operator, with its Monte-Carlo stability estimate and confidence error.
+// (Result, formerly this type's name, is now the unified query API's result;
+// the randomized operator kept its own shape.)
+type RandomizedResult = mc.Result
 
 // RankDistribution summarizes the rank of one item across sampled scoring
 // functions. See Analyzer.ItemRankDistribution.
@@ -43,7 +45,7 @@ type Randomized struct {
 // NextFixedBudget draws n fresh samples and returns the most frequent
 // undiscovered ranking (Algorithm 7), or ErrExhausted when every observed
 // ranking has been returned.
-func (r *Randomized) NextFixedBudget(ctx context.Context, n int) (Result, error) {
+func (r *Randomized) NextFixedBudget(ctx context.Context, n int) (RandomizedResult, error) {
 	return r.core.NextFixedBudget(orBackground(ctx), n)
 }
 
@@ -51,14 +53,14 @@ func (r *Randomized) NextFixedBudget(ctx context.Context, n int) (Result, error)
 // confidence error e (Algorithm 8), drawing at most maxSamples fresh samples
 // (<= 0 uses the package default cap); it returns ErrBudget when the cap is
 // reached first.
-func (r *Randomized) NextFixedError(ctx context.Context, e float64, maxSamples int) (Result, error) {
+func (r *Randomized) NextFixedError(ctx context.Context, e float64, maxSamples int) (RandomizedResult, error) {
 	return r.core.NextFixedError(orBackground(ctx), e, maxSamples)
 }
 
 // TopH returns the h most stable rankings with the paper's budget schedule:
 // firstBudget samples for the first call, stepBudget for each subsequent one
 // (Section 6.3 uses 5,000 then 1,000).
-func (r *Randomized) TopH(ctx context.Context, h, firstBudget, stepBudget int) ([]Result, error) {
+func (r *Randomized) TopH(ctx context.Context, h, firstBudget, stepBudget int) ([]RandomizedResult, error) {
 	return r.core.TopH(orBackground(ctx), h, firstBudget, stepBudget)
 }
 

@@ -10,12 +10,16 @@ import (
 )
 
 // POST /batch: many stability queries against one analyzer in one request.
-// The verify operations are answered by Analyzer.VerifyBatch — a single
-// sharded sweep of the Monte-Carlo sample pool with every ranking's
-// constraint tests fused — and the toph operations by Analyzer.TopHBatch,
-// which enumerates once to the largest requested h. Responses are not LRU
-// cached (the analyzer and its sample pool are still shared through the
-// analyzer pool, which is where the dominant cost lives).
+// DEPRECATED: POST /v1/query supersedes it — the same verify/toph operations
+// (plus above, itemrank, boundary and enumerate) expressed as one
+// heterogeneous query list, answered by a single Analyzer.Do plan. This
+// endpoint remains for compatibility; every response carries a Deprecation
+// header and a Link to the successor. The verify operations are answered by
+// Analyzer.VerifyBatch and the toph operations by Analyzer.TopHBatch, both
+// of which are themselves wrappers over Do, so old and new endpoints return
+// identical numbers for identical operations. Responses are not LRU cached
+// (the analyzer and its sample pool are still shared through the analyzer
+// pool, which is where the dominant cost lives).
 
 // batchVerifySpec is one verify operation: either the ranking induced by
 // weights, or an explicit ranking as comma-separated item IDs.
@@ -60,6 +64,10 @@ type batchResponse struct {
 const maxBatchBody = 1 << 20
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// RFC 8594-style deprecation signalling, set before any write so error
+	// responses carry it too.
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/query>; rel="successor-version"`)
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
 	dec.DisallowUnknownFields()

@@ -95,13 +95,43 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /datasets/{name}", s.handleAddDataset)
-	mux.HandleFunc("GET /v1/{dataset}/verify", s.query(s.handleVerify))
-	mux.HandleFunc("GET /v1/{dataset}/toph", s.query(s.handleTopH))
-	mux.HandleFunc("GET /v1/{dataset}/above", s.query(s.handleAbove))
-	mux.HandleFunc("GET /v1/{dataset}/itemrank", s.query(s.handleItemRank))
-	mux.HandleFunc("GET /v1/{dataset}/rankings", s.query(s.handleRankings))
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/query/stream", s.handleQueryStream)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	// GET /v1/jobs/{id} and GET /v1/{dataset}/{op} cannot coexist as
+	// ServeMux patterns (neither is more specific), so all two-segment /v1
+	// GETs share one dispatcher; "jobs" is therefore a reserved dataset name.
+	mux.HandleFunc("GET /v1/{dataset}/{op}", s.handleV1Get)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	return mux
+}
+
+// handleV1Get dispatches GET /v1/{dataset}/{op} between the job-status
+// endpoint (dataset == "jobs") and the per-dataset query endpoints.
+func (s *Server) handleV1Get(w http.ResponseWriter, r *http.Request) {
+	name, op := r.PathValue("dataset"), r.PathValue("op")
+	if name == "jobs" {
+		s.handleGetJob(w, r, op)
+		return
+	}
+	var h queryHandler
+	switch op {
+	case "verify":
+		h = s.handleVerify
+	case "toph":
+		h = s.handleTopH
+	case "above":
+		h = s.handleAbove
+	case "itemrank":
+		h = s.handleItemRank
+	case "rankings":
+		h = s.handleRankings
+	default:
+		writeError(w, errNotFound("unknown endpoint /v1/%s/%s", name, op))
+		return
+	}
+	s.serveQuery(w, r, name, h)
 }
 
 // queryContext is everything a query handler needs: the resolved dataset,
@@ -119,39 +149,37 @@ type queryContext struct {
 // only runs on a cache miss.
 type queryHandler func(r *http.Request, qc *queryContext) (key string, compute func() (any, error), err error)
 
-// query adapts a queryHandler into an http.HandlerFunc: it resolves the
-// dataset, parses the shared region/seed/samples parameters, obtains the
-// deduplicated analyzer, and serves the handler's answer from the LRU cache
-// when an identical query was answered before.
-func (s *Server) query(h queryHandler) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		qc, err := s.queryContextFor(r)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		key, compute, err := h(r, qc)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		if body, ok := s.cache.get(key); ok {
-			serveBody(w, body, "hit")
-			return
-		}
-		resp, err := compute()
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		body, err := json.Marshal(resp)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		s.cache.put(key, body)
-		serveBody(w, body, "miss")
+// serveQuery runs a queryHandler for the named dataset: it parses the
+// shared region/seed/samples parameters, obtains the deduplicated analyzer,
+// and serves the handler's answer from the LRU cache when an identical
+// query was answered before.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, name string, h queryHandler) {
+	qc, err := s.queryContextNamed(r, name)
+	if err != nil {
+		writeError(w, err)
+		return
 	}
+	key, compute, err := h(r, qc)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if body, ok := s.cache.get(key); ok {
+		serveBody(w, body, "hit")
+		return
+	}
+	resp, err := compute()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.cache.put(key, body)
+	serveBody(w, body, "miss")
 }
 
 func serveBody(w http.ResponseWriter, body []byte, cache string) {
@@ -161,14 +189,15 @@ func serveBody(w http.ResponseWriter, body []byte, cache string) {
 	_, _ = w.Write([]byte("\n"))
 }
 
-// queryContextFor resolves {dataset} and the shared query parameters into a
-// queryContext. It is also the earliest point at which an already-expired
-// per-request deadline surfaces as a 504 instead of burning analyzer work.
-func (s *Server) queryContextFor(r *http.Request) (*queryContext, error) {
+// queryContextNamed resolves the named dataset and the shared query
+// parameters into a queryContext; the per-dataset endpoints supply the name
+// from the path, the stream endpoint from ?dataset=. It is also the
+// earliest point at which an already-expired per-request deadline surfaces
+// as a 504 instead of burning analyzer work.
+func (s *Server) queryContextNamed(r *http.Request, name string) (*queryContext, error) {
 	if err := r.Context().Err(); err != nil {
 		return nil, err
 	}
-	name := r.PathValue("dataset")
 	ds, gen, ok := s.registry.Get(name)
 	if !ok {
 		return nil, errNotFound("unknown dataset %q", name)
@@ -358,14 +387,8 @@ func (s *Server) handleItemRank(r *http.Request, qc *queryContext) (string, func
 	return key, func() (any, error) {
 		// Resolved inside the compute closure so cache hits skip the O(N)
 		// catalog scan; unknown-item errors are never cached.
-		idx := -1
-		for i := 0; i < qc.ds.N(); i++ {
-			if qc.ds.Item(i).ID == itemID {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
+		idx, ok := itemIndex(qc.ds, itemID)
+		if !ok {
 			return nil, errNotFound("item %q not in dataset %q", itemID, qc.name)
 		}
 		dist, err := qc.analyzer.ItemRankDistribution(r.Context(), idx, int(n))
@@ -415,6 +438,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	for _, a := range analyzers {
 		poolBytes += a.PoolBytes
 	}
+	jobs := s.jobs.counts()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache": map[string]any{
 			"hits":     hits,
@@ -432,6 +456,17 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			"evictions":        evictions,
 			"pool_bytes_total": poolBytes,
 		},
+		"jobs": map[string]any{
+			"workers":        s.cfg.JobWorkers,
+			"queue_capacity": s.cfg.JobQueueSize,
+			"queued":         jobs.queued,
+			"active":         jobs.running,
+			"resident":       jobs.resident,
+			"completed":      jobs.completed,
+			"failed":         jobs.failed,
+			"cancelled":      jobs.stopped,
+		},
+		"streamed_rows":     s.streamedRows.Load(),
 		"inflight_requests": s.inflightRequests.Load(),
 		"workers":           s.workerCount(),
 		"datasets":          s.registry.Names(),
@@ -506,11 +541,12 @@ func (s *Server) stableResponses(ds *stablerank.Dataset, stables []stablerank.St
 	out := make([]stableResponse, len(stables))
 	for i, st := range stables {
 		out[i] = stableResponse{
-			Rank:      rankOffset + i + 1,
-			Stability: st.Stability,
-			Exact:     st.Exact,
-			Items:     s.itemRefs(ds, st.Ranking.Order),
-			Weights:   st.Weights,
+			Rank:            rankOffset + i + 1,
+			Stability:       st.Stability,
+			Exact:           st.Exact,
+			Items:           s.itemRefs(ds, st.Ranking.Order),
+			Weights:         st.Weights,
+			ConfidenceError: st.ConfidenceError,
 		}
 	}
 	return out

@@ -73,6 +73,18 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so the NDJSON streaming endpoint can
+// push each line to the client as it is produced; without this promotion
+// the middleware wrapper would hide the underlying http.Flusher.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController users.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // wrap applies the service middleware stack to next: panic recovery, the
 // per-request timeout (wired into the request context, which the facade
 // plumbs into its sampling loops), an in-flight request gauge, and request

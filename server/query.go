@@ -1,0 +1,398 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"stablerank"
+)
+
+// POST /v1/query: the uniform query surface. One request names a dataset,
+// the shared region/seed/samples parameters, and a heterogeneous list of
+// operations; the whole list is answered by one Analyzer.Do call, so every
+// verify and item-rank operation shares a single fused sweep of the sample
+// pool and every enumeration-shaped operation shares one cursor. It
+// supersedes POST /batch (kept for compatibility with a Deprecation header).
+
+// querySpec is one operation in the request's queries list. Op selects the
+// operation; the remaining fields are op-specific and ignored otherwise.
+type querySpec struct {
+	// Op is one of verify, toph, above, itemrank, boundary, enumerate.
+	Op string `json:"op"`
+	// Weights/Ranking identify the ranking for verify and boundary: either
+	// the ranking induced by weights, or an explicit comma-separated item-ID
+	// list.
+	Weights []float64 `json:"weights,omitempty"`
+	Ranking string    `json:"ranking,omitempty"`
+	// H is the toph depth.
+	H int `json:"h,omitempty"`
+	// S is the above stability threshold.
+	S float64 `json:"s,omitempty"`
+	// Item is the itemrank item ID; N its sample count (0 = the analyzer's
+	// pool size); K adds a top-K membership probability.
+	Item string `json:"item,omitempty"`
+	N    int    `json:"n,omitempty"`
+	K    int    `json:"k,omitempty"`
+	// Limit is the enumerate depth.
+	Limit int `json:"limit,omitempty"`
+}
+
+// queryRequest is the POST /v1/query (and POST /v1/jobs) body. Region, seed
+// and samples have the same semantics and defaults as the GET query
+// parameters of the same names and select the shared analyzer.
+type queryRequest struct {
+	Dataset string    `json:"dataset"`
+	Weights []float64 `json:"weights,omitempty"`
+	Theta   float64   `json:"theta,omitempty"`
+	Cosine  float64   `json:"cosine,omitempty"`
+	Seed    *int64    `json:"seed,omitempty"`
+	Samples *int      `json:"samples,omitempty"`
+
+	Queries []querySpec `json:"queries"`
+}
+
+// facetResponse is one boundary facet: the adjacent pair whose exchange the
+// facet realizes, plus the constraint normal (positive side = inside).
+type facetResponse struct {
+	Upper  itemRef   `json:"upper"`
+	Lower  itemRef   `json:"lower"`
+	Normal []float64 `json:"normal"`
+}
+
+// opResult is one operation's outcome; the fields matching the echoed Op are
+// populated, or Error alone when that operation failed.
+type opResult struct {
+	Op    string `json:"op"`
+	Error string `json:"error,omitempty"`
+
+	// verify
+	Ranking         []itemRef `json:"ranking,omitempty"`
+	Stability       *float64  `json:"stability,omitempty"`
+	ConfidenceError *float64  `json:"confidence_error,omitempty"`
+	Exact           *bool     `json:"exact,omitempty"`
+	SampleCount     int       `json:"sample_count,omitempty"`
+
+	// toph / above / enumerate
+	H         int              `json:"h,omitempty"`
+	Threshold float64          `json:"threshold,omitempty"`
+	Limit     int              `json:"limit,omitempty"`
+	Rankings  []stableResponse `json:"rankings,omitempty"`
+
+	// itemrank
+	Item           *itemRef       `json:"item,omitempty"`
+	Samples        int            `json:"samples,omitempty"`
+	Best           int            `json:"best,omitempty"`
+	Worst          int            `json:"worst,omitempty"`
+	Mode           int            `json:"mode,omitempty"`
+	Median         int            `json:"median,omitempty"`
+	Counts         map[string]int `json:"counts,omitempty"`
+	ProbabilityTop map[string]any `json:"probability_top,omitempty"`
+
+	// boundary
+	Facets []facetResponse `json:"facets,omitempty"`
+}
+
+type queryResponse struct {
+	Dataset string     `json:"dataset"`
+	Results []opResult `json:"results"`
+}
+
+// queryLimits separates the synchronous caps from the async ones: the jobs
+// path exists precisely to run enumerations deeper than a held-open
+// connection should serve.
+type queryLimits struct {
+	// maxDepth caps toph h and enumerate limit.
+	maxDepth int
+	// openEnumerate allows enumerate without a limit (capped to maxDepth).
+	openEnumerate bool
+}
+
+func (s *Server) syncLimits() queryLimits {
+	return queryLimits{maxDepth: s.cfg.MaxEnumerate}
+}
+
+func (s *Server) jobLimits() queryLimits {
+	return queryLimits{maxDepth: s.cfg.MaxStreamRows, openEnumerate: true}
+}
+
+// compiledQuery is a validated request, ready to execute (possibly later,
+// on a job worker). The dataset and item IDs are re-resolved at execution
+// time so a dataset replaced in between fails loudly instead of answering
+// with stale indices.
+type compiledQuery struct {
+	dataset string
+	spec    regionSpec
+	seed    int64
+	samples int
+	specs   []querySpec
+	limits  queryLimits
+}
+
+// decodeQueryRequest reads and decodes a /v1/query-shaped body with the
+// standard size cap and strictness.
+func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, error) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, statusError{code: http.StatusRequestEntityTooLarge, msg: "request body exceeds 1 MiB"}
+		}
+		return nil, errBadRequest("decoding query request: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, errBadRequest("query request has trailing data")
+	}
+	return &req, nil
+}
+
+// compileQuery validates the request against the current dataset and caps.
+// A list longer than MaxBatchOps is answered 413: the request is
+// well-formed, just bigger than this server accepts.
+func (s *Server) compileQuery(req *queryRequest, limits queryLimits) (*compiledQuery, error) {
+	ds, _, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		return nil, errNotFound("unknown dataset %q", req.Dataset)
+	}
+	spec := regionSpec{weights: req.Weights, theta: req.Theta, cosine: req.Cosine}
+	if err := spec.validate(ds.D(), req.Theta != 0, req.Cosine != 0); err != nil {
+		return nil, err
+	}
+	seed := s.cfg.DefaultSeed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	samples := s.cfg.DefaultSampleCount
+	if req.Samples != nil {
+		samples = *req.Samples
+	}
+	if samples < 1 || samples > s.cfg.MaxSampleCount {
+		return nil, errBadRequest("samples %d out of range [1, %d]", samples, s.cfg.MaxSampleCount)
+	}
+	if len(req.Queries) == 0 {
+		return nil, errBadRequest("query request requires at least one operation")
+	}
+	if len(req.Queries) > s.cfg.MaxBatchOps {
+		return nil, statusError{
+			code: http.StatusRequestEntityTooLarge,
+			msg:  fmt.Sprintf("query list has %d operations, limit %d", len(req.Queries), s.cfg.MaxBatchOps),
+		}
+	}
+	cq := &compiledQuery{
+		dataset: req.Dataset,
+		spec:    spec,
+		seed:    seed,
+		samples: samples,
+		specs:   req.Queries,
+		limits:  limits,
+	}
+	// Parse every operation now so a malformed entry rejects the request
+	// before any work (the result is rebuilt at execution time).
+	if _, err := cq.buildQueries(s, ds); err != nil {
+		return nil, err
+	}
+	return cq, nil
+}
+
+// buildQueries translates the operation specs into library queries against
+// ds, validating every entry.
+func (cq *compiledQuery) buildQueries(s *Server, ds *stablerank.Dataset) ([]stablerank.Query, error) {
+	queries := make([]stablerank.Query, len(cq.specs))
+	for i, spec := range cq.specs {
+		switch spec.Op {
+		case "verify", "boundary":
+			rk, err := rankingOfSpec(spec, ds)
+			if err != nil {
+				return nil, errBadRequest("queries[%d]: %v", i, err)
+			}
+			if spec.Op == "verify" {
+				queries[i] = stablerank.VerifyQuery{Ranking: rk}
+			} else {
+				queries[i] = stablerank.BoundaryQuery{Ranking: rk}
+			}
+		case "toph":
+			if spec.H < 1 || spec.H > cq.limits.maxDepth {
+				return nil, errBadRequest("queries[%d]: h must be in [1, %d]", i, cq.limits.maxDepth)
+			}
+			queries[i] = stablerank.TopHQuery{H: spec.H}
+		case "above":
+			if !(spec.S > 0 && spec.S <= 1) {
+				return nil, errBadRequest("queries[%d]: s must be in (0, 1]", i)
+			}
+			queries[i] = stablerank.AboveQuery{Threshold: spec.S}
+		case "itemrank":
+			if spec.Item == "" {
+				return nil, errBadRequest("queries[%d]: itemrank requires item (an item id)", i)
+			}
+			idx, ok := itemIndex(ds, spec.Item)
+			if !ok {
+				return nil, errBadRequest("queries[%d]: item %q not in dataset %q", i, spec.Item, cq.dataset)
+			}
+			if spec.N < 0 || spec.N > s.cfg.MaxSampleCount {
+				return nil, errBadRequest("queries[%d]: n must be in [0, %d]", i, s.cfg.MaxSampleCount)
+			}
+			if spec.K < 0 {
+				return nil, errBadRequest("queries[%d]: k must be >= 0", i)
+			}
+			queries[i] = stablerank.ItemRankQuery{Item: idx, Samples: spec.N}
+		case "enumerate":
+			limit := spec.Limit
+			if limit <= 0 {
+				if !cq.limits.openEnumerate {
+					return nil, errBadRequest("queries[%d]: enumerate limit must be in [1, %d] (use /v1/jobs or /v1/query/stream for open enumeration)", i, cq.limits.maxDepth)
+				}
+				limit = cq.limits.maxDepth
+			}
+			if limit > cq.limits.maxDepth {
+				return nil, errBadRequest("queries[%d]: enumerate limit must be in [1, %d]", i, cq.limits.maxDepth)
+			}
+			queries[i] = stablerank.EnumerateQuery{Limit: limit}
+		default:
+			return nil, errBadRequest("queries[%d]: unknown op %q", i, spec.Op)
+		}
+	}
+	return queries, nil
+}
+
+// rankingOfSpec resolves a verify/boundary target: an explicit ranking, or
+// the one induced by weights.
+func rankingOfSpec(spec querySpec, ds *stablerank.Dataset) (stablerank.Ranking, error) {
+	switch {
+	case spec.Ranking != "" && len(spec.Weights) > 0:
+		return stablerank.Ranking{}, errors.New("use weights or ranking, not both")
+	case spec.Ranking != "":
+		return parseRanking(spec.Ranking, ds)
+	case len(spec.Weights) > 0:
+		if len(spec.Weights) != ds.D() {
+			return stablerank.Ranking{}, fmt.Errorf("weights have %d components, dataset has %d attributes", len(spec.Weights), ds.D())
+		}
+		return stablerank.RankingOf(ds, spec.Weights), nil
+	default:
+		return stablerank.Ranking{}, errors.New("requires weights or ranking")
+	}
+}
+
+func itemIndex(ds *stablerank.Dataset, id string) (int, bool) {
+	for i := 0; i < ds.N(); i++ {
+		if ds.Item(i).ID == id {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// execQuery runs a compiled query now, under ctx: it re-resolves the
+// dataset, obtains the shared analyzer, answers the whole list with one
+// Analyzer.Do call, and renders the response. It is shared by the
+// synchronous handler and the job workers.
+func (s *Server) execQuery(ctx context.Context, cq *compiledQuery) (*queryResponse, error) {
+	ds, gen, ok := s.registry.Get(cq.dataset)
+	if !ok {
+		return nil, errNotFound("unknown dataset %q", cq.dataset)
+	}
+	queries, err := cq.buildQueries(s, ds)
+	if err != nil {
+		return nil, err
+	}
+	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples}
+	a, err := s.analyzers.get(key, ds, cq.spec)
+	if err != nil {
+		if _, isStatus := err.(statusError); isStatus {
+			return nil, err
+		}
+		return nil, errBadRequest("building analyzer: %v", err)
+	}
+	results, err := a.Do(ctx, queries...)
+	if err != nil {
+		return nil, err
+	}
+	resp := &queryResponse{Dataset: cq.dataset, Results: make([]opResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = s.renderOpResult(ds, cq.specs[i], queries[i], res)
+	}
+	return resp, nil
+}
+
+// renderOpResult maps one library Result onto the wire shape.
+func (s *Server) renderOpResult(ds *stablerank.Dataset, spec querySpec, q stablerank.Query, res stablerank.Result) opResult {
+	out := opResult{Op: spec.Op}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		return out
+	}
+	switch spec.Op {
+	case "verify":
+		v := res.Verification
+		out.Ranking = s.itemRefs(ds, q.(stablerank.VerifyQuery).Ranking.Order)
+		out.Stability = &v.Stability
+		out.ConfidenceError = &v.ConfidenceError
+		out.Exact = &v.Exact
+		out.SampleCount = v.SampleCount
+	case "toph":
+		out.H = spec.H
+		out.Rankings = s.stableResponses(ds, res.Stables, 0)
+	case "above":
+		out.Threshold = spec.S
+		out.Rankings = s.stableResponses(ds, res.Stables, 0)
+	case "enumerate":
+		out.Limit = q.(stablerank.EnumerateQuery).Limit
+		out.Rankings = s.stableResponses(ds, res.Stables, 0)
+	case "itemrank":
+		dist := res.RankDistribution
+		idx := q.(stablerank.ItemRankQuery).Item
+		counts := make(map[string]int, len(dist.Counts))
+		for rnk, c := range dist.Counts {
+			counts[strconv.Itoa(rnk)] = c
+		}
+		out.Item = &itemRef{Index: idx, ID: spec.Item}
+		out.Samples = dist.Samples
+		out.Best = dist.Best
+		out.Worst = dist.Worst
+		out.Mode = dist.Mode()
+		out.Median = dist.Quantile(0.5)
+		out.Counts = counts
+		if spec.K > 0 {
+			out.ProbabilityTop = map[string]any{
+				"k":           spec.K,
+				"probability": dist.ProbabilityTopK(spec.K),
+			}
+		}
+	case "boundary":
+		facets := make([]facetResponse, len(res.Facets))
+		for i, f := range res.Facets {
+			facets[i] = facetResponse{
+				Upper:  itemRef{Index: f.Upper, ID: ds.Item(f.Upper).ID},
+				Lower:  itemRef{Index: f.Lower, ID: ds.Item(f.Lower).ID},
+				Normal: f.Halfspace.Normal,
+			}
+		}
+		out.Facets = facets
+	}
+	return out
+}
+
+// handleQuery is POST /v1/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeQueryRequest(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cq, err := s.compileQuery(req, s.syncLimits())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.execQuery(r.Context(), cq)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

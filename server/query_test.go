@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// postJSON posts body to path and decodes the JSON response into v (when
+// non-nil), returning status and headers.
+func postJSON(t *testing.T, ts string, path, body string, v any) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Post(ts+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+			t.Fatalf("POST %s: bad JSON (%v):\n%s", path, err, buf.String())
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// TestQueryHeterogeneous drives one POST /v1/query mixing all six operation
+// kinds against the 3D dataset and checks each payload.
+func TestQueryHeterogeneous(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body := `{
+		"dataset": "ind3",
+		"samples": 5000,
+		"queries": [
+			{"op": "verify", "weights": [1, 1, 1]},
+			{"op": "toph", "h": 3},
+			{"op": "above", "s": 0.05},
+			{"op": "itemrank", "item": "i1", "n": 2000, "k": 3},
+			{"op": "boundary", "weights": [1, 1, 1]},
+			{"op": "enumerate", "limit": 5}
+		]
+	}`
+	var got queryResponse
+	code, _ := postJSON(t, ts.URL, "/v1/query", body, &got)
+	if code != http.StatusOK {
+		t.Fatalf("query = %d: %+v", code, got)
+	}
+	if got.Dataset != "ind3" || len(got.Results) != 6 {
+		t.Fatalf("response = %+v", got)
+	}
+	for i, r := range got.Results {
+		if r.Error != "" {
+			t.Fatalf("results[%d] (%s) errored: %s", i, r.Op, r.Error)
+		}
+	}
+	v := got.Results[0]
+	if v.Op != "verify" || v.Stability == nil || *v.Stability <= 0 || *v.Stability > 1 || v.Exact == nil || *v.Exact {
+		t.Errorf("verify result = %+v", v)
+	}
+	if v.SampleCount != 5000 || v.ConfidenceError == nil || *v.ConfidenceError <= 0 {
+		t.Errorf("verify MC metadata = %+v", v)
+	}
+	if n := len(got.Results[1].Rankings); n != 3 || got.Results[1].H != 3 {
+		t.Errorf("toph returned %d rankings", n)
+	}
+	for i, r := range got.Results[2].Rankings {
+		if r.Stability < 0.05 {
+			t.Errorf("above[%d] stability %v below threshold", i, r.Stability)
+		}
+	}
+	ir := got.Results[3]
+	if ir.Samples != 2000 || ir.Best < 1 || ir.Item == nil || ir.Item.ID != "i1" || ir.ProbabilityTop == nil {
+		t.Errorf("itemrank result = %+v", ir)
+	}
+	if len(got.Results[4].Facets) == 0 {
+		t.Error("boundary returned no facets")
+	}
+	if n := len(got.Results[5].Rankings); n == 0 || n > 5 {
+		t.Errorf("enumerate returned %d rankings", n)
+	}
+	// The whole list shares one cursor: toph must be a prefix of enumerate.
+	for i := range got.Results[1].Rankings {
+		if got.Results[1].Rankings[i].Stability != got.Results[5].Rankings[i].Stability {
+			t.Errorf("toph[%d] diverges from the shared enumeration", i)
+		}
+	}
+}
+
+// TestQueryPerOpError checks one failing operation doesn't fail the batch.
+func TestQueryPerOpError(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	// t1..t5 reversed: t1 is dominated, so this explicit ranking is
+	// infeasible while the weights-induced one succeeds.
+	body := `{
+		"dataset": "fig1",
+		"queries": [
+			{"op": "verify", "ranking": "t1,t5,t3,t4,t2"},
+			{"op": "verify", "weights": [1, 1]}
+		]
+	}`
+	var got queryResponse
+	code, _ := postJSON(t, ts.URL, "/v1/query", body, &got)
+	if code != http.StatusOK {
+		t.Fatalf("query = %d", code)
+	}
+	if got.Results[0].Error == "" {
+		t.Error("infeasible ranking should carry a per-op error")
+	}
+	if got.Results[1].Error != "" || got.Results[1].Stability == nil {
+		t.Errorf("good op alongside a failing one: %+v", got.Results[1])
+	}
+}
+
+// TestQueryValidation covers the request-level failure modes, including the
+// 413 operation cap.
+func TestQueryValidation(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatchOps = 3 })
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"unknown dataset", `{"dataset":"nope","queries":[{"op":"toph","h":1}]}`, http.StatusNotFound},
+		{"no queries", `{"dataset":"fig1","queries":[]}`, http.StatusBadRequest},
+		{"unknown op", `{"dataset":"fig1","queries":[{"op":"wat"}]}`, http.StatusBadRequest},
+		{"bad h", `{"dataset":"fig1","queries":[{"op":"toph","h":0}]}`, http.StatusBadRequest},
+		{"bad s", `{"dataset":"fig1","queries":[{"op":"above","s":2}]}`, http.StatusBadRequest},
+		{"verify needs target", `{"dataset":"fig1","queries":[{"op":"verify"}]}`, http.StatusBadRequest},
+		{"verify both targets", `{"dataset":"fig1","queries":[{"op":"verify","weights":[1,1],"ranking":"t1,t2,t3,t4,t5"}]}`, http.StatusBadRequest},
+		{"unknown item", `{"dataset":"fig1","queries":[{"op":"itemrank","item":"zz"}]}`, http.StatusBadRequest},
+		{"open enumerate", `{"dataset":"fig1","queries":[{"op":"enumerate"}]}`, http.StatusBadRequest},
+		{"bad region", `{"dataset":"fig1","theta":9,"queries":[{"op":"toph","h":1}]}`, http.StatusBadRequest},
+		{"ops over cap", `{"dataset":"fig1","queries":[{"op":"toph","h":1},{"op":"toph","h":1},{"op":"toph","h":1},{"op":"toph","h":1}]}`, http.StatusRequestEntityTooLarge},
+		{"trailing data", `{"dataset":"fig1","queries":[{"op":"toph","h":1}]} garbage`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _ := postJSON(t, ts.URL, "/v1/query", tc.body, nil)
+			if code != tc.want {
+				t.Errorf("%s: code = %d, want %d", tc.name, code, tc.want)
+			}
+		})
+	}
+}
+
+// TestBatchDeprecatedEquivalence pins the migration contract: POST /batch
+// answers with a Deprecation header, and its verify/toph numbers are
+// identical to the same operations through POST /v1/query.
+func TestBatchDeprecatedEquivalence(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	batchBody := `{
+		"dataset": "ind3",
+		"samples": 5000,
+		"verify": [{"weights": [1, 1, 1]}, {"weights": [3, 1, 1]}],
+		"toph": [4]
+	}`
+	var old struct {
+		Verify []struct {
+			Stability       float64 `json:"stability"`
+			ConfidenceError float64 `json:"confidence_error"`
+		} `json:"verify"`
+		TopH []struct {
+			Rankings []stableResponse `json:"rankings"`
+		} `json:"toph"`
+	}
+	code, hdr := postJSON(t, ts.URL, "/batch", batchBody, &old)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if hdr.Get("Deprecation") != "true" {
+		t.Error("batch response missing Deprecation header")
+	}
+	if link := hdr.Get("Link"); !strings.Contains(link, "/v1/query") {
+		t.Errorf("batch Link header = %q, want successor /v1/query", link)
+	}
+
+	queryBody := `{
+		"dataset": "ind3",
+		"samples": 5000,
+		"queries": [
+			{"op": "verify", "weights": [1, 1, 1]},
+			{"op": "verify", "weights": [3, 1, 1]},
+			{"op": "toph", "h": 4}
+		]
+	}`
+	var neu queryResponse
+	code, _ = postJSON(t, ts.URL, "/v1/query", queryBody, &neu)
+	if code != http.StatusOK {
+		t.Fatalf("query = %d", code)
+	}
+	for i := 0; i < 2; i++ {
+		if got := *neu.Results[i].Stability; got != old.Verify[i].Stability {
+			t.Errorf("verify[%d]: /v1/query %v != /batch %v", i, got, old.Verify[i].Stability)
+		}
+		if got := *neu.Results[i].ConfidenceError; got != old.Verify[i].ConfidenceError {
+			t.Errorf("verify[%d] confidence: /v1/query %v != /batch %v", i, got, old.Verify[i].ConfidenceError)
+		}
+	}
+	oldTop, newTop := old.TopH[0].Rankings, neu.Results[2].Rankings
+	if len(oldTop) != len(newTop) {
+		t.Fatalf("toph lengths: /batch %d, /v1/query %d", len(oldTop), len(newTop))
+	}
+	for i := range oldTop {
+		if oldTop[i].Stability != newTop[i].Stability {
+			t.Errorf("toph[%d]: /v1/query %v != /batch %v", i, newTop[i].Stability, oldTop[i].Stability)
+		}
+	}
+}
+
+// TestQueryConcurrent hammers POST /v1/query from many goroutines sharing
+// one analyzer key; meaningful under -race, and the pool must build once.
+func TestQueryConcurrent(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	body := `{"dataset":"ind3","samples":3000,"queries":[{"op":"verify","weights":[1,1,1]},{"op":"toph","h":2}]}`
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats, builds, _, _, _ := s.analyzers.snapshot()
+	if builds != 1 {
+		t.Errorf("%d analyzer builds for identical concurrent queries, want 1", builds)
+	}
+	for _, st := range stats {
+		if st.PoolBuilds != 1 {
+			t.Errorf("analyzer %s built its pool %d times", st.Key, st.PoolBuilds)
+		}
+	}
+}

@@ -30,6 +30,12 @@ type registryEntry struct {
 // keys.
 var datasetNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
+// reservedDatasetNames are path segments the /v1 router claims for itself:
+// GET /v1/jobs/{id} shares the /v1/{dataset}/{op} dispatcher, so a dataset
+// named "jobs" would be unreachable. Registration rejects them loudly
+// instead of creating a silently dead dataset.
+var reservedDatasetNames = map[string]bool{"jobs": true}
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*registryEntry)}
@@ -41,6 +47,9 @@ func NewRegistry() *Registry {
 func (r *Registry) Add(name string, ds *stablerank.Dataset) error {
 	if !datasetNameRE.MatchString(name) {
 		return fmt.Errorf("server: invalid dataset name %q (want %s)", name, datasetNameRE)
+	}
+	if reservedDatasetNames[name] {
+		return fmt.Errorf("server: dataset name %q is reserved by the /v1 API", name)
 	}
 	if ds == nil || ds.N() == 0 {
 		return stablerank.ErrEmptyDataset

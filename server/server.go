@@ -8,28 +8,43 @@
 //
 // Endpoints (all responses JSON):
 //
-//	GET  /healthz                      liveness
-//	GET  /statsz                       cache hit rate, analyzer pool, in-flight
-//	GET  /datasets                     registered datasets
-//	POST /datasets/{name}?header=      register a CSV dataset (request body)
-//	GET  /v1/{dataset}/verify          Problem 1: stability of ?weights=
-//	GET  /v1/{dataset}/toph            Problem 2: ?h= most stable rankings
-//	GET  /v1/{dataset}/above           Problem 2: rankings with stability >= ?s=
-//	GET  /v1/{dataset}/itemrank        Example 1: rank distribution of ?item=
-//	GET  /v1/{dataset}/rankings        Problem 3: paginated enumeration
-//	POST /batch                        many verify/toph queries in one pass
+//	GET    /healthz                    liveness
+//	GET    /statsz                     cache hit rate, analyzers, jobs, streams
+//	GET    /datasets                   registered datasets
+//	POST   /datasets/{name}?header=    register a CSV dataset (request body)
+//	POST   /v1/query                   any mix of queries in one shared plan
+//	GET    /v1/query/stream            NDJSON incremental enumeration
+//	POST   /v1/jobs                    run a query list asynchronously
+//	GET    /v1/jobs/{id}               job status + result
+//	DELETE /v1/jobs/{id}               cancel (or discard) a job
+//	GET    /v1/{dataset}/verify        Problem 1: stability of ?weights=
+//	GET    /v1/{dataset}/toph          Problem 2: ?h= most stable rankings
+//	GET    /v1/{dataset}/above         Problem 2: rankings with stability >= ?s=
+//	GET    /v1/{dataset}/itemrank      Example 1: rank distribution of ?item=
+//	GET    /v1/{dataset}/rankings      Problem 3: paginated enumeration
+//	POST   /batch                      DEPRECATED: use POST /v1/query
+//
+// POST /v1/query is the uniform surface over the library's query model: the
+// body names a dataset, the shared region/seed/samples parameters, and a
+// heterogeneous list of operations ({"op":"verify",...}, {"op":"toph",...},
+// {"op":"above",...}, {"op":"itemrank",...}, {"op":"boundary",...},
+// {"op":"enumerate",...}) answered by one Analyzer.Do call — one sample-pool
+// build and one fused sweep for the whole list. GET /v1/query/stream emits
+// one NDJSON line per enumerated ranking with the running stability mass,
+// and POST /v1/jobs runs the same request body on a bounded worker pool for
+// enumerations too long to hold a connection open.
 //
 // Query endpoints share the region parameters ?weights= (comma-separated)
 // with optional ?theta= (hypercone half-angle) or ?cosine= (minimum cosine
 // similarity), plus ?seed= and ?samples=. Identical parameter tuples map to
-// one shared Analyzer and one cache slot. POST /batch takes the same
-// region/seed/samples fields in its JSON body plus verify and toph operation
-// lists; its verify operations share one sweep of the sample pool and its
-// toph operations share one enumeration.
+// one shared Analyzer and one cache slot. POST /batch remains for
+// compatibility (it answers with a Deprecation header); new clients should
+// send the same operations to POST /v1/query.
 package server
 
 import (
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -68,9 +83,25 @@ type Config struct {
 	// batch sweeps (default 0 = GOMAXPROCS). Results are deterministic
 	// regardless of this value; it is a throughput knob only.
 	Workers int
-	// MaxBatchOps caps the number of operations in one POST /batch request
-	// (default 256).
+	// MaxBatchOps caps the number of operations in one POST /batch or
+	// POST /v1/query request (default 256; /v1/query answers 413 beyond it).
 	MaxBatchOps int
+	// MaxStreamRows caps the rankings emitted by one GET /v1/query/stream
+	// response and the enumeration depth of async jobs (default 100,000).
+	MaxStreamRows int
+	// JobWorkers is the size of the async job worker pool (default 2;
+	// negative disables the jobs endpoints).
+	JobWorkers int
+	// JobQueueSize bounds the queued-but-not-running jobs; submissions
+	// beyond it are answered 503 (default 16).
+	JobQueueSize int
+	// JobTTL is how long a finished job's result stays retrievable before
+	// the store forgets it (default 10m; negative keeps results until
+	// DELETEd).
+	JobTTL time.Duration
+	// JobTimeout bounds one job's computation (default 5m; negative
+	// disables).
+	JobTimeout time.Duration
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -110,6 +141,21 @@ func (c Config) Defaults() Config {
 	if c.MaxBatchOps == 0 {
 		c.MaxBatchOps = 256
 	}
+	if c.MaxStreamRows == 0 {
+		c.MaxStreamRows = 100_000
+	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueueSize == 0 {
+		c.JobQueueSize = 16
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
 	return c
 }
 
@@ -121,10 +167,15 @@ type Server struct {
 	registry  *Registry
 	analyzers *analyzerPool
 	cache     *lruCache
+	jobs      *jobStore
 	handler   http.Handler
 	start     time.Time
+	closeOnce sync.Once
 
 	inflightRequests atomic.Int64
+	// streamedRows counts NDJSON enumeration lines served by
+	// GET /v1/query/stream, for /statsz.
+	streamedRows atomic.Int64
 }
 
 // New builds a Server from cfg (zero value fine).
@@ -137,12 +188,20 @@ func New(cfg Config) *Server {
 		cache:     newLRUCache(cfg.CacheSize),
 		start:     time.Now(),
 	}
+	s.jobs = newJobStore(cfg.JobWorkers, cfg.JobQueueSize, cfg.JobTTL, cfg.JobTimeout, s.execQuery)
 	s.handler = s.wrap(s.routes())
 	return s
 }
 
 // Handler returns the fully middleware-wrapped root handler.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Close stops the async job workers, cancelling any running jobs, and waits
+// for them to exit. The HTTP handler itself holds no background state; after
+// Close the jobs endpoints answer 503. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(s.jobs.close)
+}
 
 // Registry returns the server's dataset registry, for startup loading.
 func (s *Server) Registry() *Registry { return s.registry }

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"stablerank"
+)
+
+// GET /v1/query/stream: incremental enumeration as NDJSON. One line per
+// ranking, in decreasing stability, each carrying the running cumulative
+// stability mass and the per-ranking confidence error, flushed as produced —
+// so a client watching a long enumeration sees results immediately and can
+// simply close the connection to stop the work (the request context cancels
+// the enumerator promptly). A closing summary line reports the total.
+//
+// Parameters: ?dataset= (required) plus the shared region/seed/samples
+// parameters, and one of
+//
+//	?op=enumerate[&limit=N]   the N (default: all, capped) most stable rankings
+//	?op=toph&h=N              exactly N rankings
+//	?op=above&s=T             rankings with stability >= T
+//
+// The stream never emits more than MaxStreamRows lines; the summary line's
+// "truncated" field reports whether the cap (rather than exhaustion or the
+// query's own bound) ended it.
+
+// streamLine is one enumerated ranking on the wire.
+type streamLine struct {
+	Rank            int       `json:"rank"`
+	Stability       float64   `json:"stability"`
+	ConfidenceError float64   `json:"confidence_error,omitempty"`
+	Cumulative      float64   `json:"cumulative_stability"`
+	Exact           bool      `json:"exact,omitempty"`
+	Items           []itemRef `json:"items"`
+	Weights         []float64 `json:"weights,omitempty"`
+}
+
+// streamSummary is the final NDJSON line.
+type streamSummary struct {
+	Done       bool    `json:"done"`
+	Count      int     `json:"count"`
+	Cumulative float64 `json:"cumulative_stability"`
+	Truncated  bool    `json:"truncated"`
+}
+
+// streamError is the terminal line of a failed stream; once rows have been
+// flushed the status code is already written, so mid-stream failures are
+// reported in-band.
+type streamError struct {
+	Error string `json:"error"`
+}
+
+// handleQueryStream is GET /v1/query/stream.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	qc, err := s.queryContextNamed(r, q.Get("dataset"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var query stablerank.Query
+	op := q.Get("op")
+	if op == "" {
+		op = "enumerate"
+	}
+	switch op {
+	case "enumerate":
+		limit, err := intParam(q.Get("limit"), 0)
+		if err != nil || limit < 0 || limit > int64(s.cfg.MaxStreamRows) {
+			writeError(w, errBadRequest("limit must be in [0, %d]", s.cfg.MaxStreamRows))
+			return
+		}
+		if limit == 0 {
+			// Open enumeration: run one past the row cap so the summary can
+			// tell "exhausted exactly at the cap" from "cut off by it".
+			limit = int64(s.cfg.MaxStreamRows) + 1
+		}
+		query = stablerank.EnumerateQuery{Limit: int(limit)}
+	case "toph":
+		h, err := intParam(q.Get("h"), 10)
+		if err != nil || h < 1 || h > int64(s.cfg.MaxStreamRows) {
+			writeError(w, errBadRequest("h must be in [1, %d]", s.cfg.MaxStreamRows))
+			return
+		}
+		query = stablerank.TopHQuery{H: int(h)}
+	case "above":
+		threshold, err := floatParam(q.Get("s"), -1)
+		if err != nil || threshold <= 0 || threshold > 1 {
+			writeError(w, errBadRequest("s must be in (0, 1]"))
+			return
+		}
+		query = stablerank.AboveQuery{Threshold: threshold}
+	default:
+		writeError(w, errBadRequest("op must be enumerate, toph or above"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // disable proxy buffering
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	count, mass := 0, 0.0
+	truncated := false
+	for res, err := range qc.analyzer.Stream(r.Context(), query) {
+		if err != nil {
+			// Before the first line the status code is still open: report
+			// client hang-ups and real failures properly. Mid-stream, the
+			// error goes in-band as the terminal line.
+			if count == 0 {
+				writeError(w, err)
+				return
+			}
+			if !errors.Is(err, r.Context().Err()) {
+				_ = enc.Encode(streamError{Error: err.Error()})
+			}
+			return
+		}
+		// The cap is checked before emitting, so a stream that ends exactly
+		// at MaxStreamRows by its own bound or exhaustion is not marked
+		// truncated — only one the cap actually cut off.
+		if count >= s.cfg.MaxStreamRows {
+			truncated = true
+			break
+		}
+		st := res.Stable
+		count++
+		mass += st.Stability
+		line := streamLine{
+			Rank:            count,
+			Stability:       st.Stability,
+			ConfidenceError: st.ConfidenceError,
+			Cumulative:      mass,
+			Exact:           st.Exact,
+			Items:           s.itemRefs(qc.ds, st.Ranking.Order),
+			Weights:         st.Weights,
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away mid-write
+		}
+		s.streamedRows.Add(1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(streamSummary{Done: true, Count: count, Cumulative: mass, Truncated: truncated})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"stablerank"
+)
+
+// readStream consumes an NDJSON response into parsed lines.
+func readStream(t *testing.T, resp *http.Response) (lines []streamLine, summary *streamSummary) {
+	t.Helper()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		var probe struct {
+			Done *bool `json:"done"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			t.Fatalf("bad NDJSON line: %s", raw)
+		}
+		if probe.Done != nil {
+			summary = &streamSummary{}
+			if err := json.Unmarshal(raw, summary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var line streamLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatalf("bad stream line: %s", raw)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines, summary
+}
+
+// TestStreamNDJSON checks the happy path: ordered lines, monotone cumulative
+// mass, per-line confidence, and a terminal summary.
+func TestStreamNDJSON(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/query/stream?dataset=ind3&op=enumerate&limit=6&samples=5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines, summary := readStream(t, resp)
+	if len(lines) == 0 || len(lines) > 6 {
+		t.Fatalf("streamed %d lines", len(lines))
+	}
+	prevStab, prevCum := 2.0, 0.0
+	for i, l := range lines {
+		if l.Rank != i+1 {
+			t.Errorf("line %d has rank %d", i, l.Rank)
+		}
+		if l.Stability > prevStab+1e-12 {
+			t.Error("stream violated decreasing stability")
+		}
+		if l.Cumulative <= prevCum-1e-12 {
+			t.Error("cumulative mass not increasing")
+		}
+		if l.ConfidenceError <= 0 {
+			t.Errorf("line %d missing confidence error", i)
+		}
+		if len(l.Items) == 0 {
+			t.Errorf("line %d missing items", i)
+		}
+		prevStab, prevCum = l.Stability, l.Cumulative
+	}
+	if summary == nil || !summary.Done || summary.Count != len(lines) {
+		t.Fatalf("summary = %+v after %d lines", summary, len(lines))
+	}
+	if got := s.streamedRows.Load(); got != int64(len(lines)) {
+		t.Errorf("streamed_rows counter = %d, want %d", got, len(lines))
+	}
+	// toph and above modes work too.
+	resp2, err := http.Get(ts.URL + "/v1/query/stream?dataset=fig1&op=toph&h=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	lines2, _ := readStream(t, resp2)
+	if len(lines2) != 3 {
+		t.Errorf("toph stream yielded %d lines", len(lines2))
+	}
+	resp3, err := http.Get(ts.URL + "/v1/query/stream?dataset=fig1&op=above&s=0.10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	lines3, _ := readStream(t, resp3)
+	for i, l := range lines3 {
+		if l.Stability < 0.10 {
+			t.Errorf("above line %d below threshold: %v", i, l.Stability)
+		}
+	}
+}
+
+// TestStreamTruncation pins the summary's truncated flag: true only when
+// MaxStreamRows actually cut the enumeration off, not when the stream ends
+// exactly at the cap by exhaustion.
+func TestStreamTruncation(t *testing.T) {
+	// Figure 1 has exactly 11 rankings.
+	_, tsExact := newTestServer(t, func(c *Config) { c.MaxStreamRows = 11 })
+	resp, err := http.Get(tsExact.URL + "/v1/query/stream?dataset=fig1&op=enumerate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines, summary := readStream(t, resp)
+	if len(lines) != 11 || summary == nil || summary.Truncated {
+		t.Errorf("exhaustion at the cap: %d lines, summary %+v; want 11 untruncated", len(lines), summary)
+	}
+
+	_, tsCut := newTestServer(t, func(c *Config) { c.MaxStreamRows = 5 })
+	resp2, err := http.Get(tsCut.URL + "/v1/query/stream?dataset=fig1&op=enumerate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	lines2, summary2 := readStream(t, resp2)
+	if len(lines2) != 5 || summary2 == nil || !summary2.Truncated {
+		t.Errorf("cap cut-off: %d lines, summary %+v; want 5 truncated", len(lines2), summary2)
+	}
+}
+
+// TestStreamFlushReachesClient pins the middleware's Flush promotion: the
+// wrapped writer must implement http.Flusher, and each NDJSON line must be
+// pushed to the client before the handler returns.
+func TestStreamFlushReachesClient(t *testing.T) {
+	var _ http.Flusher = (*statusWriter)(nil)
+	s, _ := newTestServer(t, nil)
+	rec := &recordingFlusher{ResponseWriter: httptest.NewRecorder()}
+	req := httptest.NewRequest("GET", "/v1/query/stream?dataset=fig1&op=toph&h=3", nil)
+	s.Handler().ServeHTTP(rec, req)
+	// 3 lines + summary, each flushed.
+	if rec.flushes < 4 {
+		t.Errorf("stream flushed %d times through the middleware, want >= 4", rec.flushes)
+	}
+}
+
+type recordingFlusher struct {
+	http.ResponseWriter
+	flushes int
+}
+
+func (r *recordingFlusher) Flush() { r.flushes++ }
+
+// TestStreamValidation covers the stream endpoint's failure modes.
+func TestStreamValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/query/stream?dataset=nope", http.StatusNotFound},
+		{"/v1/query/stream?dataset=fig1&op=wat", http.StatusBadRequest},
+		{"/v1/query/stream?dataset=fig1&op=toph&h=0", http.StatusBadRequest},
+		{"/v1/query/stream?dataset=fig1&op=above&s=2", http.StatusBadRequest},
+		{"/v1/query/stream?dataset=fig1&op=enumerate&limit=-1", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, _ := get(t, ts, tc.path, nil); code != tc.want {
+			t.Errorf("%s: code = %d, want %d", tc.path, code, tc.want)
+		}
+	}
+}
+
+// TestStreamClientDisconnect pins the satellite requirement: a client
+// closing the connection mid-stream cancels the enumeration promptly and
+// leaks no goroutines.
+func TestStreamClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		// A deep 4D enumeration that would stream for a long time.
+		c.DefaultSampleCount = 30_000
+	})
+	ds := stablerank.Diamonds(rand.New(rand.NewSource(7)), 120)
+	deep, err := ds.Project(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Registry().Add("deep", deep); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/query/stream?dataset=deep&op=enumerate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a couple of lines to prove the stream is live, then hang up.
+	sc := bufio.NewScanner(resp.Body)
+	got := 0
+	for got < 2 && sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			got++
+		}
+	}
+	if got < 2 {
+		t.Fatalf("stream produced only %d lines before disconnect test", got)
+	}
+	resp.Body.Close() // client goes away; server ctx cancels
+
+	// The handler goroutine must finish promptly (the enumerator polls its
+	// context), after which the goroutine census settles back.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across a client disconnect: %d -> %d", before, after)
+	}
+}
