@@ -2,20 +2,23 @@ GO ?= go
 
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
 # comparable across the PR sequence.
-BENCHJSON ?= BENCH_pr5.json
+BENCHJSON ?= BENCH_pr6.json
 
 # Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
-# benchmark families (pool build, every verification path, the fused query
-# plan, and the flat vecmat/rank kernels), the tolerated slowdown, and the
-# noise floor below which 1x timings are not trusted.
-BENCHBASE ?= BENCH_pr4.json
-GATEMATCH ?= PoolBuild|VerifyBatch|QueryFused|SV2D|SVMD|Kernel
+# benchmark families (pool build, snapshot cold/warm load, every verification
+# path, the fused query plan, and the flat vecmat/rank kernels), the
+# tolerated slowdown, and the noise floor below which 1x timings are not
+# trusted. SnapshotLoad enters the gate this PR: the gate only compares
+# benchmarks present in both streams, so it starts gating from the next
+# baseline on.
+BENCHBASE ?= BENCH_pr5.json
+GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|SV2D|SVMD|Kernel
 GATETHRESHOLD ?= 1.25
 # 2ms gates every verification benchmark tier that runs long enough to be
 # stable at -benchtime 1x while skipping microsecond-scale noise.
 GATEMIN ?= 2ms
 
-.PHONY: all build test race vet fmt bench bench-short benchjson perfgate cover apicheck apisnapshot ci
+.PHONY: all build test race vet fmt bench bench-short benchjson perfgate cover apicheck apisnapshot clean-data ci
 
 all: build
 
@@ -84,6 +87,12 @@ apicheck:
 apisnapshot:
 	$(GO) doc -all . > API.txt
 	$(GO) doc -all ./server >> API.txt
+
+## clean-data: remove local stablerankd persistence directories (the -data
+## dirs created by ad-hoc runs) and coverage/bench scratch files
+clean-data:
+	rm -rf ./data ./*.data
+	rm -f coverage.out coverage.html .api.current.txt
 
 ## ci: everything the CI workflow's core job runs
 ci: build fmt vet test race apicheck

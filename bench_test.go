@@ -22,6 +22,7 @@ import (
 	"stablerank/internal/md"
 	"stablerank/internal/rank"
 	"stablerank/internal/sampling"
+	"stablerank/internal/store"
 	"stablerank/internal/twod"
 	"stablerank/internal/vecmat"
 )
@@ -589,6 +590,41 @@ func BenchmarkPoolBuild(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshotLoad: the two ways an analyzer obtains its Monte-Carlo
+// pool now that stablerankd persists pool snapshots — cold (draw 100k
+// samples from the region) vs warm (decode and checksum-verify the persisted
+// snapshot). The pools are bit-identical either way; the gap is the
+// wall-clock a warm restart saves per analyzer.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	cone, err := geom.NewCone(geom.NewVector(benchEqual(4)...), math.Pi/50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n, d = 100000, 4
+	pool, err := mc.BuildPoolMatrix(ctx, mc.ConeSamplers(cone, benchSeed), n, d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := store.EncodeSnapshot(pool)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.BuildPoolMatrix(ctx, mc.ConeSamplers(cone, benchSeed), n, d, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := store.DecodeSnapshot(snap)
+			if err != nil || m.Rows() != n {
+				b.Fatalf("decode: %v (rows %d)", err, m.Rows())
+			}
+		}
+	})
 }
 
 // BenchmarkVerifyBatch: verifying 16 candidate rankings against a 100k

@@ -58,6 +58,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		jobTTL      = fs.Duration("job-ttl", 10*time.Minute, "how long finished job results stay retrievable")
 		jobTimeout  = fs.Duration("job-timeout", 5*time.Minute, "per-job computation bound (0 disables)")
 		streamRows  = fs.Int("max-stream-rows", 100000, "largest NDJSON stream / async enumeration depth")
+		dataDir     = fs.String("data", "", "persistence directory: datasets, pool snapshots and job checkpoints survive restarts (empty = in-memory only)")
+		snapCache   = fs.Bool("snapshot-cache", true, "persist Monte-Carlo pool snapshots under -data so warm restarts skip pool builds")
+		maxStore    = fs.Int64("max-store-bytes", 0, "on-disk store size cap; oldest pool snapshots are evicted first (0 = unlimited)")
 		datasetSpec []string
 	)
 	fs.Func("dataset", "name=path CSV dataset to serve (repeatable)", func(v string) error {
@@ -106,23 +109,35 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	if jobDeadline == 0 {
 		jobDeadline = -1
 	}
-	srv := server.New(server.Config{
-		Registry:           registry,
-		RequestTimeout:     reqTimeout,
-		CacheSize:          cacheEntries,
-		MaxUploadBytes:     *maxUpload,
-		DefaultSampleCount: *samples,
-		MaxSampleCount:     *maxSamples,
-		DefaultSeed:        *seed,
-		Workers:            *parallel,
-		JobWorkers:         *jobWorkers,
-		JobQueueSize:       *jobQueue,
-		JobTTL:             *jobTTL,
-		JobTimeout:         jobDeadline,
-		MaxStreamRows:      *streamRows,
-		Logf:               logf,
+	srv, err := server.New(server.Config{
+		Registry:             registry,
+		RequestTimeout:       reqTimeout,
+		CacheSize:            cacheEntries,
+		MaxUploadBytes:       *maxUpload,
+		DefaultSampleCount:   *samples,
+		MaxSampleCount:       *maxSamples,
+		DefaultSeed:          *seed,
+		Workers:              *parallel,
+		JobWorkers:           *jobWorkers,
+		JobQueueSize:         *jobQueue,
+		JobTTL:               *jobTTL,
+		JobTimeout:           jobDeadline,
+		MaxStreamRows:        *streamRows,
+		DataDir:              *dataDir,
+		DisableSnapshotCache: !*snapCache,
+		MaxStoreBytes:        *maxStore,
+		Logf:                 logf,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "stablerankd: %v\n", err)
+		return 1
+	}
+	// Close after the drain: in-flight requests finish, then running jobs
+	// checkpoint and the store flushes.
 	defer srv.Close()
+	if *dataDir != "" {
+		logger.Printf("persisting to %s (snapshot cache %v)", *dataDir, *snapCache)
+	}
 
 	// SIGINT/SIGTERM cancels ctx; the HTTP server then drains in-flight
 	// requests for up to -drain before closing their connections.

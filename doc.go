@@ -41,7 +41,17 @@
 // counts alike. PoolMemoryBytes reports the pool's resident size; the
 // README's "Performance" section shows how to profile with pprof and
 // benchstat (stablerankd exposes an opt-in loopback -pprof listener).
-// Typical use:
+//
+// Durability: because the pool draw is deterministic in (dataset content,
+// region, seed, sample count), a drawn pool can be snapshotted and restored
+// bit-identically instead of redrawn. WithPoolCache plugs a PoolCache in at
+// construction; stablerankd wires one backed by internal/store when started
+// with -data (server Config.DataDir), so a restarted service answers its
+// first query from a restored pool — PoolBuilds stays zero, PoolRestores
+// and PoolSnapshotKey make the restore observable — with results identical
+// to a cold build. Snapshots are keyed by content hash plus
+// PoolLayoutVersion, so changed data or an incompatible codec can never
+// alias a stale pool. Typical use:
 //
 //	ds, _ := stablerank.ReadCSV(f, true)
 //	a, _ := stablerank.New(ds, stablerank.WithCosineSimilarity(weights, 0.998))

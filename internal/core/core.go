@@ -35,6 +35,7 @@ import (
 	"stablerank/internal/rank"
 	"stablerank/internal/sampling"
 	"stablerank/internal/stats"
+	"stablerank/internal/store"
 	"stablerank/internal/twod"
 	"stablerank/internal/vecmat"
 )
@@ -62,6 +63,7 @@ type Analyzer struct {
 	sampleCount int
 	alpha       float64
 	workers     int
+	poolCache   PoolCache
 
 	// pool holds the lazily drawn shared sample pool. The indirection via an
 	// atomic pointer to a once-guarded cell (instead of a bare sync.Once on
@@ -79,6 +81,11 @@ type Analyzer struct {
 	// for operational visibility (/statsz reports it per analyzer).
 	poolBuildNanos atomic.Int64
 
+	// poolRestores counts pools installed from a snapshot cache instead of
+	// drawn: a warm restart answers its first query with poolBuilds == 0 and
+	// poolRestores == 1.
+	poolRestores atomic.Int64
+
 	// sweeps counts fused sample-pool sweeps (see Sweeps); together with
 	// poolBuilds it makes the sharing behaviour of Do observable.
 	sweeps atomic.Int64
@@ -91,9 +98,29 @@ type poolState struct {
 	once    sync.Once
 	samples vecmat.Matrix
 	err     error
+	// key is the interned snapshot-cache key the pool was restored from or
+	// saved under ("" without a cache). It is analyzer-resident for the
+	// pool's lifetime, so PoolMemoryBytes accounts for it alongside the
+	// matrix backing array.
+	key string
 	// built is set (after once completes) iff the attempt succeeded; it lets
 	// PoolBuilt peek without racing a build in flight.
 	built atomic.Bool
+}
+
+// PoolCache is an external snapshot store for the Monte-Carlo sample pool,
+// the warm-restart hook stablerankd plugs its persistent store into. Load
+// returns a previously saved snapshot (encoded with the versioned snapshot
+// codec) or false on a miss — a cache that serves corrupt or mismatched
+// bytes degrades to a miss plus a rebuild, never an error. Save is called at
+// most once, after a successful build. Key returns the cache's canonical
+// identity for this analyzer's pool (dataset hash, region, seed, sample
+// count, layout version); the analyzer interns it for observability.
+// Implementations must be safe for concurrent use.
+type PoolCache interface {
+	Key() string
+	Load() ([]byte, bool)
+	Save(snapshot []byte)
 }
 
 // Option configures an Analyzer.
@@ -182,6 +209,20 @@ func WithWorkers(n int) Option {
 			return fmt.Errorf("core: worker count %d < 0", n)
 		}
 		a.workers = n
+		return nil
+	}
+}
+
+// WithPoolCache attaches a snapshot cache to the analyzer's sample pool. On
+// first use the analyzer tries the cache before sampling: a hit whose
+// decoded matrix matches the configured shape is installed verbatim —
+// PoolBuilds stays 0, PoolRestores becomes 1, and every downstream result is
+// bit-identical to a cold build because the snapshot codec round-trips float
+// bits exactly. On a miss (or a corrupt/mismatched snapshot) the pool is
+// drawn as usual and offered back via Save.
+func WithPoolCache(c PoolCache) Option {
+	return func(a *Analyzer) error {
+		a.poolCache = c
 		return nil
 	}
 }
@@ -288,7 +329,10 @@ func (a *Analyzer) samplePool(ctx context.Context) (vecmat.Matrix, error) {
 	for {
 		st := a.pool.Load()
 		st.once.Do(func() {
-			st.samples, st.err = a.drawPool(ctx)
+			st.samples, st.err = a.obtainPool(ctx)
+			if st.err == nil && a.poolCache != nil {
+				st.key = a.poolCache.Key()
+			}
 			st.built.Store(st.err == nil)
 		})
 		if st.err == nil {
@@ -304,6 +348,31 @@ func (a *Analyzer) samplePool(ctx context.Context) (vecmat.Matrix, error) {
 			return vecmat.Matrix{}, st.err
 		}
 	}
+}
+
+// obtainPool produces the sample pool: restored from the snapshot cache
+// when an intact, shape-matching snapshot exists (a restore does NOT count
+// as a pool build — that distinction is the warm-restart contract), drawn
+// fresh otherwise and offered back to the cache. A snapshot that fails to
+// decode, or whose shape disagrees with the configured sample count or
+// dataset dimension, is treated as a miss: the cache layer has already
+// quarantined damaged bytes, and rebuilding is always safe because the draw
+// is deterministic in (region, seed, n).
+func (a *Analyzer) obtainPool(ctx context.Context) (vecmat.Matrix, error) {
+	if a.poolCache != nil {
+		if raw, ok := a.poolCache.Load(); ok {
+			if m, err := store.DecodeSnapshot(raw); err == nil &&
+				m.Rows() == a.sampleCount && m.Stride() == a.ds.D() {
+				a.poolRestores.Add(1)
+				return m, nil
+			}
+		}
+	}
+	pool, err := a.drawPool(ctx)
+	if err == nil && a.poolCache != nil {
+		a.poolCache.Save(store.EncodeSnapshot(pool))
+	}
+	return pool, err
 }
 
 // drawPool draws the configured number of samples from the region of
@@ -323,14 +392,31 @@ func (a *Analyzer) drawPool(ctx context.Context) (vecmat.Matrix, error) {
 }
 
 // PoolMemoryBytes returns the resident size of the shared Monte-Carlo
-// sample pool's backing array, or 0 while no pool is built — the number
-// stablerankd surfaces per analyzer in /statsz.
+// sample pool — the backing array plus the interned snapshot-key string
+// kept alongside it — or 0 while no pool is built. This is the number
+// stablerankd surfaces per analyzer in /statsz, so it must cover everything
+// the pool pins, not just the matrix.
 func (a *Analyzer) PoolMemoryBytes() int64 {
 	st := a.pool.Load()
 	if st == nil || !st.built.Load() {
 		return 0
 	}
-	return st.samples.Bytes()
+	return st.samples.Bytes() + int64(len(st.key))
+}
+
+// PoolRestores returns how many times the pool was installed from the
+// snapshot cache instead of drawn; with a warm cache the first query is
+// served with PoolBuilds() == 0 and PoolRestores() == 1.
+func (a *Analyzer) PoolRestores() int64 { return a.poolRestores.Load() }
+
+// PoolSnapshotKey returns the interned snapshot-cache key of the built pool,
+// or "" while no pool is built or no cache is attached.
+func (a *Analyzer) PoolSnapshotKey() string {
+	st := a.pool.Load()
+	if st == nil || !st.built.Load() {
+		return ""
+	}
+	return st.key
 }
 
 // is2D reports whether the exact 2D machinery applies.

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"stablerank/internal/dataset"
+)
+
+// Dataset catalog records: the persisted form of one named dataset in the
+// registry. The payload is the dataset's own CSV form (header row included)
+// behind a small binary preamble carrying the generation counter, so
+// analyzer and response-cache keys stay distinct across replacement cycles
+// that span restarts:
+//
+//	offset  size  field
+//	0       4     magic "SRDS"
+//	4       4     record version (uint32, little endian)
+//	8       8     generation (uint64)
+//	16      ...   CSV (WriteCSV with header)
+//
+// CSV floats use strconv's shortest round-trip formatting, so a decode
+// returns attribute values bit-identical to the encoded dataset and the
+// content hash — the pool-snapshot cache key — is stable across restarts.
+
+const (
+	catalogMagic      = "SRDS"
+	catalogVersion    = 1
+	catalogHeaderSize = 4 + 4 + 8
+)
+
+// EncodeDataset serializes one catalog record.
+func EncodeDataset(gen uint64, ds *dataset.Dataset) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(catalogHeaderSize + 32*ds.N())
+	buf.WriteString(catalogMagic)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], catalogVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], gen)
+	buf.Write(hdr[:])
+	if err := ds.WriteCSV(&buf, true); err != nil {
+		return nil, fmt.Errorf("store: encode dataset: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeDataset parses a catalog record. Malformed records report ErrCorrupt
+// so the registry skips them (the file store has already quarantined the
+// envelope-level damage; this guards record-level damage).
+func DecodeDataset(data []byte) (uint64, *dataset.Dataset, error) {
+	if len(data) < catalogHeaderSize {
+		return 0, nil, fmt.Errorf("store: dataset record truncated at %d bytes: %w", len(data), ErrCorrupt)
+	}
+	if string(data[:4]) != catalogMagic {
+		return 0, nil, fmt.Errorf("store: bad dataset record magic %q: %w", data[:4], ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != catalogVersion {
+		return 0, nil, fmt.Errorf("store: unsupported dataset record version %d: %w", v, ErrCorrupt)
+	}
+	gen := binary.LittleEndian.Uint64(data[8:])
+	ds, err := dataset.ReadCSV(bytes.NewReader(data[catalogHeaderSize:]), true)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: dataset record CSV: %v: %w", err, ErrCorrupt)
+	}
+	return gen, ds, nil
+}

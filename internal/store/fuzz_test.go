@@ -1,0 +1,70 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"stablerank/internal/vecmat"
+)
+
+// FuzzSnapshotDecode drives the pool-snapshot decoder with arbitrary byte
+// soup. The contract under fuzzing: DecodeSnapshot must never panic — a
+// snapshot file is exactly the kind of input an operator can hand-copy,
+// truncate with a full disk, or damage with bad RAM — every rejection must
+// carry ErrCorrupt (the signal the cache layer rebuilds on), and any input
+// that IS accepted must decode to a well-formed matrix that re-encodes to an
+// accepted snapshot of the same shape.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed the corpus from real encoded fixtures spanning the shapes the
+	// server produces (pool stride = dataset dimension, 2..5)...
+	for _, shape := range [][2]int{{0, 2}, {1, 2}, {7, 3}, {16, 4}, {3, 5}} {
+		m := vecmat.New(shape[0], shape[1])
+		for i := 0; i < m.Rows(); i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = math.Sqrt(float64(i+1)) / float64(j+1)
+			}
+		}
+		f.Add(EncodeSnapshot(m))
+	}
+	// ...plus damaged variants of a valid snapshot: truncations at every
+	// boundary, a checksum-breaking bit flip, wrong magics and versions.
+	valid := EncodeSnapshot(vecmat.New(2, 3))
+	f.Add(valid[:snapHeaderSize])
+	f.Add(valid[:snapHeaderSize-1])
+	f.Add(valid[:len(valid)-1])
+	f.Add(flipLast(valid))
+	f.Add([]byte("SRSN"))
+	f.Add([]byte("SRM1"))
+	f.Add(append([]byte(nil), make([]byte, 64)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not marked ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted snapshots must be internally consistent and re-encodable.
+		if m.Stride() < 1 {
+			t.Fatalf("accepted matrix has stride %d", m.Stride())
+		}
+		back, err := DecodeSnapshot(EncodeSnapshot(m))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		if back.Rows() != m.Rows() || back.Stride() != m.Stride() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d", m.Rows(), m.Stride(), back.Rows(), back.Stride())
+		}
+		for i := 0; i < m.Rows(); i++ {
+			a, b := m.Row(i), back.Row(i)
+			for j := range a {
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					t.Fatalf("round trip changed row %d col %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package vecmat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The on-disk matrix layout, version 1:
+//
+//	offset  size  field
+//	0       4     magic "SRM1"
+//	4       4     layout version (uint32, little endian)
+//	8       4     stride d (uint32)
+//	12      8     row count (uint64)
+//	20      8*r*d float64 bits, row major, little endian
+//
+// Every float is stored bit-exactly (math.Float64bits), so a decoded matrix
+// is indistinguishable from the encoded one: downstream partitions, ranks
+// and stability estimates are bit-identical. Bump LayoutVersion whenever the
+// byte layout changes so stale snapshots read as a cache miss, never as a
+// silently misinterpreted pool.
+
+// LayoutVersion identifies the current encoding; Decode rejects any other.
+const LayoutVersion = 1
+
+// codecMagic guards against feeding arbitrary files to Decode.
+const codecMagic = "SRM1"
+
+// headerSize is the fixed prefix before the float payload.
+const headerSize = 4 + 4 + 4 + 8
+
+// maxDecodeElems caps rows*stride so a corrupted header cannot make Decode
+// attempt a multi-terabyte allocation: 1<<31 floats is 16 GiB, far beyond
+// any real pool while still well inside int range on 64-bit platforms.
+const maxDecodeElems = 1 << 31
+
+// EncodedSize returns the exact Encode output length for m.
+func (m Matrix) EncodedSize() int { return headerSize + 8*len(m.data) }
+
+// Encode serializes the matrix in the versioned layout above.
+func (m Matrix) Encode() []byte {
+	buf := make([]byte, m.EncodedSize())
+	copy(buf, codecMagic)
+	binary.LittleEndian.PutUint32(buf[4:], LayoutVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.stride))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(m.Rows()))
+	out := buf[headerSize:]
+	for i, v := range m.data {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// Decode parses an encoded matrix. It never panics on arbitrary input: every
+// header field is validated (magic, version, shape, payload length) before
+// the single payload allocation, and malformed input returns an error. The
+// decoded matrix owns a fresh backing array.
+func Decode(data []byte) (Matrix, error) {
+	if len(data) < headerSize {
+		return Matrix{}, fmt.Errorf("vecmat: encoded matrix truncated at %d bytes", len(data))
+	}
+	if string(data[:4]) != codecMagic {
+		return Matrix{}, fmt.Errorf("vecmat: bad matrix magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != LayoutVersion {
+		return Matrix{}, fmt.Errorf("vecmat: unsupported layout version %d (have %d)", v, LayoutVersion)
+	}
+	stride := binary.LittleEndian.Uint32(data[8:])
+	rows := binary.LittleEndian.Uint64(data[12:])
+	if stride == 0 {
+		return Matrix{}, fmt.Errorf("vecmat: encoded stride 0")
+	}
+	elems := rows * uint64(stride)
+	if rows > maxDecodeElems || elems > maxDecodeElems {
+		return Matrix{}, fmt.Errorf("vecmat: encoded shape %dx%d too large", rows, stride)
+	}
+	payload := data[headerSize:]
+	if uint64(len(payload)) != 8*elems {
+		return Matrix{}, fmt.Errorf("vecmat: payload %d bytes, want %d for %dx%d", len(payload), 8*elems, rows, stride)
+	}
+	out := make([]float64, elems)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return Matrix{data: out, stride: int(stride)}, nil
+}

@@ -1,0 +1,88 @@
+package vecmat
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestCodecRoundTrip pins that Encode/Decode is the identity on float bits,
+// including negative zero, subnormals and extreme exponents — the property
+// that makes warm-started pools bit-identical to cold-built ones.
+func TestCodecRoundTrip(t *testing.T) {
+	m := New(4, 3)
+	vals := []float64{0, math.Copysign(0, -1), 1.5, -2.25, math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64, 1e-300, math.Pi, -math.E, 0.1, 3}
+	for i := 0; i < m.Rows(); i++ {
+		copy(m.Row(i), vals[i*3:i*3+3])
+	}
+	enc := m.Encode()
+	if len(enc) != m.EncodedSize() {
+		t.Fatalf("Encode length %d, EncodedSize %d", len(enc), m.EncodedSize())
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Rows() != m.Rows() || got.Stride() != m.Stride() {
+		t.Fatalf("decoded shape %dx%d, want %dx%d", got.Rows(), got.Stride(), m.Rows(), m.Stride())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		a, b := m.Row(i), got.Row(i)
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("row %d col %d: bits %x != %x", i, j, math.Float64bits(a[j]), math.Float64bits(b[j]))
+			}
+		}
+	}
+	// The decoded matrix owns its array: mutating it must not touch m.
+	got.Row(0)[0] = 42
+	if m.Row(0)[0] == 42 {
+		t.Fatal("decoded matrix aliases the source")
+	}
+}
+
+// TestCodecRoundTripEmpty covers the zero-row matrix.
+func TestCodecRoundTripEmpty(t *testing.T) {
+	m := New(0, 5)
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("Decode empty: %v", err)
+	}
+	if got.Rows() != 0 || got.Stride() != 5 {
+		t.Fatalf("decoded shape %dx%d, want 0x5", got.Rows(), got.Stride())
+	}
+}
+
+// TestDecodeRejectsMalformed walks the failure modes a damaged or hostile
+// snapshot can exhibit; each must error, never panic.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := New(2, 2).Encode()
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  valid[:headerSize-1],
+		"bad magic":     mutate(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version":   mutate(func(b []byte) []byte { binary.LittleEndian.PutUint32(b[4:], 99); return b }),
+		"zero stride":   mutate(func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:], 0); return b }),
+		"truncated":     valid[:len(valid)-3],
+		"extra payload": append(append([]byte(nil), valid...), 1, 2, 3),
+		"huge shape":    mutate(func(b []byte) []byte { binary.LittleEndian.PutUint64(b[12:], 1<<60); return b }),
+		"overflow shape": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], ^uint32(0))
+			binary.LittleEndian.PutUint64(b[12:], ^uint64(0))
+			return b
+		}),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted malformed input", name)
+		}
+	}
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("control: %v", err)
+	}
+}

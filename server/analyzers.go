@@ -119,8 +119,9 @@ func (k analyzerKey) String() string {
 type analyzerPool struct {
 	mu      sync.Mutex
 	max     int
-	workers int        // sample-pool build workers per analyzer (0 = GOMAXPROCS)
-	order   *list.List // front = most recently used; values *poolItem
+	workers int            // sample-pool build workers per analyzer (0 = GOMAXPROCS)
+	snaps   *snapshotCache // nil = no pool-snapshot persistence
+	order   *list.List     // front = most recently used; values *poolItem
 	entries map[analyzerKey]*list.Element
 
 	builds    atomic.Int64 // Analyzer constructions started
@@ -199,6 +200,11 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 	p.inflight.Add(1)
 	opts, err := spec.options(key.seed, key.samples, p.workers)
 	if err == nil {
+		if p.snaps != nil {
+			// The analyzer restores its sample pool from a persisted snapshot
+			// instead of redrawing it, and persists the pool it does draw.
+			opts = append(opts, stablerank.WithPoolCache(p.snaps.cacheFor(ds, key)))
+		}
 		e.a, e.err = stablerank.New(ds, opts...)
 	} else {
 		e.err = err
@@ -219,15 +225,18 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 	return e.a, e.err
 }
 
-// analyzerStat is one resident analyzer's /statsz row.
+// analyzerStat is one resident analyzer's /statsz row. PoolBytes is the full
+// retained footprint: the sample matrix plus the interned snapshot key.
 type analyzerStat struct {
-	Key         string  `json:"key"`
-	SampleCount int     `json:"sample_count"`
-	PoolBuilt   bool    `json:"pool_built"`
-	PoolBuilds  int64   `json:"pool_builds"`
-	Workers     int     `json:"workers"`
-	PoolBuildMS float64 `json:"pool_build_ms"`
-	PoolBytes   int64   `json:"pool_bytes"`
+	Key          string  `json:"key"`
+	SampleCount  int     `json:"sample_count"`
+	PoolBuilt    bool    `json:"pool_built"`
+	PoolBuilds   int64   `json:"pool_builds"`
+	PoolRestores int64   `json:"pool_restores"`
+	Workers      int     `json:"workers"`
+	PoolBuildMS  float64 `json:"pool_build_ms"`
+	PoolBytes    int64   `json:"pool_bytes"`
+	SnapshotKey  string  `json:"snapshot_key,omitempty"`
 }
 
 // snapshot reports the resident analyzers and the pool counters.
@@ -247,13 +256,15 @@ func (p *analyzerPool) snapshot() (stats []analyzerStat, builds, dedupHits, infl
 			continue
 		}
 		stats = append(stats, analyzerStat{
-			Key:         item.key.String(),
-			SampleCount: item.e.a.SampleCount(),
-			PoolBuilt:   item.e.a.PoolBuilt(),
-			PoolBuilds:  item.e.a.PoolBuilds(),
-			Workers:     item.e.a.Workers(),
-			PoolBuildMS: float64(item.e.a.PoolBuildDuration().Microseconds()) / 1000,
-			PoolBytes:   item.e.a.PoolMemoryBytes(),
+			Key:          item.key.String(),
+			SampleCount:  item.e.a.SampleCount(),
+			PoolBuilt:    item.e.a.PoolBuilt(),
+			PoolBuilds:   item.e.a.PoolBuilds(),
+			PoolRestores: item.e.a.PoolRestores(),
+			Workers:      item.e.a.Workers(),
+			PoolBuildMS:  float64(item.e.a.PoolBuildDuration().Microseconds()) / 1000,
+			PoolBytes:    item.e.a.PoolMemoryBytes(),
+			SnapshotKey:  item.e.a.PoolSnapshotKey(),
 		})
 	}
 	return stats, p.builds.Load(), p.dedupHits.Load(), p.inflight.Load(), p.evictions.Load()

@@ -466,6 +466,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			"failed":         jobs.failed,
 			"cancelled":      jobs.stopped,
 		},
+		"store":             s.storeStats(),
 		"streamed_rows":     s.streamedRows.Load(),
 		"inflight_requests": s.inflightRequests.Load(),
 		"workers":           s.workerCount(),

@@ -53,7 +53,8 @@ type jobStore struct {
 	workers int
 	ttl     time.Duration
 	timeout time.Duration
-	exec    func(context.Context, *compiledQuery) (*queryResponse, error)
+	exec    func(context.Context, *job) (*queryResponse, error)
+	persist *jobPersister // nil = no persistence
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -67,7 +68,7 @@ type jobStore struct {
 
 // newJobStore starts the worker pool. workers < 0 disables the subsystem
 // (submit answers 503).
-func newJobStore(workers, queueSize int, ttl, timeout time.Duration, exec func(context.Context, *compiledQuery) (*queryResponse, error)) *jobStore {
+func newJobStore(workers, queueSize int, ttl, timeout time.Duration, exec func(context.Context, *job) (*queryResponse, error), persist *jobPersister) *jobStore {
 	if workers < 0 {
 		workers = 0
 	}
@@ -82,6 +83,7 @@ func newJobStore(workers, queueSize int, ttl, timeout time.Duration, exec func(c
 		ttl:       ttl,
 		timeout:   timeout,
 		exec:      exec,
+		persist:   persist,
 		baseCtx:   ctx,
 		cancelAll: cancel,
 	}
@@ -128,9 +130,12 @@ func (st *jobStore) run(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	st.mu.Unlock()
+	if st.persist != nil {
+		st.persist.saveJob(j)
+	}
 	defer cancel()
 
-	resp, err := st.exec(ctx, j.cq)
+	resp, err := st.exec(ctx, j)
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -140,17 +145,30 @@ func (st *jobStore) run(j *job) {
 	}
 	if j.state == jobCancelled {
 		// A DELETE raced the completion; the cancellation verdict stands.
+		if st.persist != nil {
+			st.persist.saveJob(j)
+		}
 		return
 	}
 	if err != nil {
+		if st.baseCtx.Err() != nil {
+			// Shutdown cancelled the job. Leave the persisted record in its
+			// running state — exec already checkpointed the progress — so the
+			// next boot re-enqueues and resumes it. The in-memory state is
+			// moot: the process is exiting.
+			return
+		}
 		j.state = jobFailed
 		j.errMsg = err.Error()
 		st.failed.Add(1)
-		return
+	} else {
+		j.state = jobDone
+		j.result = resp
+		st.completed.Add(1)
 	}
-	j.state = jobDone
-	j.result = resp
-	st.completed.Add(1)
+	if st.persist != nil {
+		st.persist.saveJob(j)
+	}
 }
 
 // submit registers and enqueues a compiled query; it fails when the queue is
@@ -171,6 +189,11 @@ func (st *jobStore) submit(cq *compiledQuery) (*job, error) {
 	st.mu.Lock()
 	st.purgeLocked()
 	st.jobs[j.id] = j
+	// Persist before enqueueing: once a worker can see the job, its own
+	// lifecycle writes must be the newest ones.
+	if st.persist != nil {
+		st.persist.saveJob(j)
+	}
 	st.mu.Unlock()
 	select {
 	case st.queue <- j:
@@ -179,6 +202,9 @@ func (st *jobStore) submit(cq *compiledQuery) (*job, error) {
 		st.mu.Lock()
 		delete(st.jobs, j.id)
 		st.mu.Unlock()
+		if st.persist != nil {
+			st.persist.forget(j.id)
+		}
 		return nil, statusError{code: http.StatusServiceUnavailable, msg: "job queue is full"}
 	}
 }
@@ -210,15 +236,24 @@ func (st *jobStore) stop(id string) (jobState, bool) {
 			j.expires = j.ended.Add(st.ttl)
 		}
 		st.cancelled.Add(1)
+		if st.persist != nil {
+			st.persist.saveJob(j)
+		}
 	case jobRunning:
 		j.state = jobCancelled
 		st.cancelled.Add(1)
+		if st.persist != nil {
+			st.persist.saveJob(j)
+		}
 		if j.cancel != nil {
 			j.cancel()
 		}
 	default:
 		// Finished: DELETE discards the record.
 		delete(st.jobs, id)
+		if st.persist != nil {
+			st.persist.forget(id)
+		}
 	}
 	return j.state, true
 }
@@ -231,6 +266,9 @@ func (st *jobStore) purgeLocked() {
 			switch j.state {
 			case jobDone, jobFailed, jobCancelled:
 				delete(st.jobs, id)
+				if st.persist != nil {
+					st.persist.forget(id)
+				}
 			}
 		}
 	}

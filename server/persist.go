@@ -1,0 +1,502 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"stablerank"
+	"stablerank/internal/store"
+)
+
+// Persistence glue: how the server's three durable layers ride on the
+// pluggable internal/store subsystem.
+//
+//   - Dataset catalog: Registry.AttachStore (registry.go) reloads persisted
+//     datasets at boot and persists every Add.
+//   - Pool snapshots: snapshotCache hands each analyzer a keyed PoolCache,
+//     so a warm restart reinstalls previously drawn Monte-Carlo pools
+//     (PoolBuilds == 0) instead of resampling them.
+//   - Job checkpoints: jobPersister records every job's lifecycle and, for
+//     enumeration-shaped jobs, a periodic checkpoint of the rendered result
+//     prefix; a restart re-enqueues unfinished jobs and resumes them past
+//     their last checkpoint.
+
+// ---------------------------------------------------------------------------
+// Pool snapshot cache.
+
+// snapshotCache adapts the store's pools namespace to stablerank.PoolCache.
+// Snapshots are keyed by (dataset-hash, region, seed, samples,
+// layout-version): everything the deterministic pool draw depends on, plus
+// the codec version so a format change reads as a miss. Keying by content
+// hash (not dataset name/generation) means a re-uploaded identical dataset
+// still warm-starts, and a changed one can never alias a stale pool.
+type snapshotCache struct {
+	st       store.Store
+	maxBytes int64 // whole-store cap; snapshots are evicted oldest-first under it
+	logf     func(format string, args ...any)
+
+	hits         atomic.Int64
+	misses       atomic.Int64
+	writes       atomic.Int64
+	bytesWritten atomic.Int64
+	quarantined  atomic.Int64
+	evictions    atomic.Int64
+}
+
+func newSnapshotCache(st store.Store, maxBytes int64, logf func(string, ...any)) *snapshotCache {
+	return &snapshotCache{st: st, maxBytes: maxBytes, logf: logf}
+}
+
+// snapshotKey renders the canonical pool identity for one analyzer key.
+func snapshotKey(ds *stablerank.Dataset, key analyzerKey) string {
+	return fmt.Sprintf("%016x|%s|seed=%d|n=%d|layout=%d",
+		ds.Hash(), key.region, key.seed, key.samples, stablerank.PoolLayoutVersion)
+}
+
+// cacheFor returns the PoolCache an analyzer built for key should use.
+func (c *snapshotCache) cacheFor(ds *stablerank.Dataset, key analyzerKey) stablerank.PoolCache {
+	return &keyedPoolCache{c: c, key: snapshotKey(ds, key)}
+}
+
+// keyedPoolCache is one (snapshotCache, key) binding; the analyzer calls it
+// lazily on first pool need.
+type keyedPoolCache struct {
+	c   *snapshotCache
+	key string
+}
+
+func (k *keyedPoolCache) Key() string { return k.key }
+
+// Load fetches the snapshot bytes. Corruption is already quarantined by the
+// store; here it only counts and degrades to a miss, so the analyzer
+// rebuilds — a damaged snapshot must never surface as an error.
+func (k *keyedPoolCache) Load() ([]byte, bool) {
+	data, err := k.c.st.Get(store.NSPools, k.key)
+	switch {
+	case err == nil:
+		k.c.hits.Add(1)
+		return data, true
+	case errors.Is(err, store.ErrCorrupt):
+		k.c.quarantined.Add(1)
+		k.c.logf("stablerankd: pool snapshot %s corrupt, quarantined and rebuilding: %v", k.key, err)
+	case errors.Is(err, store.ErrNotFound):
+		// Plain miss.
+	default:
+		k.c.logf("stablerankd: pool snapshot %s read failed: %v", k.key, err)
+	}
+	k.c.misses.Add(1)
+	return nil, false
+}
+
+// Save persists a freshly built pool, evicting the oldest snapshots first
+// when a store byte cap is configured. Saving is best-effort: a full disk
+// costs warm restarts, not queries.
+func (k *keyedPoolCache) Save(snapshot []byte) {
+	c := k.c
+	if c.maxBytes > 0 {
+		if int64(len(snapshot)) > c.maxBytes {
+			c.logf("stablerankd: pool snapshot %s (%d bytes) exceeds -max-store-bytes %d, not cached", k.key, len(snapshot), c.maxBytes)
+			return
+		}
+		if c.st.SizeBytes()+int64(len(snapshot)) > c.maxBytes {
+			entries, err := c.st.Entries(store.NSPools)
+			if err == nil {
+				for _, e := range entries { // oldest first
+					if c.st.SizeBytes()+int64(len(snapshot)) <= c.maxBytes {
+						break
+					}
+					if c.st.Delete(store.NSPools, e.Key) == nil {
+						c.evictions.Add(1)
+					}
+				}
+			}
+		}
+		if c.st.SizeBytes()+int64(len(snapshot)) > c.maxBytes {
+			c.logf("stablerankd: store at -max-store-bytes cap, pool snapshot %s not cached", k.key)
+			return
+		}
+	}
+	if err := c.st.Put(store.NSPools, k.key, snapshot); err != nil {
+		c.logf("stablerankd: persisting pool snapshot %s: %v", k.key, err)
+		return
+	}
+	c.writes.Add(1)
+	c.bytesWritten.Add(int64(len(snapshot)))
+}
+
+// ---------------------------------------------------------------------------
+// Job records and checkpoints.
+
+// jobRecord is the persisted lifecycle of one async job. The original
+// request travels with it so an unfinished job can be recompiled against the
+// reloaded registry after a restart.
+type jobRecord struct {
+	ID      string         `json:"id"`
+	State   string         `json:"state"`
+	Created time.Time      `json:"created"`
+	Started *time.Time     `json:"started,omitempty"`
+	Ended   *time.Time     `json:"ended,omitempty"`
+	Request *queryRequest  `json:"request,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Result  *queryResponse `json:"result,omitempty"`
+}
+
+// checkpointRecord is the resumable progress of one enumeration-shaped job:
+// the rendered result prefix. The enumeration itself is deterministic (same
+// pool, same delayed-arrangement walk), so "resume" re-drives it and skips
+// the first len(Rows) rankings — the expensive partition work for the prefix
+// is avoided only when the pool snapshot also warm-starts, but the already
+// rendered rows are never recomputed and a completed prefix always survives.
+// DatasetHash guards resumption against the dataset changing between runs:
+// a mismatch discards the prefix instead of splicing two enumerations.
+type checkpointRecord struct {
+	ID          string           `json:"id"`
+	DatasetHash string           `json:"dataset_hash"`
+	Rows        []stableResponse `json:"rows"`
+}
+
+// jobPersister writes job records and checkpoints through the store.
+type jobPersister struct {
+	st   store.Store
+	logf func(format string, args ...any)
+
+	checkpointWrites atomic.Int64
+	resumes          atomic.Int64
+	restoredJobs     atomic.Int64
+}
+
+func newJobPersister(st store.Store, logf func(string, ...any)) *jobPersister {
+	return &jobPersister{st: st, logf: logf}
+}
+
+// terminalJobState reports whether a state can no longer change.
+func terminalJobState(st jobState) bool {
+	return st == jobDone || st == jobFailed || st == jobCancelled
+}
+
+// saveJob persists j's current lifecycle state; reaching a terminal state
+// retires the checkpoint (the record now carries the result or verdict).
+func (p *jobPersister) saveJob(j *job) {
+	var req *queryRequest
+	if j.cq != nil {
+		req = j.cq.req
+	}
+	rec := jobRecord{
+		ID:      j.id,
+		State:   string(j.state),
+		Created: j.created,
+		Request: req,
+		Error:   j.errMsg,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		rec.Started = &t
+	}
+	if !j.ended.IsZero() {
+		t := j.ended
+		rec.Ended = &t
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		p.logf("stablerankd: encoding job %s record: %v", j.id, err)
+		return
+	}
+	if err := p.st.Put(store.NSJobs, j.id, data); err != nil {
+		p.logf("stablerankd: persisting job %s: %v", j.id, err)
+		return
+	}
+	if terminalJobState(j.state) {
+		_ = p.st.Delete(store.NSCheckpoints, j.id)
+	}
+}
+
+// forget removes a job's record and checkpoint (DELETE, TTL purge).
+func (p *jobPersister) forget(id string) {
+	_ = p.st.Delete(store.NSJobs, id)
+	_ = p.st.Delete(store.NSCheckpoints, id)
+}
+
+// saveCheckpoint persists the rendered prefix of a running enumeration.
+func (p *jobPersister) saveCheckpoint(id, datasetHash string, rows []stableResponse) {
+	data, err := json.Marshal(checkpointRecord{ID: id, DatasetHash: datasetHash, Rows: rows})
+	if err != nil {
+		p.logf("stablerankd: encoding job %s checkpoint: %v", id, err)
+		return
+	}
+	if err := p.st.Put(store.NSCheckpoints, id, data); err != nil {
+		p.logf("stablerankd: persisting job %s checkpoint: %v", id, err)
+		return
+	}
+	p.checkpointWrites.Add(1)
+}
+
+// loadCheckpoint returns a job's persisted progress, if intact.
+func (p *jobPersister) loadCheckpoint(id string) (checkpointRecord, bool) {
+	data, err := p.st.Get(store.NSCheckpoints, id)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			p.logf("stablerankd: job %s checkpoint unreadable, restarting enumeration: %v", id, err)
+		}
+		return checkpointRecord{}, false
+	}
+	var rec checkpointRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		p.logf("stablerankd: job %s checkpoint malformed, restarting enumeration: %v", id, err)
+		return checkpointRecord{}, false
+	}
+	return rec, true
+}
+
+// jobSeq extracts the numeric suffix of a job id ("j17" -> 17).
+func jobSeq(id string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed job execution.
+
+// checkpointable reports whether a compiled query runs under the
+// checkpointing executor: a single enumeration-shaped operation, the only
+// job shape with meaningful incremental progress (deep enumerations are why
+// the jobs endpoint exists). Mixed batches run atomically via execQuery.
+func checkpointable(cq *compiledQuery) bool {
+	if len(cq.specs) != 1 {
+		return false
+	}
+	switch cq.specs[0].Op {
+	case "toph", "above", "enumerate":
+		return true
+	}
+	return false
+}
+
+// execJob runs one async job. Enumeration-shaped jobs stream their single
+// query and checkpoint the rendered prefix every CheckpointEvery rows — plus
+// once more on cancellation, so a drain-time shutdown persists the exact
+// progress a restart resumes from. Results are bit-identical to execQuery's
+// batch path: same analyzer, same deterministic enumeration, same rendering.
+func (s *Server) execJob(ctx context.Context, j *job) (*queryResponse, error) {
+	cq := j.cq
+	p := s.jobs.persist
+	if p == nil || s.cfg.CheckpointEvery < 0 || !checkpointable(cq) {
+		return s.execQuery(ctx, cq)
+	}
+	ds, gen, ok := s.registry.Get(cq.dataset)
+	if !ok {
+		return nil, errNotFound("unknown dataset %q", cq.dataset)
+	}
+	queries, err := cq.buildQueries(s, ds)
+	if err != nil {
+		return nil, err
+	}
+	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples}
+	a, err := s.analyzers.get(key, ds, cq.spec)
+	if err != nil {
+		if _, isStatus := err.(statusError); isStatus {
+			return nil, err
+		}
+		return nil, errBadRequest("building analyzer: %v", err)
+	}
+	spec, q := cq.specs[0], queries[0]
+	hash := fmt.Sprintf("%016x", ds.Hash())
+
+	var rows []stableResponse
+	if ck, ok := p.loadCheckpoint(j.id); ok {
+		if ck.DatasetHash == hash {
+			rows = ck.Rows
+			p.resumes.Add(1)
+			s.logf("stablerankd: job %s resuming past %d checkpointed rows", j.id, len(rows))
+		} else {
+			s.logf("stablerankd: job %s checkpoint is for a different dataset content, restarting enumeration", j.id)
+		}
+	}
+	skip, seen := len(rows), 0
+	for res, err := range a.Stream(ctx, q) {
+		if err != nil {
+			if ctx.Err() != nil {
+				// Cancelled mid-enumeration (shutdown, timeout or DELETE):
+				// persist the progress. A shutdown leaves the job record
+				// running, so a restart resumes right here; terminal
+				// transitions retire the checkpoint via saveJob.
+				p.saveCheckpoint(j.id, hash, rows)
+			}
+			return nil, err
+		}
+		seen++
+		if seen <= skip {
+			continue // deterministic re-enumeration of the restored prefix
+		}
+		st := *res.Stable
+		rows = append(rows, stableResponse{
+			Rank:            seen,
+			Stability:       st.Stability,
+			Exact:           st.Exact,
+			Items:           s.itemRefs(ds, st.Ranking.Order),
+			Weights:         st.Weights,
+			ConfidenceError: st.ConfidenceError,
+		})
+		if s.cfg.CheckpointEvery > 0 && len(rows)%s.cfg.CheckpointEvery == 0 {
+			p.saveCheckpoint(j.id, hash, rows)
+		}
+	}
+	out := opResult{Op: spec.Op, Rankings: rows}
+	switch spec.Op {
+	case "toph":
+		out.H = spec.H
+	case "above":
+		out.Threshold = spec.S
+	case "enumerate":
+		out.Limit = q.(stablerank.EnumerateQuery).Limit
+	}
+	return &queryResponse{Dataset: cq.dataset, Results: []opResult{out}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Restore at boot.
+
+// restore reloads persisted jobs into a fresh jobStore: terminal records
+// become retrievable results again (their TTL restarts from their original
+// end time), unfinished ones are recompiled against the reloaded registry
+// and re-enqueued to resume from their last checkpoint. Called from New,
+// before the server handles requests.
+func (st *jobStore) restore(s *Server) {
+	p := st.persist
+	entries, err := p.st.Entries(store.NSJobs)
+	if err != nil {
+		p.logf("stablerankd: listing persisted jobs: %v", err)
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var maxSeq int64
+	for _, e := range entries {
+		data, err := p.st.Get(store.NSJobs, e.Key)
+		if err != nil {
+			p.logf("stablerankd: job record %q unreadable, dropped: %v", e.Key, err)
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			p.logf("stablerankd: job record %q malformed, dropped: %v", e.Key, err)
+			_ = p.st.Delete(store.NSJobs, e.Key)
+			continue
+		}
+		if n := jobSeq(rec.ID); n > maxSeq {
+			maxSeq = n
+		}
+		j := &job{
+			id:      rec.ID,
+			state:   jobState(rec.State),
+			created: rec.Created,
+			errMsg:  rec.Error,
+			result:  rec.Result,
+		}
+		if rec.Started != nil {
+			j.started = *rec.Started
+		}
+		if rec.Ended != nil {
+			j.ended = *rec.Ended
+			if st.ttl >= 0 {
+				j.expires = j.ended.Add(st.ttl)
+			}
+		}
+		switch j.state {
+		case jobDone, jobFailed, jobCancelled:
+			// A finished job: its result (or verdict) is served again.
+		case jobQueued, jobRunning:
+			j.started = time.Time{}
+			j.result = nil
+			j.state = jobQueued
+			fail := func(msg string) {
+				j.state = jobFailed
+				j.errMsg = msg
+				j.ended = time.Now()
+				if st.ttl >= 0 {
+					j.expires = j.ended.Add(st.ttl)
+				}
+				p.saveJob(j)
+			}
+			if rec.Request == nil {
+				fail("job record has no request to recompile after restart")
+				break
+			}
+			cq, err := s.compileQuery(rec.Request, s.jobLimits())
+			if err != nil {
+				fail(fmt.Sprintf("recompiling after restart: %v", err))
+				break
+			}
+			j.cq = cq
+		default:
+			p.logf("stablerankd: job record %q has unknown state %q, dropped", rec.ID, rec.State)
+			continue
+		}
+		st.jobs[j.id] = j
+		if j.state == jobQueued {
+			select {
+			case st.queue <- j:
+				p.restoredJobs.Add(1)
+			default:
+				j.state = jobFailed
+				j.errMsg = "job queue full at restart"
+				j.ended = time.Now()
+				if st.ttl >= 0 {
+					j.expires = j.ended.Add(st.ttl)
+				}
+				p.saveJob(j)
+			}
+		}
+	}
+	// Fresh ids must never collide with restored ones.
+	for {
+		cur := st.seq.Load()
+		if cur >= maxSeq || st.seq.CompareAndSwap(cur, maxSeq) {
+			break
+		}
+	}
+}
+
+// storeStats is the /statsz "store" section.
+func (s *Server) storeStats() map[string]any {
+	if s.store == nil {
+		return map[string]any{"enabled": false}
+	}
+	out := map[string]any{
+		"enabled":         true,
+		"path":            s.cfg.DataDir,
+		"bytes":           s.store.SizeBytes(),
+		"max_bytes":       s.cfg.MaxStoreBytes,
+		"datasets_loaded": s.datasetsLoaded,
+	}
+	if c := s.snapshots; c != nil {
+		out["snapshots"] = map[string]any{
+			"enabled":       true,
+			"hits":          c.hits.Load(),
+			"misses":        c.misses.Load(),
+			"writes":        c.writes.Load(),
+			"bytes_written": c.bytesWritten.Load(),
+			"quarantined":   c.quarantined.Load(),
+			"evictions":     c.evictions.Load(),
+		}
+	} else {
+		out["snapshots"] = map[string]any{"enabled": false}
+	}
+	if p := s.persister; p != nil {
+		out["checkpoints"] = map[string]any{
+			"writes":        p.checkpointWrites.Load(),
+			"resumes":       p.resumes.Load(),
+			"restored_jobs": p.restoredJobs.Load(),
+		}
+	}
+	return out
+}

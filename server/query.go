@@ -131,6 +131,9 @@ type compiledQuery struct {
 	samples int
 	specs   []querySpec
 	limits  queryLimits
+	// req is the original request body, retained so persisted jobs can be
+	// recompiled after a restart.
+	req *queryRequest
 }
 
 // decodeQueryRequest reads and decodes a /v1/query-shaped body with the
@@ -191,6 +194,7 @@ func (s *Server) compileQuery(req *queryRequest, limits queryLimits) (*compiledQ
 		samples: samples,
 		specs:   req.Queries,
 		limits:  limits,
+		req:     req,
 	}
 	// Parse every operation now so a malformed entry rejects the request
 	// before any work (the result is rebuilt at execution time).

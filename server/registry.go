@@ -9,16 +9,19 @@ import (
 	"sync"
 
 	"stablerank"
+	"stablerank/internal/store"
 )
 
 // Registry is the named-dataset catalog the service queries against.
 // Datasets are registered at startup (from CSV files) or at runtime (POST
 // /datasets/{name}); both paths replace an existing name atomically and bump
 // the name's generation so analyzers and cached results built against the
-// old data are never served for the new.
+// old data are never served for the new. With a store attached (AttachStore),
+// every registration is persisted and reloaded on the next boot.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*registryEntry
+	store   store.Store // nil until AttachStore
 }
 
 type registryEntry struct {
@@ -64,8 +67,87 @@ func (r *Registry) Add(name string, ds *stablerank.Dataset) error {
 	if prev != nil {
 		gen = prev.gen + 1
 	}
-	r.entries[name] = &registryEntry{ds: ds, gen: gen}
+	e := &registryEntry{ds: ds, gen: gen}
+	// Persist before installing: a dataset the client was told is registered
+	// must survive a restart, so a write failure rejects the registration.
+	if r.store != nil {
+		if err := persistDataset(r.store, name, e); err != nil {
+			return fmt.Errorf("server: persisting dataset %q: %w", name, err)
+		}
+	}
+	r.entries[name] = e
 	return nil
+}
+
+// persistDataset writes one catalog record. Callers hold r.mu.
+func persistDataset(st store.Store, name string, e *registryEntry) error {
+	data, err := store.EncodeDataset(uint64(e.gen), e.ds)
+	if err != nil {
+		return err
+	}
+	return st.Put(store.NSDatasets, name, data)
+}
+
+// AttachStore reloads the persisted catalog into the registry and starts
+// persisting every subsequent Add through st. Merge rule when a name exists
+// on both sides (a startup CSV flag naming an already persisted dataset): the
+// in-memory dataset wins — the operator's explicit file is fresher than the
+// stored copy — but adopts a generation past the persisted one, so analyzers
+// and cached results keyed against the stored generation cannot be confused
+// with the new content. Unreadable or corrupt records are skipped with a log
+// line (the store has already quarantined them), never fatal: a damaged
+// catalog entry costs one dataset, not the boot. Returns how many datasets
+// were restored from the store.
+func (r *Registry) AttachStore(st store.Store, logf func(format string, args ...any)) (int, error) {
+	entries, err := st.Entries(store.NSDatasets)
+	if err != nil {
+		return 0, fmt.Errorf("server: listing persisted datasets: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	loaded := 0
+	persisted := make(map[string]bool, len(entries))
+	for _, ent := range entries {
+		name := ent.Key
+		if !datasetNameRE.MatchString(name) || reservedDatasetNames[name] {
+			logf("stablerankd: persisted dataset %q has an invalid name, skipping", name)
+			continue
+		}
+		data, err := st.Get(store.NSDatasets, name)
+		if err != nil {
+			logf("stablerankd: persisted dataset %q unreadable, skipping: %v", name, err)
+			continue
+		}
+		gen, ds, err := store.DecodeDataset(data)
+		if err != nil {
+			logf("stablerankd: persisted dataset %q malformed, skipping: %v", name, err)
+			continue
+		}
+		persisted[name] = true
+		if prev, ok := r.entries[name]; ok {
+			if g := int64(gen); g >= prev.gen {
+				prev.gen = g + 1
+			}
+			if err := persistDataset(st, name, prev); err != nil {
+				return loaded, fmt.Errorf("server: re-persisting dataset %q: %w", name, err)
+			}
+			continue
+		}
+		r.entries[name] = &registryEntry{ds: ds, gen: int64(gen)}
+		loaded++
+	}
+	// First boot with startup CSVs: persist the entries the store has never
+	// seen.
+	for name, e := range r.entries {
+		if persisted[name] {
+			continue
+		}
+		if err := persistDataset(st, name, e); err != nil {
+			return loaded, fmt.Errorf("server: persisting dataset %q: %w", name, err)
+		}
+	}
+	r.store = st
+	return loaded, nil
 }
 
 // AddCSV parses a CSV dataset from rd and registers it under name.

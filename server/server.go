@@ -40,13 +40,27 @@
 // one shared Analyzer and one cache slot. POST /batch remains for
 // compatibility (it answers with a Deprecation header); new clients should
 // send the same operations to POST /v1/query.
+//
+// With Config.DataDir set the server is durable: registered datasets, built
+// Monte-Carlo sample pools (as checksummed snapshots keyed by dataset
+// content hash, region, seed, samples and codec layout version) and async
+// job state all persist under that directory, so a restart reloads the
+// catalog, answers its first query from a restored pool without resampling
+// (PoolBuilds stays 0 and results are bit-identical — the pool draw is
+// deterministic, so a restored pool IS the pool that would have been drawn),
+// and resumes unfinished jobs past their last checkpoint. Corrupt entries
+// are quarantined and rebuilt, never fatal. The /statsz "store" section
+// reports snapshot hits/misses/bytes and checkpoint resume counters.
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"stablerank/internal/store"
 )
 
 // Config parameterizes a Server. The zero value is usable; Defaults fills
@@ -102,6 +116,20 @@ type Config struct {
 	// JobTimeout bounds one job's computation (default 5m; negative
 	// disables).
 	JobTimeout time.Duration
+	// DataDir enables persistence: datasets, pool snapshots and job
+	// checkpoints are stored under this directory and reloaded on the next
+	// boot. Empty (the default) keeps the server fully in-memory.
+	DataDir string
+	// DisableSnapshotCache turns off pool-snapshot persistence while keeping
+	// the dataset catalog and job checkpoints (only meaningful with DataDir).
+	DisableSnapshotCache bool
+	// MaxStoreBytes caps the on-disk store; beyond it the oldest pool
+	// snapshots are evicted first and, at the floor, new snapshots are simply
+	// not cached (0 = unlimited).
+	MaxStoreBytes int64
+	// CheckpointEvery is how many enumerated rankings an async job streams
+	// between checkpoints (default 1000; negative disables checkpointing).
+	CheckpointEvery int
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -156,6 +184,9 @@ func (c Config) Defaults() Config {
 	if c.JobTimeout == 0 {
 		c.JobTimeout = 5 * time.Minute
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1_000
+	}
 	return c
 }
 
@@ -172,14 +203,24 @@ type Server struct {
 	start     time.Time
 	closeOnce sync.Once
 
+	// Persistence (nil/zero without Config.DataDir).
+	store          store.Store
+	snapshots      *snapshotCache
+	persister      *jobPersister
+	datasetsLoaded int
+
 	inflightRequests atomic.Int64
 	// streamedRows counts NDJSON enumeration lines served by
 	// GET /v1/query/stream, for /statsz.
 	streamedRows atomic.Int64
 }
 
-// New builds a Server from cfg (zero value fine).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero value fine). With Config.DataDir set it
+// opens the store, reloads the persisted dataset catalog, re-enqueues
+// unfinished async jobs (resuming from their checkpoints), and hands every
+// analyzer a pool-snapshot cache so warm restarts skip Monte-Carlo pool
+// builds entirely.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.Defaults()
 	s := &Server{
 		cfg:       cfg,
@@ -188,19 +229,51 @@ func New(cfg Config) *Server {
 		cache:     newLRUCache(cfg.CacheSize),
 		start:     time.Now(),
 	}
-	s.jobs = newJobStore(cfg.JobWorkers, cfg.JobQueueSize, cfg.JobTTL, cfg.JobTimeout, s.execQuery)
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening data dir %q: %w", cfg.DataDir, err)
+		}
+		s.store = st
+		if s.datasetsLoaded, err = s.registry.AttachStore(st, s.logf); err != nil {
+			st.Close()
+			return nil, err
+		}
+		if !cfg.DisableSnapshotCache {
+			s.snapshots = newSnapshotCache(st, cfg.MaxStoreBytes, s.logf)
+			s.analyzers.snaps = s.snapshots
+		}
+		s.persister = newJobPersister(st, s.logf)
+	}
+	s.jobs = newJobStore(cfg.JobWorkers, cfg.JobQueueSize, cfg.JobTTL, cfg.JobTimeout, s.execJob, s.persister)
+	if s.persister != nil {
+		s.jobs.restore(s)
+	}
 	s.handler = s.wrap(s.routes())
-	return s
+	return s, nil
 }
 
 // Handler returns the fully middleware-wrapped root handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Close stops the async job workers, cancelling any running jobs, and waits
-// for them to exit. The HTTP handler itself holds no background state; after
-// Close the jobs endpoints answer 503. Close is idempotent.
+// Close shuts the server down in dependency order: first the async job
+// workers stop (cancelling running jobs, which persist a final checkpoint on
+// the way out), then the store is flushed and closed — so every checkpoint
+// write strictly precedes the flush and a kill right after Close loses
+// nothing. The HTTP handler itself holds no background state; after Close
+// the jobs endpoints answer 503. Close is idempotent.
 func (s *Server) Close() {
-	s.closeOnce.Do(s.jobs.close)
+	s.closeOnce.Do(func() {
+		s.jobs.close()
+		if s.store != nil {
+			if err := s.store.Flush(); err != nil {
+				s.logf("stablerankd: flushing store: %v", err)
+			}
+			if err := s.store.Close(); err != nil {
+				s.logf("stablerankd: closing store: %v", err)
+			}
+		}
+	})
 }
 
 // Registry returns the server's dataset registry, for startup loading.

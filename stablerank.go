@@ -9,6 +9,7 @@ import (
 	"stablerank/internal/dataset"
 	"stablerank/internal/geom"
 	"stablerank/internal/md"
+	"stablerank/internal/store"
 )
 
 // Sentinel errors. They compare with errors.Is across every entry point of
@@ -106,6 +107,27 @@ func WithConfidenceLevel(alpha float64) Option { return core.WithConfidenceLevel
 // results — for the same seed.
 func WithWorkers(n int) Option { return core.WithWorkers(n) }
 
+// PoolCache is an external snapshot store for the Monte-Carlo sample pool —
+// the hook stablerankd's persistent store plugs in so a restarted server can
+// reinstall a previously drawn pool instead of resampling it. Load returns a
+// snapshot in the versioned pool codec (or false on a miss); Save is offered
+// a snapshot once, after a successful build; Key names the pool's canonical
+// identity (dataset hash, region, seed, sample count, PoolLayoutVersion).
+// Corrupt or shape-mismatched snapshots degrade to a miss plus a rebuild:
+// the draw is deterministic, so rebuilding is always safe.
+type PoolCache = core.PoolCache
+
+// PoolLayoutVersion identifies the pool snapshot byte layout. It belongs in
+// every PoolCache key: bumping either the matrix codec or the snapshot frame
+// changes it, so stale snapshots read as cache misses.
+const PoolLayoutVersion = store.SnapshotLayoutVersion
+
+// WithPoolCache attaches a snapshot cache to the analyzer's sample pool. A
+// warm hit installs the decoded matrix verbatim — PoolBuilds stays 0,
+// PoolRestores becomes 1, and results are bit-identical to a cold build
+// because the codec round-trips float bits exactly.
+func WithPoolCache(c PoolCache) Option { return core.WithPoolCache(c) }
+
 // RegionOption translates the textual region parameterization that the CLI
 // flags and the HTTP query parameters share — reference weights plus either
 // a hypercone half-angle theta or a minimum cosine similarity — into an
@@ -182,10 +204,20 @@ func (a *Analyzer) PoolBuilds() int64 { return a.core.PoolBuilds() }
 func (a *Analyzer) PoolBuilt() bool { return a.core.PoolBuilt() }
 
 // PoolMemoryBytes returns the resident size of the shared Monte-Carlo
-// sample pool's contiguous backing array (SampleCount x dimension float64s),
-// or 0 while no pool is built — the per-analyzer memory figure stablerankd
+// sample pool — the contiguous backing array (SampleCount x dimension
+// float64s) plus the interned snapshot-key string retained with it — or 0
+// while no pool is built. This is the per-analyzer memory figure stablerankd
 // reports in /statsz.
 func (a *Analyzer) PoolMemoryBytes() int64 { return a.core.PoolMemoryBytes() }
+
+// PoolRestores returns how many times the pool was installed from an
+// attached PoolCache instead of drawn; a warm restart answers its first
+// query with PoolBuilds() == 0 and PoolRestores() == 1.
+func (a *Analyzer) PoolRestores() int64 { return a.core.PoolRestores() }
+
+// PoolSnapshotKey returns the interned PoolCache key of the resident pool,
+// or "" while no pool is built or no cache is attached.
+func (a *Analyzer) PoolSnapshotKey() string { return a.core.PoolSnapshotKey() }
 
 // Workers returns the effective worker count of the pool build and batch
 // sweeps: the WithWorkers value, or GOMAXPROCS when unset.
