@@ -2,17 +2,18 @@ GO ?= go
 
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
 # comparable across the PR sequence.
-BENCHJSON ?= BENCH_pr6.json
+BENCHJSON ?= BENCH_pr7.json
 
 # Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
 # benchmark families (pool build, snapshot cold/warm load, every verification
-# path, the fused query plan, and the flat vecmat/rank kernels), the
-# tolerated slowdown, and the noise floor below which 1x timings are not
-# trusted. SnapshotLoad enters the gate this PR: the gate only compares
-# benchmarks present in both streams, so it starts gating from the next
+# path, the fused and adaptive query plans, and the flat vecmat/rank
+# kernels), the tolerated slowdown, and the noise floor below which 1x
+# timings are not trusted. QueryAdaptive and KernelEvalRowsBlocked enter the
+# gate this PR (the latter via the Kernel prefix): the gate only compares
+# benchmarks present in both streams, so they start gating from the next
 # baseline on.
-BENCHBASE ?= BENCH_pr5.json
-GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|SV2D|SVMD|Kernel
+BENCHBASE ?= BENCH_pr6.json
+GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|QueryAdaptive|SV2D|SVMD|Kernel
 GATETHRESHOLD ?= 1.25
 # 2ms gates every verification benchmark tier that runs long enough to be
 # stable at -benchtime 1x while skipping microsecond-scale noise.

@@ -748,6 +748,58 @@ func BenchmarkQueryFused(b *testing.B) {
 	})
 }
 
+// BenchmarkQueryAdaptive: the same 32-verify batch against a 400k sample
+// pool, exact vs adaptive verification (target error 0.02). The adaptive
+// sweep consults the confidence interval at chunk boundaries and retires
+// each verify as soon as its interval clears the target, so it reads a
+// short prefix of the pool instead of all of it. The rows/op metric is the
+// pool rows actually swept per batch (summed over queries) — the acceptance
+// bar is adaptive sweeping at least 2x fewer rows than exact.
+func BenchmarkQueryAdaptive(b *testing.B) {
+	rr := rand.New(rand.NewSource(benchSeed))
+	ds := dataset.MustNew(4)
+	for i := 0; i < 6; i++ {
+		ds.MustAdd("", rr.Float64(), rr.Float64(), rr.Float64(), rr.Float64())
+	}
+	queries := make([]stablerank.Query, 0, 32)
+	for i := 0; i < 32; i++ {
+		w := []float64{1, 1 + float64(i)*0.07, 1 - float64(i)*0.02, 1 + float64(i)*0.03}
+		queries = append(queries, stablerank.VerifyQuery{Ranking: stablerank.RankingOf(ds, w)})
+	}
+	run := func(b *testing.B, extra ...stablerank.Option) {
+		opts := append([]stablerank.Option{
+			stablerank.WithSeed(benchSeed),
+			stablerank.WithSampleCount(400000),
+		}, extra...)
+		a, err := stablerank.New(ds, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Build the pool outside the timed region.
+		if _, err := a.Do(ctx, queries[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var rows int64
+		for i := 0; i < b.N; i++ {
+			res, err := a.Do(ctx, queries...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range res {
+				if res[j].Err != nil {
+					b.Fatal(res[j].Err)
+				}
+				rows += int64(res[j].Verification.SampleCount)
+			}
+		}
+		b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+	}
+	b.Run("exact", func(b *testing.B) { run(b) })
+	b.Run("adaptive", func(b *testing.B) { run(b, stablerank.WithAdaptive(0.02)) })
+}
+
 // Kernel benchmarks: the flat vecmat hot loops in isolation, sized so one
 // iteration clears the perf gate's noise floor (GATEMIN) at -benchtime 1x.
 // These are the primitives every operator above reduces to; a regression
@@ -784,6 +836,35 @@ func BenchmarkKernelEvalRows(b *testing.B) {
 			m.EvalRows(nm.Row(j), 0, n, out)
 		}
 	}
+}
+
+// BenchmarkKernelEvalRowsBlocked: the matrix-matrix form of the hyperplane
+// sweep — all 32 normals evaluated in one pass over the pool (each row's
+// components hoisted once) vs 32 repeated EvalRows passes. Same arithmetic,
+// bit-identical outputs; the blocked layout reads the pool matrix once per
+// batch instead of once per normal.
+func BenchmarkKernelEvalRowsBlocked(b *testing.B) {
+	const n, d, normals = 100_000, 4, 32
+	m := benchMatrix(b, n, d)
+	nm := benchMatrix(b, normals, d)
+	b.Run("repeated", func(b *testing.B) {
+		out := make([]float64, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < normals; j++ {
+				m.EvalRows(nm.Row(j), 0, n, out)
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		out := make([]float64, n*normals)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.EvalRowsBlocked(nm, 0, n, out)
+		}
+	})
 }
 
 // BenchmarkKernelPartitionRows: the in-place Section 5.4 quick-sort

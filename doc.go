@@ -41,6 +41,27 @@
 // counts alike. PoolMemoryBytes reports the pool's resident size; the
 // README's "Performance" section shows how to profile with pprof and
 // benchstat (stablerankd exposes an opt-in loopback -pprof listener).
+// Batched sweeps are matrix-matrix: the grouped kernels evaluate all K live
+// constraint normals of a batch per pool row-pass, so a wide batch costs
+// one pool read regardless of K.
+//
+// Adaptive verification: verify sweeps are exact by default — every verify
+// reads the whole pool. WithAdaptive(target) opts an analyzer into early
+// stopping: the sweep walks the pool in a fixed doubling-chunk schedule and
+// retires each verify once its Equation 10 confidence-interval half-width
+// clears the target, reporting the rows actually used (SampleCount), the
+// interval (ConfidenceError), and Adaptive=true. The stopping row depends
+// only on (seed, target), never on the worker count, so adaptive results
+// remain deterministic; if the pool is exhausted before the interval
+// clears, the answer is bit-identical to the exact sweep and Adaptive stays
+// false. Only Monte-Carlo verify sweeps participate: exact 2D operators,
+// item-rank distributions, and enumeration always run their exact paths,
+// and analyzers without WithAdaptive are unaffected. Looser targets stop
+// after the first 4096-row chunk; tighter targets converge on the exact
+// sweep, so adaptive pays off on pools several chunks deep. AdaptiveStops
+// and AdaptiveRowsSaved report the realized savings (surfaced per analyzer
+// in the service's /statsz), and /v1/query takes the same knob per request
+// as its "adaptive" field.
 //
 // Durability: because the pool draw is deterministic in (dataset content,
 // region, seed, sample count), a drawn pool can be snapshotted and restored

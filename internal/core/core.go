@@ -63,6 +63,7 @@ type Analyzer struct {
 	sampleCount int
 	alpha       float64
 	workers     int
+	adaptiveErr float64
 	poolCache   PoolCache
 
 	// pool holds the lazily drawn shared sample pool. The indirection via an
@@ -89,6 +90,12 @@ type Analyzer struct {
 	// sweeps counts fused sample-pool sweeps (see Sweeps); together with
 	// poolBuilds it makes the sharing behaviour of Do observable.
 	sweeps atomic.Int64
+
+	// adaptiveStops counts verify queries that adaptive verification stopped
+	// before the pool was exhausted; adaptiveRowsSaved accumulates the pool
+	// rows those early stops skipped. Both are 0 without WithAdaptive.
+	adaptiveStops     atomic.Int64
+	adaptiveRowsSaved atomic.Int64
 }
 
 // poolState is one attempt at building the shared sample pool. The pool is
@@ -239,6 +246,27 @@ func WithConfidenceLevel(alpha float64) Option {
 	}
 }
 
+// WithAdaptive enables adaptive verification at the given target confidence
+// error (0 < e < 1): verify queries sweep the Monte-Carlo pool in growing
+// chunks and stop as soon as the confidence half-width of the running
+// estimate — at the level configured by WithConfidenceLevel — drops to e.
+// The pool rows are an iid draw, so any prefix is an unbiased sample; a
+// query that never clears the target consumes the whole pool and reports
+// exactly the non-adaptive answer. Stopping points depend only on the seed
+// and pool size, never on the worker count, so adaptive results stay
+// deterministic. Exact 2D verification, item-rank queries and enumeration
+// are unaffected. Verification.Adaptive reports per query whether it
+// stopped early; AdaptiveStops and AdaptiveRowsSaved aggregate the effect.
+func WithAdaptive(targetError float64) Option {
+	return func(a *Analyzer) error {
+		if targetError <= 0 || targetError >= 1 {
+			return fmt.Errorf("core: adaptive target error %v out of (0,1)", targetError)
+		}
+		a.adaptiveErr = targetError
+		return nil
+	}
+}
+
 // New builds an Analyzer over the dataset. Without options the region of
 // interest is the whole function space U.
 func New(ds *dataset.Dataset, opts ...Option) (*Analyzer, error) {
@@ -287,6 +315,18 @@ func (a *Analyzer) Workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// AdaptiveTargetError returns the adaptive-verification target confidence
+// error, or 0 when adaptive verification is disabled.
+func (a *Analyzer) AdaptiveTargetError() float64 { return a.adaptiveErr }
+
+// AdaptiveStops returns how many verify queries adaptive verification has
+// stopped before exhausting the sample pool.
+func (a *Analyzer) AdaptiveStops() int64 { return a.adaptiveStops.Load() }
+
+// AdaptiveRowsSaved returns the total number of pool rows early-stopped
+// verify queries skipped — the work adaptive verification avoided.
+func (a *Analyzer) AdaptiveRowsSaved() int64 { return a.adaptiveRowsSaved.Load() }
 
 // PoolBuildDuration returns the wall time of the most recent successful
 // sample-pool build, or 0 if none has completed yet.

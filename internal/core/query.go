@@ -182,8 +182,13 @@ func (a *Analyzer) planEnv() *plan.Env {
 			}
 			return enumCursor{e}, nil
 		},
-		Confidence: func(s float64, n int) float64 { return confidenceOf(s, n, a.alpha) },
-		OnSweep:    func() { a.sweeps.Add(1) },
+		Confidence:    func(s float64, n int) float64 { return confidenceOf(s, n, a.alpha) },
+		OnSweep:       func() { a.sweeps.Add(1) },
+		AdaptiveError: a.adaptiveErr,
+		OnAdaptiveStop: func(rowsUsed, poolRows int) {
+			a.adaptiveStops.Add(1)
+			a.adaptiveRowsSaved.Add(int64(poolRows - rowsUsed))
+		},
 	}
 }
 

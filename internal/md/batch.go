@@ -66,7 +66,7 @@ func VerifyBatchMatrix(ctx context.Context, ds *dataset.Dataset, rankings []rank
 		return nil, ErrNoSamples
 	}
 	constraints := make([][]geom.Halfspace, len(rankings))
-	consMat := make([]vecmat.Matrix, len(rankings))
+	consMat := make([]vecmat.Matrix, 0, len(rankings))
 	live := make([]int, 0, len(rankings))
 	for i, r := range rankings {
 		m, c, err := rankingRegionMatrix(ds, r)
@@ -75,12 +75,16 @@ func VerifyBatchMatrix(ctx context.Context, ds *dataset.Dataset, rankings []rank
 			continue
 		}
 		constraints[i] = c
-		consMat[i] = m
+		consMat = append(consMat, m)
 		live = append(live, i)
 	}
 	if len(live) == 0 {
 		return out, nil
 	}
+	// Concatenate every live ranking's constraints into one flat matrix so a
+	// pool block is streamed once for the whole batch (matrix-matrix sweep)
+	// instead of once per ranking.
+	grouped, starts := vecmat.ConcatGroups(ds.D(), consMat)
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -107,7 +111,7 @@ func VerifyBatchMatrix(ctx context.Context, ds *dataset.Dataset, rankings []rank
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := make([]int, len(rankings))
+			local := make([]int, len(live))
 			counts[w] = local
 			for {
 				select {
@@ -125,12 +129,12 @@ func VerifyBatchMatrix(ctx context.Context, ds *dataset.Dataset, rankings []rank
 				}
 				lo := b * batchBlock
 				hi := min(lo+batchBlock, pool.Rows())
-				// Constraint-major within the block: each ranking's flat
-				// constraint matrix stays hot in cache for the whole block
-				// instead of being reloaded per sample.
-				for _, i := range live {
-					local[i] += consMat[i].CountInside(pool, lo, hi)
-				}
+				// Sample-major within the block: each sample row is hoisted
+				// into registers once and streamed against the concatenated
+				// constraint matrix of every live ranking, with per-group
+				// early exit — counts stay bit-identical to per-ranking
+				// CountInside sweeps.
+				vecmat.CountInsideGrouped(grouped, starts, pool, lo, hi, local)
 			}
 		}(w)
 	}
@@ -138,15 +142,15 @@ func VerifyBatchMatrix(ctx context.Context, ds *dataset.Dataset, rankings []rank
 	if sweepErr != nil {
 		return nil, sweepErr
 	}
-	total := make([]int, len(rankings))
+	total := make([]int, len(live))
 	for _, local := range counts {
-		for i, c := range local {
-			total[i] += c
+		for li, c := range local {
+			total[li] += c
 		}
 	}
-	for _, i := range live {
+	for li, i := range live {
 		out[i].VerifyResult = VerifyResult{
-			Stability:   float64(total[i]) / float64(pool.Rows()),
+			Stability:   float64(total[li]) / float64(pool.Rows()),
 			Constraints: constraints[i],
 			SampleCount: pool.Rows(),
 		}

@@ -1,0 +1,174 @@
+package plan
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"stablerank/internal/md"
+	"stablerank/internal/vecmat"
+)
+
+// Adaptive verification: instead of always consuming the entire sample pool,
+// sweep it in growing chunks and stop each verify query as soon as the
+// confidence half-width of its running estimate (Equation 10 over the rows
+// seen so far) reaches the caller's target. The pool rows are an iid draw,
+// so any prefix is itself an unbiased sample and the prefix estimate carries
+// the usual CLT guarantee at its own sample size.
+//
+// Determinism: chunk boundaries depend only on the pool size — never on the
+// worker count — and each chunk accumulates exact integer counts, so the
+// stopping row and the reported estimate are identical for every worker
+// count at a fixed seed. A query that never clears its target consumes the
+// whole pool and reports exactly the full-sweep answer (Adaptive = false).
+
+const (
+	// adaptiveChunkMin is the first chunk size: the smallest prefix on which
+	// a confidence interval is ever consulted, and the floor on rows any
+	// adaptive answer is based on.
+	adaptiveChunkMin = sweepBlock
+	// adaptiveChunkMax caps the doubling chunk schedule so stopping
+	// opportunities keep a bounded spacing on large pools.
+	adaptiveChunkMax = 16 * sweepBlock
+)
+
+// adaptiveSweep answers the verify queries with early stopping. It mirrors
+// fusedSweep's failure contract: per-ranking infeasibility lands in the
+// matching Outcome.Err, and only cancellation fails the call (clearing every
+// partial verify outcome).
+func adaptiveSweep(ctx context.Context, env *Env, pool vecmat.Matrix, queries []Query, verifyIdx []int, out []Outcome) error {
+	type liveVerify struct {
+		qi    int
+		cons  vecmat.Matrix
+		count int
+	}
+	live := make([]liveVerify, 0, len(verifyIdx))
+	for _, i := range verifyIdx {
+		q := queries[i].(VerifyQuery)
+		m, constraints, err := md.ConstraintMatrix(env.DS, q.Ranking)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Verify = &Verification{Constraints: constraints}
+		live = append(live, liveVerify{qi: i, cons: m})
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if env.OnSweep != nil {
+		env.OnSweep()
+	}
+	workers := env.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rows := pool.Rows()
+	grouped, starts := concatLive(env, live, func(v *liveVerify) vecmat.Matrix { return v.cons })
+	counts := make([]int, len(live))
+	pos, chunk := 0, adaptiveChunkMin
+	for pos < rows && len(live) > 0 {
+		if err := ctx.Err(); err != nil {
+			for _, i := range verifyIdx {
+				out[i].Verify = nil
+			}
+			return err
+		}
+		hi := min(pos+chunk, rows)
+		countChunkGrouped(grouped, starts, pool, pos, hi, workers, counts)
+		pos = hi
+		if chunk < adaptiveChunkMax {
+			chunk *= 2
+		}
+
+		// Consult the confidence interval at the fixed chunk boundary and
+		// retire every query whose half-width has reached the target.
+		survivors := live[:0]
+		done := false
+		for li := range live {
+			v := live[li]
+			v.count = counts[li]
+			est := float64(v.count) / float64(pos)
+			ci := env.Confidence(est, pos)
+			if ci <= env.AdaptiveError && pos < rows {
+				o := out[v.qi].Verify
+				o.Stability = est
+				o.ConfidenceError = ci
+				o.SampleCount = pos
+				o.Adaptive = true
+				if env.OnAdaptiveStop != nil {
+					env.OnAdaptiveStop(pos, rows)
+				}
+				done = true
+				continue
+			}
+			survivors = append(survivors, v)
+		}
+		live = survivors
+		if done && len(live) > 0 {
+			// Compact the concatenated constraint matrix to the survivors so
+			// retired queries stop costing dot products.
+			grouped, starts = concatLive(env, live, func(v *liveVerify) vecmat.Matrix { return v.cons })
+			counts = counts[:len(live)]
+			for li := range live {
+				counts[li] = live[li].count
+			}
+		}
+	}
+	// Whatever is still live consumed the entire pool: report exactly the
+	// full-sweep answer.
+	for li := range live {
+		v := live[li]
+		est := float64(counts[li]) / float64(rows)
+		o := out[v.qi].Verify
+		o.Stability = est
+		o.ConfidenceError = env.Confidence(est, rows)
+		o.SampleCount = rows
+	}
+	return nil
+}
+
+// concatLive rebuilds the concatenated constraint matrix for the surviving
+// live set.
+func concatLive[T any](env *Env, live []T, cons func(*T) vecmat.Matrix) (vecmat.Matrix, []int) {
+	mats := make([]vecmat.Matrix, len(live))
+	for i := range live {
+		mats[i] = cons(&live[i])
+	}
+	return vecmat.ConcatGroups(env.DS.D(), mats)
+}
+
+// countChunkGrouped accumulates grouped membership counts for pool rows
+// [lo, hi) into counts, sharding large chunks across workers. The shards are
+// contiguous sub-ranges whose integer counts are summed, so the result is
+// identical for every worker count.
+func countChunkGrouped(grouped vecmat.Matrix, starts []int, pool vecmat.Matrix, lo, hi, workers int, counts []int) {
+	n := hi - lo
+	if w := n / sweepBlock; workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		vecmat.CountInsideGrouped(grouped, starts, pool, lo, hi, counts)
+		return
+	}
+	part := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wlo := lo + w*n/workers
+		whi := lo + (w+1)*n/workers
+		local := make([]int, len(counts))
+		part[w] = local
+		wg.Add(1)
+		go func(wlo, whi int, local []int) {
+			defer wg.Done()
+			vecmat.CountInsideGrouped(grouped, starts, pool, wlo, whi, local)
+		}(wlo, whi, local)
+	}
+	wg.Wait()
+	for _, local := range part {
+		for i, c := range local {
+			counts[i] += c
+		}
+	}
+}

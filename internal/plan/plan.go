@@ -128,8 +128,14 @@ type Verification struct {
 	// ordering-exchange halfspaces (nil in 2D).
 	Constraints []geom.Halfspace
 	// SampleCount is the number of Monte-Carlo samples behind an estimate
-	// (0 when Exact).
+	// (0 when Exact). Under adaptive verification this is the number of pool
+	// rows actually swept, which may be smaller than the pool.
 	SampleCount int
+	// Adaptive reports that the estimate was stopped early by adaptive
+	// verification: the sweep consumed only SampleCount pool rows because the
+	// confidence half-width had already reached the configured target. False
+	// for exact answers and for adaptive sweeps that exhausted the pool.
+	Adaptive bool
 }
 
 // Outcome is one query's raw result; exactly one payload field (or Err) is
@@ -185,6 +191,14 @@ type Env struct {
 	// OnSweep is invoked once per fused pool sweep, letting callers count
 	// sweeps (nil disables).
 	OnSweep func()
+	// AdaptiveError > 0 enables adaptive verification: verify queries are
+	// swept in growing chunks of pool rows and stop as soon as the Confidence
+	// half-width of the running estimate drops to this target. 0 (the
+	// default) keeps the exact full-pool sweep. Requires Confidence.
+	AdaptiveError float64
+	// OnAdaptiveStop is invoked once per early-stopped verify query with the
+	// pool rows actually swept and the full pool size (nil disables).
+	OnAdaptiveStop func(rowsUsed, poolRows int)
 }
 
 // Exec answers every query in one shared plan. Per-query failures land in
@@ -279,8 +293,20 @@ func execPoint(ctx context.Context, env *Env, queries []Query, verifyIdx, itemId
 		if err != nil {
 			return err
 		}
-		if err := fusedSweep(ctx, env, pool, queries, verifyIdx, fused, out); err != nil {
-			return err
+		// Adaptive verification peels the verify queries off into the
+		// early-stopping chunked sweep; item-rank queries always consume
+		// their full sample prefix, so they stay on the fused sweep (a mixed
+		// adaptive batch therefore reports two sweeps).
+		if env.AdaptiveError > 0 && env.Confidence != nil && len(verifyIdx) > 0 {
+			if err := adaptiveSweep(ctx, env, pool, queries, verifyIdx, out); err != nil {
+				return err
+			}
+			verifyIdx = nil
+		}
+		if len(verifyIdx)+len(fused) > 0 {
+			if err := fusedSweep(ctx, env, pool, queries, verifyIdx, fused, out); err != nil {
+				return err
+			}
 		}
 	}
 	for _, i := range oversized {

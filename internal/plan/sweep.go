@@ -54,6 +54,15 @@ func fusedSweep(ctx context.Context, env *Env, pool vecmat.Matrix, queries []Que
 	if len(live)+len(items) == 0 {
 		return nil
 	}
+	// Concatenate every live ranking's constraints into one flat matrix so a
+	// pool block is streamed once for the whole batch (matrix-matrix sweep)
+	// instead of once per ranking; per-group early exit keeps the counts
+	// bit-identical to per-ranking CountInside sweeps.
+	consMats := make([]vecmat.Matrix, len(live))
+	for li, v := range live {
+		consMats[li] = v.cons
+	}
+	grouped, starts := vecmat.ConcatGroups(env.DS.D(), consMats)
 	var attrs vecmat.Matrix
 	if len(items) > 0 {
 		attrs = vecmat.New(env.DS.N(), env.DS.D())
@@ -117,11 +126,10 @@ func fusedSweep(ctx context.Context, env *Env, pool vecmat.Matrix, queries []Que
 				}
 				lo := b * sweepBlock
 				hi := min(lo+sweepBlock, pool.Rows())
-				// Constraint-major within the block: each ranking's flat
-				// constraint matrix stays hot in cache for the whole block.
-				for li, v := range live {
-					vc[li] += v.cons.CountInside(pool, lo, hi)
-				}
+				// Sample-major within the block: each sample row is hoisted
+				// into registers once and streamed against the concatenated
+				// constraint matrix of every live ranking.
+				vecmat.CountInsideGrouped(grouped, starts, pool, lo, hi, vc)
 				for k, it := range items {
 					for row, rows := lo, min(hi, it.n); row < rows; row++ {
 						r := mc.RankOf(attrs, geom.Vector(pool.Row(row)), it.item)

@@ -1,0 +1,225 @@
+package plan
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"stablerank/internal/dataset"
+	"stablerank/internal/md"
+	"stablerank/internal/rank"
+	"stablerank/internal/sampling"
+	"stablerank/internal/stats"
+	"stablerank/internal/vecmat"
+)
+
+// Metamorphic equivalence layer for the matrix-matrix sweep: the fused
+// blocked sweep must be bit-equal to the historical per-normal reference
+// (one CountInside pass per ranking over the whole pool) for every seed and
+// worker count, and the adaptive sweep must be deterministic in the worker
+// count and collapse to exactly the full-sweep answer when the pool runs out.
+
+var ctx = context.Background()
+
+func testDataset(t *testing.T, seed int64, n, d int) *dataset.Dataset {
+	t.Helper()
+	rr := rand.New(rand.NewSource(seed))
+	ds := dataset.MustNew(d)
+	for i := 0; i < n; i++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rr.Float64()
+		}
+		ds.MustAdd("", v...)
+	}
+	return ds
+}
+
+func testPool(t *testing.T, seed int64, rows, d int) vecmat.Matrix {
+	t.Helper()
+	s, err := sampling.NewUniform(d, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vecmat.New(rows, d)
+	for i := 0; i < rows; i++ {
+		if err := s.SampleInto(m.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func testEnv(ds *dataset.Dataset, pool vecmat.Matrix, workers int) *Env {
+	return &Env{
+		DS:       ds,
+		Pool:     func(context.Context) (vecmat.Matrix, error) { return pool, nil },
+		PoolSize: pool.Rows(),
+		Workers:  workers,
+		Confidence: func(s float64, n int) float64 {
+			return stats.ConfidenceError(s, n, 0.05)
+		},
+	}
+}
+
+// verifyQueriesFor derives feasible rankings from random weight vectors so
+// every query has a non-degenerate region.
+func verifyQueriesFor(t *testing.T, ds *dataset.Dataset, seed int64, k int) []Query {
+	t.Helper()
+	s, err := sampling.NewUniform(ds.D(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]Query, 0, k)
+	for i := 0; i < k; i++ {
+		w, err := s.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, VerifyQuery{Ranking: rank.Compute(ds, w)})
+	}
+	return qs
+}
+
+// TestFusedSweepMatchesPerNormal pins the blocked fused sweep bit-equal to
+// the per-normal reference — one whole-pool CountInside per ranking — across
+// seeds, dimensions and worker counts.
+func TestFusedSweepMatchesPerNormal(t *testing.T) {
+	for _, d := range []int{3, 4, 7} {
+		for _, seed := range []int64{1, 2, 3} {
+			ds := testDataset(t, seed, 7, d)
+			pool := testPool(t, seed+100, 20000, d)
+			queries := verifyQueriesFor(t, ds, seed+200, 9)
+
+			// Per-normal reference: the pre-blocking sweep shape.
+			want := make([]float64, len(queries))
+			for i, q := range queries {
+				m, _, err := md.ConstraintMatrix(ds, q.(VerifyQuery).Ranking)
+				if err != nil {
+					t.Fatalf("d=%d seed=%d query %d: %v", d, seed, i, err)
+				}
+				want[i] = float64(m.CountInside(pool, 0, pool.Rows())) / float64(pool.Rows())
+			}
+
+			for _, workers := range []int{1, 2, 3, 8} {
+				out, err := Exec(ctx, testEnv(ds, pool, workers), queries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range queries {
+					v := out[i].Verify
+					if v == nil {
+						t.Fatalf("d=%d seed=%d workers=%d query %d: no verification (err %v)", d, seed, workers, i, out[i].Err)
+					}
+					if v.Stability != want[i] {
+						t.Fatalf("d=%d seed=%d workers=%d query %d: fused %v, per-normal %v",
+							d, seed, workers, i, v.Stability, want[i])
+					}
+					if v.SampleCount != pool.Rows() || v.Adaptive {
+						t.Fatalf("exact sweep reported SampleCount=%d Adaptive=%v", v.SampleCount, v.Adaptive)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedSweepMixedBatch: item-rank queries riding the same sweep are
+// bit-identical across worker counts too.
+func TestFusedSweepMixedBatch(t *testing.T) {
+	ds := testDataset(t, 5, 6, 3)
+	pool := testPool(t, 105, 12000, 3)
+	queries := append(verifyQueriesFor(t, ds, 205, 4), ItemRankQuery{Item: 2}, ItemRankQuery{Item: 0, Samples: 5000})
+
+	base, err := Exec(ctx, testEnv(ds, pool, 1), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		out, err := Exec(ctx, testEnv(ds, pool, workers), queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			switch {
+			case base[i].Verify != nil:
+				if out[i].Verify.Stability != base[i].Verify.Stability {
+					t.Fatalf("workers=%d query %d stability diverged", workers, i)
+				}
+			case base[i].ItemRank != nil:
+				got, want := out[i].ItemRank, base[i].ItemRank
+				if got.Samples != want.Samples || got.Best != want.Best || got.Worst != want.Worst || len(got.Counts) != len(want.Counts) {
+					t.Fatalf("workers=%d query %d rank distribution diverged", workers, i)
+				}
+				for r, c := range want.Counts {
+					if got.Counts[r] != c {
+						t.Fatalf("workers=%d query %d rank %d count %d, want %d", workers, i, r, got.Counts[r], c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveSweepDeterministic: for a fixed pool, adaptive answers —
+// including the stopping row — are identical for every worker count, and an
+// adaptive sweep over a pool too small to clear the target reports exactly
+// the full-sweep answer with Adaptive = false.
+func TestAdaptiveSweepDeterministic(t *testing.T) {
+	ds := testDataset(t, 9, 7, 4)
+	pool := testPool(t, 109, 60000, 4)
+	queries := verifyQueriesFor(t, ds, 209, 6)
+
+	run := func(workers int, target float64) []Outcome {
+		env := testEnv(ds, pool, workers)
+		env.AdaptiveError = target
+		out, err := Exec(ctx, env, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	base := run(1, 0.02)
+	stopped := 0
+	for i := range queries {
+		v := base[i].Verify
+		if v == nil {
+			t.Fatalf("query %d: %v", i, base[i].Err)
+		}
+		if v.Adaptive {
+			stopped++
+			if v.SampleCount >= pool.Rows() || v.SampleCount < adaptiveChunkMin {
+				t.Fatalf("query %d: adaptive SampleCount %d out of range", i, v.SampleCount)
+			}
+			if v.ConfidenceError > 0.02 {
+				t.Fatalf("query %d: stopped with CI %v above target", i, v.ConfidenceError)
+			}
+		}
+	}
+	if stopped == 0 {
+		t.Fatal("no query stopped early at a loose target on a 60k pool")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		out := run(workers, 0.02)
+		for i := range queries {
+			g, w := out[i].Verify, base[i].Verify
+			if g.Stability != w.Stability || g.SampleCount != w.SampleCount || g.Adaptive != w.Adaptive || g.ConfidenceError != w.ConfidenceError {
+				t.Fatalf("workers=%d query %d: adaptive outcome diverged (%+v vs %+v)", workers, i, g, w)
+			}
+		}
+	}
+
+	// An unreachable target must fall through to the exact full-pool answer.
+	exact, err := Exec(ctx, testEnv(ds, pool, 3), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := run(3, 1e-12)
+	for i := range queries {
+		g, w := strict[i].Verify, exact[i].Verify
+		if g.Adaptive || g.SampleCount != pool.Rows() || g.Stability != w.Stability || g.ConfidenceError != w.ConfidenceError {
+			t.Fatalf("query %d: exhausted adaptive sweep != exact sweep (%+v vs %+v)", i, g, w)
+		}
+	}
+}

@@ -11,6 +11,15 @@ import "math"
 // ConfidenceError returns the half-width e of the 1-alpha confidence
 // interval around the sample proportion m after n samples (Equation 10).
 // n must be positive; m is clamped to [0, 1].
+//
+// At the boundaries m = 0 and m = 1 the plug-in variance m(1-m) degenerates
+// and Equation 10 claims a zero-width interval — after a single sample with
+// zero hits it would report certainty. There the Wilson score half-width
+// z^2/(n + z^2) is returned instead: for zero observed hits the Wilson upper
+// bound is exactly z^2/(n + z^2) (the continuity-corrected cousin of the
+// rule of three), which shrinks like 1/n instead of collapsing to 0.
+// Interior proportions are untouched, so the function still agrees with the
+// paper everywhere its formula is well-behaved.
 func ConfidenceError(m float64, n int, alpha float64) float64 {
 	if n <= 0 {
 		return math.Inf(1)
@@ -21,19 +30,25 @@ func ConfidenceError(m float64, n int, alpha float64) float64 {
 	if m > 1 {
 		m = 1
 	}
-	return ZForConfidence(alpha) * math.Sqrt(m*(1-m)/float64(n))
+	z := ZForConfidence(alpha)
+	if m == 0 || m == 1 {
+		return z * z / (float64(n) + z*z)
+	}
+	return z * math.Sqrt(m*(1-m)/float64(n))
 }
 
 // RequiredSamples returns the expected number of samples needed to bound the
 // confidence error of a proportion near s at level 1-alpha by e
-// (Equation 11): N = s(1-s) * (Z(1-alpha/2)/e)^2, rounded up.
+// (Equation 11): N = s(1-s) * (Z(1-alpha/2)/e)^2, rounded up, and never less
+// than one — the Equation 11 estimate is 0 at the degenerate proportions
+// s = 0 and s = 1, but no estimate exists before the first sample.
 func RequiredSamples(s, alpha, e float64) int {
 	if e <= 0 {
 		return math.MaxInt32
 	}
 	z := ZForConfidence(alpha)
 	n := s * (1 - s) * (z / e) * (z / e)
-	return int(math.Ceil(n))
+	return max(int(math.Ceil(n)), 1)
 }
 
 // GeometricExpectation returns the expected number of independent trials

@@ -68,9 +68,72 @@ func TestConfidenceError(t *testing.T) {
 	if !almostEqual(e1/e2, 2, 1e-9) {
 		t.Errorf("error ratio = %v, want 2", e1/e2)
 	}
-	// Clamping out-of-range proportions.
-	if got := ConfidenceError(-0.1, 10, 0.05); got != 0 {
-		t.Errorf("negative proportion should clamp to 0, got %v", got)
+	// Clamping out-of-range proportions: a negative proportion behaves
+	// exactly like m = 0 (the Wilson boundary width, not a claim of
+	// certainty).
+	if got, want := ConfidenceError(-0.1, 10, 0.05), ConfidenceError(0, 10, 0.05); got != want {
+		t.Errorf("negative proportion = %v, want the m=0 width %v", got, want)
+	}
+}
+
+// TestConfidenceErrorEdgeCases is the table-driven boundary suite: degenerate
+// proportions (0 observed hits, all hits) and single-sample estimates must
+// never report a zero-width interval — the plug-in variance m(1-m) collapses
+// there, so the Wilson score half-width z^2/(n+z^2) takes over.
+func TestConfidenceErrorEdgeCases(t *testing.T) {
+	const alpha = 0.05
+	z := ZForConfidence(alpha)
+	wilson := func(n int) float64 { return z * z / (float64(n) + z*z) }
+	cases := []struct {
+		name  string
+		m     float64
+		n     int
+		want  float64
+		exact bool
+	}{
+		{name: "zero hits n=1", m: 0, n: 1, want: wilson(1), exact: true},
+		{name: "all hits n=1", m: 1, n: 1, want: wilson(1), exact: true},
+		{name: "zero hits n=100", m: 0, n: 100, want: wilson(100), exact: true},
+		{name: "all hits n=100", m: 1, n: 100, want: wilson(100), exact: true},
+		{name: "zero hits n=1e6", m: 0, n: 1_000_000, want: wilson(1_000_000), exact: true},
+		{name: "interior n=1", m: 0.5, n: 1, want: z * 0.5, exact: true},
+		{name: "clamped above", m: 1.5, n: 10, want: wilson(10), exact: true},
+		{name: "clamped below", m: -1, n: 10, want: wilson(10), exact: true},
+		{name: "n=0", m: 0.5, n: 0, want: math.Inf(1), exact: true},
+		{name: "n negative", m: 0, n: -3, want: math.Inf(1), exact: true},
+	}
+	for _, tc := range cases {
+		got := ConfidenceError(tc.m, tc.n, alpha)
+		if got != tc.want {
+			t.Errorf("%s: ConfidenceError(%v, %d) = %v, want %v", tc.name, tc.m, tc.n, got, tc.want)
+		}
+	}
+
+	// The boundary width is a genuine interval: positive, shrinking in n,
+	// and at least as wide as nearby interior estimates are precise.
+	if w1, w2 := ConfidenceError(0, 10, alpha), ConfidenceError(0, 1000, alpha); !(w1 > w2 && w2 > 0) {
+		t.Errorf("boundary width not shrinking: n=10 %v, n=1000 %v", w1, w2)
+	}
+	// Continuity scale check: the m=0 width at n is within the width of the
+	// smallest observable non-zero proportion 1/n, not orders of magnitude
+	// off (both shrink like ~1/n vs ~1/sqrt(n * n) = 1/n here).
+	n := 1000
+	if w0, w1 := ConfidenceError(0, n, alpha), ConfidenceError(1.0/float64(n), n, alpha); w0 > 2*w1 {
+		t.Errorf("m=0 width %v more than twice the 1/n-proportion width %v", w0, w1)
+	}
+}
+
+// TestRequiredSamplesEdgeCases: Equation 11's plug-in demand is 0 at the
+// degenerate proportions, but at least one sample is always required to have
+// an estimate at all.
+func TestRequiredSamplesEdgeCases(t *testing.T) {
+	for _, s := range []float64{0, 1} {
+		if got := RequiredSamples(s, 0.05, 0.01); got != 1 {
+			t.Errorf("RequiredSamples(%v) = %d, want floor of 1", s, got)
+		}
+	}
+	if got := RequiredSamples(0.5, 0.05, 0.5); got < 1 {
+		t.Errorf("RequiredSamples loose target = %d, want >= 1", got)
 	}
 }
 

@@ -1,0 +1,119 @@
+package vecmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property/metamorphic tests for the matrix-matrix kernels: EvalRowsBlocked
+// must be bit-equal to K repeated EvalRows passes, and CountInsideGrouped
+// bit-equal to per-group CountInside, for every K and stride combination —
+// the blocked layout is a pure traversal-order change, never a numeric one.
+
+// TestEvalRowsBlockedMatchesRepeated pins EvalRowsBlocked bit-equal to K
+// separate EvalRows calls for K, d in {2, 3, 4, 7} (specialized strides plus
+// the generic fallback) over random sub-ranges, including empty ranges and
+// K = 0 blocks.
+func TestEvalRowsBlockedMatchesRepeated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{2, 3, 4, 7} {
+		for _, k := range []int{2, 3, 4, 7} {
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.Intn(300)
+				m := matrixOf(t, d, randRows(rng, n, d))
+				normals := matrixOf(t, d, randRows(rng, k, d))
+
+				lo := rng.Intn(n)
+				hi := lo + rng.Intn(n-lo+1)
+				blocked := make([]float64, (hi-lo)*k)
+				for i := range blocked {
+					blocked[i] = rng.NormFloat64() // must be fully overwritten
+				}
+				m.EvalRowsBlocked(normals, lo, hi, blocked)
+
+				single := make([]float64, hi-lo)
+				for j := 0; j < k; j++ {
+					m.EvalRows(normals.Row(j), lo, hi, single)
+					for i := lo; i < hi; i++ {
+						if got, want := blocked[(i-lo)*k+j], single[i-lo]; got != want {
+							t.Fatalf("d=%d K=%d blocked[%d,%d] = %v, want EvalRows %v", d, k, i, j, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalRowsBlockedDegenerate: K = 0 and empty row ranges are no-ops that
+// leave out untouched.
+func TestEvalRowsBlockedDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := matrixOf(t, 3, randRows(rng, 10, 3))
+	out := []float64{1, 2, 3}
+	m.EvalRowsBlocked(Matrix{}, 0, 10, out)
+	m.EvalRowsBlocked(matrixOf(t, 3, randRows(rng, 2, 3)), 5, 5, out)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("degenerate EvalRowsBlocked mutated out: %v", out)
+	}
+}
+
+// TestCountInsideGroupedMatchesSingle pins the grouped counting kernel
+// bit-equal to one CountInside call per group for group counts and strides
+// in {2, 3, 4, 7}, with empty groups (count everything) and empty ranges
+// mixed in.
+func TestCountInsideGroupedMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{2, 3, 4, 7} {
+		for _, g := range []int{1, 2, 3, 4, 7} {
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.Intn(300)
+				pool := matrixOf(t, d, randRows(rng, n, d))
+
+				// Build G groups of random sizes (0..4 constraints each) and
+				// concatenate them into one flat matrix + starts index.
+				starts := make([]int, g+1)
+				var allRows [][]float64
+				groups := make([]Matrix, g)
+				for gi := 0; gi < g; gi++ {
+					nc := rng.Intn(5)
+					rows := randRows(rng, nc, d)
+					groups[gi] = matrixOf(t, d, rows)
+					allRows = append(allRows, rows...)
+					starts[gi+1] = starts[gi] + nc
+				}
+				cons := matrixOf(t, d, allRows)
+
+				lo := rng.Intn(n)
+				hi := lo + rng.Intn(n-lo+1)
+				counts := make([]int, g)
+				CountInsideGrouped(cons, starts, pool, lo, hi, counts)
+				for gi := 0; gi < g; gi++ {
+					if want := groups[gi].CountInside(pool, lo, hi); counts[gi] != want {
+						t.Fatalf("d=%d G=%d group %d count %d, want CountInside %d", d, g, gi, counts[gi], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountInsideGroupedAccumulates: counts accumulate across calls, the
+// contract the sharded sweep relies on when merging per-block results.
+func TestCountInsideGroupedAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	pool := matrixOf(t, 4, randRows(rng, 100, 4))
+	cons := matrixOf(t, 4, randRows(rng, 3, 4))
+	starts := []int{0, 1, 3}
+
+	whole := make([]int, 2)
+	CountInsideGrouped(cons, starts, pool, 0, 100, whole)
+	split := make([]int, 2)
+	CountInsideGrouped(cons, starts, pool, 0, 37, split)
+	CountInsideGrouped(cons, starts, pool, 37, 100, split)
+	for gi := range whole {
+		if whole[gi] != split[gi] {
+			t.Fatalf("group %d: whole %d, split-accumulated %d", gi, whole[gi], split[gi])
+		}
+	}
+}

@@ -147,6 +147,62 @@ func (m Matrix) MulVec(normal, out []float64) {
 	m.EvalRows(normal, 0, m.Rows(), out)
 }
 
+// EvalRowsBlocked evaluates a block of K = normals.Rows() hyperplane normals
+// against every row of m in [lo, hi) in a single pass: it writes
+// normals.Row(j) . m.Row(i) into out[(i-lo)*K + j]. out must have at least
+// (hi-lo)*K elements. This is the matrix-matrix form of EvalRows: each pool
+// row is loaded once — its components hoisted into registers for small
+// strides — and streamed against the flat normals array, so K normals cost
+// one pool pass instead of K. Each dot accumulates in ascending index order,
+// so every entry is bit-identical to the corresponding EvalRows result.
+func (m Matrix) EvalRowsBlocked(normals Matrix, lo, hi int, out []float64) {
+	k := normals.Rows()
+	if k > 0 && normals.stride != m.stride {
+		panic(fmt.Sprintf("vecmat: EvalRowsBlocked normals stride %d, matrix stride %d", normals.stride, m.stride))
+	}
+	if lo >= hi || k == 0 {
+		return
+	}
+	ns := normals.data
+	switch m.stride {
+	case 2:
+		for i := lo; i < hi; i++ {
+			r := m.data[i*2 : i*2+2 : i*2+2]
+			p0, p1 := r[0], r[1]
+			o := out[(i-lo)*k : (i-lo)*k+k : (i-lo)*k+k]
+			for j := 0; j < k; j++ {
+				o[j] = ns[j*2]*p0 + ns[j*2+1]*p1
+			}
+		}
+	case 3:
+		for i := lo; i < hi; i++ {
+			r := m.data[i*3 : i*3+3 : i*3+3]
+			p0, p1, p2 := r[0], r[1], r[2]
+			o := out[(i-lo)*k : (i-lo)*k+k : (i-lo)*k+k]
+			for j := 0; j < k; j++ {
+				o[j] = ns[j*3]*p0 + ns[j*3+1]*p1 + ns[j*3+2]*p2
+			}
+		}
+	case 4:
+		for i := lo; i < hi; i++ {
+			r := m.data[i*4 : i*4+4 : i*4+4]
+			p0, p1, p2, p3 := r[0], r[1], r[2], r[3]
+			o := out[(i-lo)*k : (i-lo)*k+k : (i-lo)*k+k]
+			for j := 0; j < k; j++ {
+				o[j] = ns[j*4]*p0 + ns[j*4+1]*p1 + ns[j*4+2]*p2 + ns[j*4+3]*p3
+			}
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			o := out[(i-lo)*k : (i-lo)*k+k : (i-lo)*k+k]
+			for j := 0; j < k; j++ {
+				o[j] = Dot(normals.Row(j), row)
+			}
+		}
+	}
+}
+
 // PartitionRows reorders rows [lo, hi) in place so rows with
 // normal . row < 0 come first, returning the split index — the quick-sort
 // partition of Section 5.4. Rows exactly on the hyperplane go to the
@@ -234,6 +290,120 @@ func (m Matrix) Inside(p []float64) bool {
 		}
 	}
 	return true
+}
+
+// ConcatGroups vertically concatenates the given matrices (all of stride d;
+// empty matrices are allowed) into one contiguous matrix, returning it
+// together with the group index expected by CountInsideGrouped: starts has
+// len(groups)+1 entries and group g owns rows [starts[g], starts[g+1]).
+func ConcatGroups(d int, groups []Matrix) (Matrix, []int) {
+	starts := make([]int, len(groups)+1)
+	for g, m := range groups {
+		if m.Rows() > 0 && m.stride != d {
+			panic(fmt.Sprintf("vecmat: ConcatGroups group %d stride %d, want %d", g, m.stride, d))
+		}
+		starts[g+1] = starts[g] + m.Rows()
+	}
+	out := New(starts[len(groups)], d)
+	for g, m := range groups {
+		copy(out.data[starts[g]*d:], m.data)
+	}
+	return out, starts
+}
+
+// CountInsideGrouped counts pool membership for several constraint groups in
+// one pass. cons is the vertical concatenation of G oriented constraint
+// matrices; group g owns constraint rows [starts[g], starts[g+1]), so starts
+// has G+1 entries with starts[0] == 0 and starts[G] == cons.Rows(). For each
+// pool row in [lo, hi) it hoists the sample components into registers once
+// and walks the flat constraint array across all groups, adding 1 to
+// counts[g] when the row satisfies every constraint of group g. Each group
+// keeps CountInside's early exit — on the first violated constraint the scan
+// skips to the group's end — so per-group counts are bit-identical to G
+// separate CountInside calls while the pool streams through cache once
+// instead of G times. An empty group counts every row.
+func CountInsideGrouped(cons Matrix, starts []int, pool Matrix, lo, hi int, counts []int) {
+	g := len(starts) - 1
+	if g < 0 || len(counts) < g {
+		panic(fmt.Sprintf("vecmat: CountInsideGrouped starts length %d, counts length %d", len(starts), len(counts)))
+	}
+	if cons.Rows() > 0 && cons.stride != pool.stride {
+		panic(fmt.Sprintf("vecmat: CountInsideGrouped stride %d vs pool stride %d", cons.stride, pool.stride))
+	}
+	if lo >= hi || g == 0 {
+		return
+	}
+	cs := cons.data
+	d := pool.stride
+	switch d {
+	case 2:
+		data := pool.data[lo*2 : hi*2]
+		for base := 0; base < len(data); base += 2 {
+			p0, p1 := data[base], data[base+1]
+			for gi := 0; gi < g; gi++ {
+				inside := true
+				for c, end := starts[gi]*2, starts[gi+1]*2; c < end; c += 2 {
+					if cs[c]*p0+cs[c+1]*p1 < 0 {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					counts[gi]++
+				}
+			}
+		}
+	case 3:
+		data := pool.data[lo*3 : hi*3]
+		for base := 0; base < len(data); base += 3 {
+			p0, p1, p2 := data[base], data[base+1], data[base+2]
+			for gi := 0; gi < g; gi++ {
+				inside := true
+				for c, end := starts[gi]*3, starts[gi+1]*3; c < end; c += 3 {
+					if cs[c]*p0+cs[c+1]*p1+cs[c+2]*p2 < 0 {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					counts[gi]++
+				}
+			}
+		}
+	case 4:
+		data := pool.data[lo*4 : hi*4]
+		for base := 0; base < len(data); base += 4 {
+			p0, p1, p2, p3 := data[base], data[base+1], data[base+2], data[base+3]
+			for gi := 0; gi < g; gi++ {
+				inside := true
+				for c, end := starts[gi]*4, starts[gi+1]*4; c < end; c += 4 {
+					if cs[c]*p0+cs[c+1]*p1+cs[c+2]*p2+cs[c+3]*p3 < 0 {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					counts[gi]++
+				}
+			}
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			p := pool.Row(i)
+			for gi := 0; gi < g; gi++ {
+				inside := true
+				for c := starts[gi]; c < starts[gi+1]; c++ {
+					if Dot(cons.Row(c), p) < 0 {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					counts[gi]++
+				}
+			}
+		}
+	}
 }
 
 // CountInside returns how many rows of pool in [lo, hi) satisfy every

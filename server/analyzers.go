@@ -72,12 +72,16 @@ func (rs regionSpec) validate(d int, thetaSet, cosineSet bool) error {
 
 // options translates the spec into analyzer options. workers is a pure
 // throughput knob (deterministic seeding makes results independent of it),
-// which is why it is configured per pool rather than keyed per analyzer.
-func (rs regionSpec) options(seed int64, samples, workers int) ([]stablerank.Option, error) {
+// which is why it is configured per pool rather than keyed per analyzer;
+// adaptive changes reported results, so it IS part of the analyzer key.
+func (rs regionSpec) options(seed int64, samples, workers int, adaptive float64) ([]stablerank.Option, error) {
 	opts := []stablerank.Option{
 		stablerank.WithSeed(seed),
 		stablerank.WithSampleCount(samples),
 		stablerank.WithWorkers(workers),
+	}
+	if adaptive > 0 {
+		opts = append(opts, stablerank.WithAdaptive(adaptive))
 	}
 	region, err := stablerank.RegionOption(rs.weights, rs.theta, rs.cosine)
 	if err != nil {
@@ -98,10 +102,18 @@ type analyzerKey struct {
 	region  string
 	seed    int64
 	samples int
+	// adaptive is the adaptive-verification target error (0 = exact sweeps).
+	// Adaptive and exact requests must not share an analyzer: equal keys
+	// promise identical results.
+	adaptive float64
 }
 
 func (k analyzerKey) String() string {
-	return fmt.Sprintf("%s@%d|%s|seed=%d|n=%d", k.dataset, k.gen, k.region, k.seed, k.samples)
+	s := fmt.Sprintf("%s@%d|%s|seed=%d|n=%d", k.dataset, k.gen, k.region, k.seed, k.samples)
+	if k.adaptive > 0 {
+		s += fmt.Sprintf("|adaptive=%s", strconv.FormatFloat(k.adaptive, 'g', -1, 64))
+	}
+	return s
 }
 
 // analyzerPool deduplicates Analyzer construction per key, singleflight
@@ -198,7 +210,7 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 
 	p.builds.Add(1)
 	p.inflight.Add(1)
-	opts, err := spec.options(key.seed, key.samples, p.workers)
+	opts, err := spec.options(key.seed, key.samples, p.workers, key.adaptive)
 	if err == nil {
 		if p.snaps != nil {
 			// The analyzer restores its sample pool from a persisted snapshot
@@ -237,6 +249,12 @@ type analyzerStat struct {
 	PoolBuildMS  float64 `json:"pool_build_ms"`
 	PoolBytes    int64   `json:"pool_bytes"`
 	SnapshotKey  string  `json:"snapshot_key,omitempty"`
+	// AdaptiveTarget/AdaptiveStops/AdaptiveRowsSaved report adaptive
+	// verification on this analyzer: the configured target error, how many
+	// verifies stopped early, and the pool rows those stops skipped.
+	AdaptiveTarget    float64 `json:"adaptive_target,omitempty"`
+	AdaptiveStops     int64   `json:"adaptive_stops,omitempty"`
+	AdaptiveRowsSaved int64   `json:"adaptive_rows_saved,omitempty"`
 }
 
 // snapshot reports the resident analyzers and the pool counters.
@@ -265,6 +283,10 @@ func (p *analyzerPool) snapshot() (stats []analyzerStat, builds, dedupHits, infl
 			PoolBuildMS:  float64(item.e.a.PoolBuildDuration().Microseconds()) / 1000,
 			PoolBytes:    item.e.a.PoolMemoryBytes(),
 			SnapshotKey:  item.e.a.PoolSnapshotKey(),
+
+			AdaptiveTarget:    item.e.a.AdaptiveTargetError(),
+			AdaptiveStops:     item.e.a.AdaptiveStops(),
+			AdaptiveRowsSaved: item.e.a.AdaptiveRowsSaved(),
 		})
 	}
 	return stats, p.builds.Load(), p.dedupHits.Load(), p.inflight.Load(), p.evictions.Load()

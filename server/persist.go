@@ -300,7 +300,7 @@ func (s *Server) execJob(ctx context.Context, j *job) (*queryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples}
+	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples, adaptive: cq.adaptive}
 	a, err := s.analyzers.get(key, ds, cq.spec)
 	if err != nil {
 		if _, isStatus := err.(statusError); isStatus {

@@ -52,6 +52,12 @@ type queryRequest struct {
 	Cosine  float64   `json:"cosine,omitempty"`
 	Seed    *int64    `json:"seed,omitempty"`
 	Samples *int      `json:"samples,omitempty"`
+	// Adaptive > 0 enables adaptive verification at that target confidence
+	// error (0 < adaptive < 1): verify operations stop sweeping the sample
+	// pool early once their confidence half-width reaches the target, and
+	// report the rows actually used in sample_count with adaptive set. 0 (the
+	// default) keeps exact full-pool sweeps.
+	Adaptive float64 `json:"adaptive,omitempty"`
 
 	Queries []querySpec `json:"queries"`
 }
@@ -76,6 +82,9 @@ type opResult struct {
 	ConfidenceError *float64  `json:"confidence_error,omitempty"`
 	Exact           *bool     `json:"exact,omitempty"`
 	SampleCount     int       `json:"sample_count,omitempty"`
+	// Adaptive reports that this verify stopped early under the request's
+	// adaptive target; sample_count is then the rows actually swept.
+	Adaptive bool `json:"adaptive,omitempty"`
 
 	// toph / above / enumerate
 	H         int              `json:"h,omitempty"`
@@ -125,12 +134,13 @@ func (s *Server) jobLimits() queryLimits {
 // time so a dataset replaced in between fails loudly instead of answering
 // with stale indices.
 type compiledQuery struct {
-	dataset string
-	spec    regionSpec
-	seed    int64
-	samples int
-	specs   []querySpec
-	limits  queryLimits
+	dataset  string
+	spec     regionSpec
+	seed     int64
+	samples  int
+	adaptive float64
+	specs    []querySpec
+	limits   queryLimits
 	// req is the original request body, retained so persisted jobs can be
 	// recompiled after a restart.
 	req *queryRequest
@@ -178,6 +188,9 @@ func (s *Server) compileQuery(req *queryRequest, limits queryLimits) (*compiledQ
 	if samples < 1 || samples > s.cfg.MaxSampleCount {
 		return nil, errBadRequest("samples %d out of range [1, %d]", samples, s.cfg.MaxSampleCount)
 	}
+	if req.Adaptive < 0 || req.Adaptive >= 1 {
+		return nil, errBadRequest("adaptive %v out of [0, 1)", req.Adaptive)
+	}
 	if len(req.Queries) == 0 {
 		return nil, errBadRequest("query request requires at least one operation")
 	}
@@ -188,13 +201,14 @@ func (s *Server) compileQuery(req *queryRequest, limits queryLimits) (*compiledQ
 		}
 	}
 	cq := &compiledQuery{
-		dataset: req.Dataset,
-		spec:    spec,
-		seed:    seed,
-		samples: samples,
-		specs:   req.Queries,
-		limits:  limits,
-		req:     req,
+		dataset:  req.Dataset,
+		spec:     spec,
+		seed:     seed,
+		samples:  samples,
+		adaptive: req.Adaptive,
+		specs:    req.Queries,
+		limits:   limits,
+		req:      req,
 	}
 	// Parse every operation now so a malformed entry rejects the request
 	// before any work (the result is rebuilt at execution time).
@@ -304,7 +318,7 @@ func (s *Server) execQuery(ctx context.Context, cq *compiledQuery) (*queryRespon
 	if err != nil {
 		return nil, err
 	}
-	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples}
+	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples, adaptive: cq.adaptive}
 	a, err := s.analyzers.get(key, ds, cq.spec)
 	if err != nil {
 		if _, isStatus := err.(statusError); isStatus {
@@ -338,6 +352,7 @@ func (s *Server) renderOpResult(ds *stablerank.Dataset, spec querySpec, q stable
 		out.ConfidenceError = &v.ConfidenceError
 		out.Exact = &v.Exact
 		out.SampleCount = v.SampleCount
+		out.Adaptive = v.Adaptive
 	case "toph":
 		out.H = spec.H
 		out.Rankings = s.stableResponses(ds, res.Stables, 0)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // postJSON posts body to path and decodes the JSON response into v (when
@@ -249,5 +250,118 @@ func TestQueryConcurrent(t *testing.T) {
 		if st.PoolBuilds != 1 {
 			t.Errorf("analyzer %s built its pool %d times", st.Key, st.PoolBuilds)
 		}
+	}
+}
+
+// TestQueryAdaptive drives adaptive verification through POST /v1/query: an
+// adaptive request stops early (sample_count < samples, adaptive true) while
+// staying keyed apart from the exact analyzer, the parameter is validated,
+// and /statsz reports the early stops.
+func TestQueryAdaptive(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	adaptiveBody := `{"dataset":"ind3","samples":20000,"adaptive":0.02,"queries":[{"op":"verify","weights":[1,1,1]}]}`
+	exactBody := `{"dataset":"ind3","samples":20000,"queries":[{"op":"verify","weights":[1,1,1]}]}`
+
+	var adaptive, exact queryResponse
+	if code, _ := postJSON(t, ts.URL, "/v1/query", adaptiveBody, &adaptive); code != http.StatusOK {
+		t.Fatalf("adaptive query = %d: %+v", code, adaptive)
+	}
+	if code, _ := postJSON(t, ts.URL, "/v1/query", exactBody, &exact); code != http.StatusOK {
+		t.Fatalf("exact query = %d", code)
+	}
+	av, ev := adaptive.Results[0], exact.Results[0]
+	if av.Error != "" || ev.Error != "" {
+		t.Fatalf("verify errored: %q / %q", av.Error, ev.Error)
+	}
+	if !av.Adaptive || av.SampleCount >= 20000 || av.SampleCount < 1 {
+		t.Errorf("adaptive verify = adaptive=%v sample_count=%d, want early stop", av.Adaptive, av.SampleCount)
+	}
+	if *av.ConfidenceError > 0.02 {
+		t.Errorf("adaptive confidence error %v above the 0.02 target", *av.ConfidenceError)
+	}
+	if ev.Adaptive || ev.SampleCount != 20000 {
+		t.Errorf("exact verify = adaptive=%v sample_count=%d", ev.Adaptive, ev.SampleCount)
+	}
+	// Same seed and pool: the adaptive estimate is the prefix estimate, close
+	// to (but in general not equal to) the full-pool one.
+	if diff := *av.Stability - *ev.Stability; diff > 0.05 || diff < -0.05 {
+		t.Errorf("adaptive stability %v far from exact %v", *av.Stability, *ev.Stability)
+	}
+
+	// Adaptive and exact requests must not share an analyzer key.
+	stats, builds, _, _, _ := s.analyzers.snapshot()
+	if builds != 2 {
+		t.Errorf("adaptive + exact requests made %d analyzer builds, want 2", builds)
+	}
+	sawAdaptive := false
+	for _, st := range stats {
+		if st.AdaptiveTarget == 0.02 {
+			sawAdaptive = true
+			if !strings.Contains(st.Key, "adaptive=0.02") {
+				t.Errorf("adaptive analyzer key %q lacks the adaptive term", st.Key)
+			}
+			if st.AdaptiveStops < 1 || st.AdaptiveRowsSaved < 1 {
+				t.Errorf("adaptive analyzer stats = stops %d, rows saved %d", st.AdaptiveStops, st.AdaptiveRowsSaved)
+			}
+		}
+	}
+	if !sawAdaptive {
+		t.Error("no resident analyzer reports the adaptive target")
+	}
+
+	// /statsz surfaces the same counters.
+	var statsz struct {
+		Analyzers struct {
+			Resident []analyzerStat `json:"resident"`
+		} `json:"analyzers"`
+	}
+	if code, _ := get(t, ts, "/statsz", &statsz); code != http.StatusOK {
+		t.Fatalf("statsz = %d", code)
+	}
+	sawAdaptive = false
+	for _, st := range statsz.Analyzers.Resident {
+		if st.AdaptiveTarget == 0.02 && st.AdaptiveStops >= 1 {
+			sawAdaptive = true
+		}
+	}
+	if !sawAdaptive {
+		t.Error("/statsz does not report the adaptive analyzer's early stops")
+	}
+
+	// Validation: adaptive must be in [0, 1).
+	for _, bad := range []string{"-0.1", "1", "1.5"} {
+		body := `{"dataset":"ind3","adaptive":` + bad + `,"queries":[{"op":"verify","weights":[1,1,1]}]}`
+		if code, _ := postJSON(t, ts.URL, "/v1/query", body, nil); code != http.StatusBadRequest {
+			t.Errorf("adaptive=%s accepted with status %d", bad, code)
+		}
+	}
+}
+
+// TestJobAdaptive: the async jobs path carries the adaptive parameter —
+// a job's verify result matches the synchronous adaptive answer bit for bit.
+func TestJobAdaptive(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body := `{"dataset":"ind3","samples":20000,"adaptive":0.02,"queries":[{"op":"verify","weights":[1,1,1]}]}`
+
+	j, code := submitJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %+v", code, j)
+	}
+	done := pollJob(t, ts, j.ID, 10*time.Second)
+	if done.Status != string(jobDone) || done.Result == nil {
+		t.Fatalf("job finished as %+v", done)
+	}
+	jv := done.Result.Results[0]
+	if jv.Error != "" || !jv.Adaptive {
+		t.Fatalf("job verify = %+v", jv)
+	}
+
+	var sync queryResponse
+	if code, _ := postJSON(t, ts.URL, "/v1/query", body, &sync); code != http.StatusOK {
+		t.Fatalf("sync query = %d", code)
+	}
+	sv := sync.Results[0]
+	if *jv.Stability != *sv.Stability || jv.SampleCount != sv.SampleCount || jv.Adaptive != sv.Adaptive {
+		t.Errorf("job adaptive verify %+v != sync %+v", jv, sv)
 	}
 }

@@ -107,6 +107,19 @@ func WithConfidenceLevel(alpha float64) Option { return core.WithConfidenceLevel
 // results — for the same seed.
 func WithWorkers(n int) Option { return core.WithWorkers(n) }
 
+// WithAdaptive enables adaptive verification at the given target confidence
+// error (0 < e < 1): verify queries sweep the Monte-Carlo pool in growing
+// chunks and stop as soon as the confidence half-width of the running
+// estimate — at the WithConfidenceLevel level — drops to the target. Any
+// pool prefix is itself an unbiased iid sample, so an early-stopped estimate
+// carries the usual guarantee at its own (smaller) sample count, reported in
+// Verification.SampleCount with Verification.Adaptive set. A query that
+// never clears the target consumes the whole pool and reports exactly the
+// non-adaptive answer. Stopping points depend only on seed and pool size —
+// never on WithWorkers — so adaptive results are deterministic. Exact 2D
+// verification, item-rank queries and enumeration are unaffected.
+func WithAdaptive(targetError float64) Option { return core.WithAdaptive(targetError) }
+
 // PoolCache is an external snapshot store for the Monte-Carlo sample pool —
 // the hook stablerankd's persistent store plugs in so a restarted server can
 // reinstall a previously drawn pool instead of resampling it. Load returns a
@@ -227,6 +240,19 @@ func (a *Analyzer) Workers() int { return a.core.Workers() }
 // sample-pool build, or 0 if none has completed yet — the number /statsz
 // exposes per resident analyzer.
 func (a *Analyzer) PoolBuildDuration() time.Duration { return a.core.PoolBuildDuration() }
+
+// AdaptiveTargetError returns the WithAdaptive target confidence error, or 0
+// when adaptive verification is disabled.
+func (a *Analyzer) AdaptiveTargetError() float64 { return a.core.AdaptiveTargetError() }
+
+// AdaptiveStops returns how many verify queries adaptive verification has
+// stopped before exhausting the sample pool.
+func (a *Analyzer) AdaptiveStops() int64 { return a.core.AdaptiveStops() }
+
+// AdaptiveRowsSaved returns the total number of pool rows that early-stopped
+// verify queries skipped — the sweep work adaptive verification avoided,
+// reported per analyzer in stablerankd's /statsz.
+func (a *Analyzer) AdaptiveRowsSaved() int64 { return a.core.AdaptiveRowsSaved() }
 
 // VerifyStability computes the stability of ranking r in the region of
 // interest — the fraction of acceptable scoring functions that induce it:
