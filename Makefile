@@ -1,25 +1,25 @@
 GO ?= go
 
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
-# comparable across the PR sequence.
-BENCHJSON ?= BENCH_pr7.json
+# comparable across the PR sequence. CI derives the artifact path from this
+# via `make -s print-benchjson` instead of hardcoding it in the workflow.
+BENCHJSON ?= BENCH_pr8.json
 
 # Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
 # benchmark families (pool build, snapshot cold/warm load, every verification
-# path, the fused and adaptive query plans, and the flat vecmat/rank
-# kernels), the tolerated slowdown, and the noise floor below which 1x
-# timings are not trusted. QueryAdaptive and KernelEvalRowsBlocked enter the
-# gate this PR (the latter via the Kernel prefix): the gate only compares
-# benchmarks present in both streams, so they start gating from the next
-# baseline on.
-BENCHBASE ?= BENCH_pr6.json
-GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|QueryAdaptive|SV2D|SVMD|Kernel
+# path, the fused and adaptive query plans, the flat vecmat/rank kernels, and
+# the remote chunk-fill protocol), the tolerated slowdown, and the noise
+# floor below which 1x timings are not trusted. RemoteChunkFill enters the
+# gate this PR: the gate only compares benchmarks present in both streams, so
+# it starts gating from the next baseline on.
+BENCHBASE ?= BENCH_pr7.json
+GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|QueryAdaptive|SV2D|SVMD|Kernel|RemoteChunkFill
 GATETHRESHOLD ?= 1.25
 # 2ms gates every verification benchmark tier that runs long enough to be
 # stable at -benchtime 1x while skipping microsecond-scale noise.
 GATEMIN ?= 2ms
 
-.PHONY: all build test race vet fmt bench bench-short benchjson perfgate cover apicheck apisnapshot clean-data ci
+.PHONY: all build test race vet fmt bench bench-short benchjson perfgate print-benchjson cluster-test cover apicheck apisnapshot clean-data ci
 
 all: build
 
@@ -63,6 +63,16 @@ benchjson:
 perfgate: benchjson
 	$(GO) run ./cmd/benchgate -baseline $(BENCHBASE) -candidate $(BENCHJSON) \
 		-match '$(GATEMATCH)' -threshold $(GATETHRESHOLD) -min $(GATEMIN)
+
+## print-benchjson: emit the benchmark artifact path (CI reads it with
+## `make -s print-benchjson` so the upload step tracks BENCHJSON renames)
+print-benchjson:
+	@echo $(BENCHJSON)
+
+## cluster-test: the multi-node CI lane — boots 3-node stablerankd clusters
+## and the chunk-fill protocol tests under the race detector
+cluster-test:
+	$(GO) test -race -count=1 -run 'TestCluster' -timeout 10m ./server ./internal/cluster
 
 ## cover: run the full test suite with coverage and emit coverage.html
 cover:

@@ -8,7 +8,13 @@
 //
 //	stablerankd -addr :8080 -dataset fifa=players.csv -dataset unis=unis.csv
 //
-// See the server package documentation for the endpoint table.
+// Replicas can be clustered: -peers/-self shards query keys across nodes by
+// consistent hashing (non-owned keys are forwarded), -fill-workers farms
+// sample-pool chunk builds out to remote workers, and -worker turns a node
+// into a pure chunk-fill worker with no query API. Results are bit-identical
+// to a single node in every configuration. See the server package
+// documentation for the endpoint table and the README's Cluster section for
+// topology.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"stablerank/internal/cluster"
 	"stablerank/server"
 )
 
@@ -61,6 +68,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		dataDir     = fs.String("data", "", "persistence directory: datasets, pool snapshots and job checkpoints survive restarts (empty = in-memory only)")
 		snapCache   = fs.Bool("snapshot-cache", true, "persist Monte-Carlo pool snapshots under -data so warm restarts skip pool builds")
 		maxStore    = fs.Int64("max-store-bytes", 0, "on-disk store size cap; oldest pool snapshots are evicted first (0 = unlimited)")
+		peers       = fs.String("peers", "", "comma-separated replica base URLs; enables consistent-hash routing of query keys across the listed nodes (must include -self)")
+		selfURL     = fs.String("self", "", "this replica's base URL as the other -peers reach it (required with -peers)")
+		fillWorkers = fs.String("fill-workers", "", "comma-separated worker base URLs; sample pools are assembled from remote chunk fills instead of drawn locally (bit-identical either way)")
+		fillTimeout = fs.Duration("fill-timeout", 30*time.Second, "per-request timeout for remote chunk fills")
+		workerMode  = fs.Bool("worker", false, "serve only the chunk-fill worker protocol on -addr (no query API, no datasets)")
 		datasetSpec []string
 	)
 	fs.Func("dataset", "name=path CSV dataset to serve (repeatable)", func(v string) error {
@@ -78,6 +90,20 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	logf := logger.Printf
 	if *quiet {
 		logf = nil
+	}
+
+	// Worker mode serves only the chunk-fill protocol: no registry, no query
+	// surface, no persistence — a pure compute node a coordinator can farm
+	// deterministic pool chunks to.
+	if *workerMode {
+		worker := &cluster.Worker{MaxSamples: *maxSamples, Logf: logf}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintf(stderr, "stablerankd: listen: %v\n", err)
+			return 1
+		}
+		logger.Printf("fill worker listening on %s", ln.Addr())
+		return serveAndDrain(ctx, stderr, logger, ln, worker.Handler(), *drain, ready)
 	}
 
 	registry := server.NewRegistry()
@@ -109,7 +135,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	if jobDeadline == 0 {
 		jobDeadline = -1
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Registry:             registry,
 		RequestTimeout:       reqTimeout,
 		CacheSize:            cacheEntries,
@@ -126,8 +152,13 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		DataDir:              *dataDir,
 		DisableSnapshotCache: !*snapCache,
 		MaxStoreBytes:        *maxStore,
+		Peers:                splitCSVList(*peers),
+		SelfURL:              *selfURL,
+		FillWorkers:          splitCSVList(*fillWorkers),
+		FillTimeout:          *fillTimeout,
 		Logf:                 logf,
-	})
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "stablerankd: %v\n", err)
 		return 1
@@ -164,10 +195,22 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		fmt.Fprintf(stderr, "stablerankd: listen: %v\n", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Printf("serving %d dataset(s) on %s", registry.Len(), ln.Addr())
+	if len(cfg.Peers) > 0 {
+		logger.Printf("clustered: %d replicas, self %s", len(cfg.Peers), cfg.SelfURL)
+	}
+	if len(cfg.FillWorkers) > 0 {
+		logger.Printf("remote chunk fill via %d worker(s)", len(cfg.FillWorkers))
+	}
+	return serveAndDrain(ctx, stderr, logger, ln, srv.Handler(), *drain, ready)
+}
+
+// serveAndDrain serves handler on ln until ctx is cancelled (SIGINT/SIGTERM),
+// then drains in-flight requests for up to drain before closing connections.
+func serveAndDrain(ctx context.Context, stderr io.Writer, logger *log.Logger, ln net.Listener, handler http.Handler, drain time.Duration, ready chan<- string) int {
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	logger.Printf("serving %d dataset(s) on %s", registry.Len(), ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -178,8 +221,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		return 1
 	case <-ctx.Done():
 	}
-	logger.Printf("shutdown signal received; draining for up to %s", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	logger.Printf("shutdown signal received; draining for up to %s", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(stderr, "stablerankd: drain incomplete: %v\n", err)
@@ -187,6 +230,18 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	}
 	logger.Printf("drained cleanly")
 	return 0
+}
+
+// splitCSVList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries ("" yields nil).
+func splitCSVList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // listenLoopback listens on addr after verifying the host is a loopback

@@ -140,3 +140,65 @@ func TestPprofOptIn(t *testing.T) {
 		t.Fatal("server never drained")
 	}
 }
+
+// TestWorkerMode: -worker serves only the chunk-fill protocol — ping answers,
+// the query API does not exist — and drains like the full server.
+func TestWorkerMode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stderr strings.Builder
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-worker", "-quiet"}, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("worker exited early with %d: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/cluster/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker ping = %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/v1/nothing/verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("worker mode serves the query API; it must expose only /cluster/v1/")
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("worker shutdown exit = %d: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never drained")
+	}
+}
+
+// TestClusterFlagValidation: a bad -peers/-self pairing must fail startup
+// rather than silently serve an unroutable cluster.
+func TestClusterFlagValidation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var stderr strings.Builder
+	if got := run(ctx, []string{"-peers", "http://a:1,http://b:1"}, &stderr, nil); got != 1 {
+		t.Fatalf("-peers without -self: exit = %d (stderr: %s)", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "SelfURL") {
+		t.Fatalf("stderr %q does not mention self", stderr.String())
+	}
+}

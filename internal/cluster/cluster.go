@@ -1,0 +1,33 @@
+// Package cluster is the distributed layer of stablerankd: remote
+// Monte-Carlo pool-chunk fill and consistent-hash placement of analyzer
+// keys across a replica set.
+//
+// The chunked splitmix64 seeding of internal/mc makes every pool chunk a
+// pure function of (region, seed, chunk index, chunk range) — independently
+// computable anywhere, bit-deterministic everywhere. This package exploits
+// that twice:
+//
+//   - Remote chunk fill: a Coordinator farms chunk ranges out to fill
+//     workers over HTTP (WorkerHandler serves the other end) and splices the
+//     returned chunks into one shared pool matrix. Each chunk frame carries
+//     a CRC; corrupt, short, duplicate or missing chunks are re-filled
+//     locally through the exact same deterministic draw, so the assembled
+//     pool is bit-identical to a purely local build for ANY worker set —
+//     including a worker dying mid-stream.
+//
+//   - Consistent-hash routing: a Ring places analyzer keys on an N-replica
+//     set so each replica owns a disjoint slice of analyzers (and their
+//     expensive sample pools). Routing is purely a locality optimization:
+//     determinism means every replica computes identical answers for the
+//     same key, so a misrouted or fallback-served request is never wrong,
+//     only colder.
+//
+// The load-bearing invariant throughout is: same (dataset, region, seed,
+// samples) key ⇒ identical pool ⇒ identical results, on every node.
+package cluster
+
+import "errors"
+
+// ErrCorrupt reports a chunk frame that failed structural or checksum
+// validation. Coordinators treat it as "re-fill locally", never as fatal.
+var ErrCorrupt = errors.New("cluster: corrupt chunk frame")

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"stablerank/internal/vecmat"
+)
+
+// The chunk wire frame, version 1 — one filled pool chunk in transit from a
+// fill worker back to its coordinator:
+//
+//	offset  size  field
+//	0       4     magic "SRCK"
+//	4       4     frame version (uint32, little endian)
+//	8       8     chunk index (uint64)
+//	16      8     lo — first pool row the chunk covers (uint64)
+//	24      8     hi — one past the last pool row (uint64)
+//	32      4     CRC-32C of the matrix bytes
+//	36      ...   vecmat-encoded (hi-lo) x d matrix (see vecmat.LayoutVersion)
+//
+// The CRC travels with the rows so a flipped bit anywhere between worker and
+// coordinator is detected and the chunk is re-filled locally — the draw is
+// deterministic, so a local re-fill is always bit-identical to what the
+// worker should have sent. On the stream, frames are length-prefixed with a
+// uint32 so many chunks ride one HTTP response body.
+
+const (
+	chunkMagic      = "SRCK"
+	chunkVersion    = 1
+	chunkHeaderSize = 4 + 4 + 8 + 8 + 8 + 4
+
+	// maxFrameSize bounds one length-prefixed frame so a corrupted or
+	// malicious length prefix cannot force a huge allocation: a chunk is at
+	// most mc.PoolChunk rows and this comfortably covers any plausible
+	// dimension (4096 rows x 256 columns of float64 is 8 MiB).
+	maxFrameSize = 16 << 20
+)
+
+// Chunk is one decoded pool shard: the [Lo, Hi) row range of the pool it
+// belongs to, and those rows.
+type Chunk struct {
+	Index  int
+	Lo, Hi int
+	Rows   vecmat.Matrix
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeChunk serializes one filled chunk into the framed wire form.
+func EncodeChunk(c Chunk) []byte {
+	body := c.Rows.Encode()
+	buf := make([]byte, chunkHeaderSize+len(body))
+	copy(buf, chunkMagic)
+	binary.LittleEndian.PutUint32(buf[4:], chunkVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(c.Index))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(c.Lo))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(c.Hi))
+	binary.LittleEndian.PutUint32(buf[32:], crc32.Checksum(body, crcTable))
+	copy(buf[chunkHeaderSize:], body)
+	return buf
+}
+
+// DecodeChunk validates and decodes one chunk frame. Every failure — short
+// input, bad magic or version, checksum mismatch, malformed matrix, or a
+// matrix whose row count disagrees with the [lo, hi) range — wraps
+// ErrCorrupt; like vecmat.Decode it never panics on arbitrary input, which
+// FuzzChunkDecode pins.
+func DecodeChunk(data []byte) (Chunk, error) {
+	if len(data) < chunkHeaderSize {
+		return Chunk{}, fmt.Errorf("chunk frame truncated at %d bytes: %w", len(data), ErrCorrupt)
+	}
+	if string(data[:4]) != chunkMagic {
+		return Chunk{}, fmt.Errorf("bad chunk magic %q: %w", data[:4], ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != chunkVersion {
+		return Chunk{}, fmt.Errorf("unsupported chunk frame version %d: %w", v, ErrCorrupt)
+	}
+	index := binary.LittleEndian.Uint64(data[8:])
+	lo := binary.LittleEndian.Uint64(data[16:])
+	hi := binary.LittleEndian.Uint64(data[24:])
+	const maxRange = 1 << 40 // far beyond any pool; guards the int conversions
+	if index > maxRange || lo > maxRange || hi > maxRange || hi < lo {
+		return Chunk{}, fmt.Errorf("chunk %d range [%d, %d) implausible: %w", index, lo, hi, ErrCorrupt)
+	}
+	body := data[chunkHeaderSize:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(data[32:]); got != want {
+		return Chunk{}, fmt.Errorf("chunk %d checksum %08x, want %08x: %w", index, got, want, ErrCorrupt)
+	}
+	m, err := vecmat.Decode(body)
+	if err != nil {
+		return Chunk{}, fmt.Errorf("chunk %d matrix: %v: %w", index, err, ErrCorrupt)
+	}
+	if m.Rows() != int(hi-lo) {
+		return Chunk{}, fmt.Errorf("chunk %d has %d rows, range [%d, %d) wants %d: %w",
+			index, m.Rows(), lo, hi, hi-lo, ErrCorrupt)
+	}
+	return Chunk{Index: int(index), Lo: int(lo), Hi: int(hi), Rows: m}, nil
+}
+
+// WriteChunk writes one length-prefixed chunk frame to the stream.
+func WriteChunk(w io.Writer, c Chunk) error {
+	frame := EncodeChunk(c)
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(frame)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadChunk reads the next length-prefixed chunk frame from the stream. A
+// clean end of stream returns io.EOF; a stream cut mid-frame returns
+// io.ErrUnexpectedEOF, and structural damage returns an ErrCorrupt-wrapped
+// error — both mean "whatever chunks are missing get re-filled locally".
+func ReadChunk(r io.Reader) (Chunk, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Chunk{}, io.ErrUnexpectedEOF
+		}
+		return Chunk{}, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n < chunkHeaderSize || n > maxFrameSize {
+		return Chunk{}, fmt.Errorf("chunk frame length %d out of bounds: %w", n, ErrCorrupt)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return Chunk{}, io.ErrUnexpectedEOF
+	}
+	return DecodeChunk(frame)
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"stablerank/internal/vecmat"
+)
+
+func testChunk(t *testing.T, index, lo, hi, d int) Chunk {
+	t.Helper()
+	m := vecmat.New(hi-lo, d)
+	for i := 0; i < hi-lo; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = float64((lo+i)*d + j)
+		}
+		m.SetRow(i, row)
+	}
+	return Chunk{Index: index, Lo: lo, Hi: hi, Rows: m}
+}
+
+func TestChunkCodecRoundTrip(t *testing.T) {
+	want := testChunk(t, 3, 12288, 12355, 4)
+	got, err := DecodeChunk(EncodeChunk(want))
+	if err != nil {
+		t.Fatalf("DecodeChunk: %v", err)
+	}
+	if got.Index != want.Index || got.Lo != want.Lo || got.Hi != want.Hi {
+		t.Fatalf("header round-trip: got (%d, %d, %d), want (%d, %d, %d)",
+			got.Index, got.Lo, got.Hi, want.Index, want.Lo, want.Hi)
+	}
+	assertChunkRowsEqual(t, got.Rows, want.Rows)
+}
+
+func TestChunkCodecRejectsCorruption(t *testing.T) {
+	frame := EncodeChunk(testChunk(t, 1, 4096, 4200, 3))
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:chunkHeaderSize-1] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[4:], 99); return b }},
+		{"implausible range", func(b []byte) []byte { binary.LittleEndian.PutUint64(b[16:], 1<<50); return b }},
+		{"inverted range", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 10)
+			binary.LittleEndian.PutUint64(b[24:], 5)
+			return b
+		}},
+		{"flipped body bit", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }},
+		{"flipped crc", func(b []byte) []byte { b[33] ^= 0x01; return b }},
+		{"row count mismatch", func(b []byte) []byte {
+			// Shrink the claimed range without touching the matrix body:
+			// the CRC still passes, the cross-check must catch it.
+			binary.LittleEndian.PutUint64(b[24:], binary.LittleEndian.Uint64(b[24:])-1)
+			return b
+		}},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-8] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mangled := tc.mangle(append([]byte(nil), frame...))
+			if _, err := DecodeChunk(mangled); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeChunk(%s) = %v, want ErrCorrupt", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestChunkStream(t *testing.T) {
+	chunks := []Chunk{
+		testChunk(t, 0, 0, 4096, 2),
+		testChunk(t, 1, 4096, 8192, 2),
+		testChunk(t, 2, 8192, 8200, 2),
+	}
+	var buf bytes.Buffer
+	for _, c := range chunks {
+		if err := WriteChunk(&buf, c); err != nil {
+			t.Fatalf("WriteChunk: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range chunks {
+		got, err := ReadChunk(r)
+		if err != nil {
+			t.Fatalf("ReadChunk #%d: %v", i, err)
+		}
+		if got.Index != want.Index {
+			t.Fatalf("ReadChunk #%d index = %d, want %d", i, got.Index, want.Index)
+		}
+		assertChunkRowsEqual(t, got.Rows, want.Rows)
+	}
+	if _, err := ReadChunk(r); err != io.EOF {
+		t.Fatalf("ReadChunk at end = %v, want io.EOF", err)
+	}
+}
+
+func TestChunkStreamCutMidFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChunk(&buf, testChunk(t, 0, 0, 64, 2)); err != nil {
+		t.Fatalf("WriteChunk: %v", err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadChunk(bytes.NewReader(cut)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("ReadChunk(cut stream) = %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// A length prefix alone, pointing past the end, is also a cut stream.
+	if _, err := ReadChunk(bytes.NewReader(buf.Bytes()[:4])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("ReadChunk(prefix only) = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestChunkStreamBadLength(t *testing.T) {
+	for _, n := range []uint32{0, chunkHeaderSize - 1, maxFrameSize + 1} {
+		var prefix [4]byte
+		binary.LittleEndian.PutUint32(prefix[:], n)
+		if _, err := ReadChunk(bytes.NewReader(prefix[:])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("ReadChunk(length %d) = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// FuzzChunkDecode pins that DecodeChunk never panics and either returns a
+// structurally consistent chunk or an ErrCorrupt-wrapped error, no matter
+// the input. Wired into the CI fuzz lane.
+func FuzzChunkDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(chunkMagic))
+	f.Add(EncodeChunk(Chunk{Index: 0, Lo: 0, Hi: 1, Rows: vecmat.New(1, 1)}))
+	valid := EncodeChunk(Chunk{Index: 1, Lo: 4096, Hi: 4099, Rows: vecmat.New(3, 2)})
+	f.Add(valid)
+	mangled := append([]byte(nil), valid...)
+	mangled[len(mangled)-1] ^= 0x01
+	f.Add(mangled)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeChunk(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeChunk error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if c.Hi < c.Lo || c.Rows.Rows() != c.Hi-c.Lo {
+			t.Fatalf("decoded chunk inconsistent: range [%d, %d) with %d rows", c.Lo, c.Hi, c.Rows.Rows())
+		}
+	})
+}
+
+func assertChunkRowsEqual(t *testing.T, got, want vecmat.Matrix) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Stride() != want.Stride() {
+		t.Fatalf("matrix shape (%d, %d), want (%d, %d)", got.Rows(), got.Stride(), want.Rows(), want.Stride())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		g, w := got.Row(i), want.Row(i)
+		for j := range w {
+			if g[j] != w[j] {
+				t.Fatalf("row %d col %d: %v != %v", i, j, g[j], w[j])
+			}
+		}
+	}
+}

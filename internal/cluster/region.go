@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"fmt"
+
+	"stablerank/internal/geom"
+)
+
+// RegionSpec is the wire form of a region of interest — the textual
+// parameterization the CLI flags, the HTTP query parameters and the fill
+// protocol all share: reference weights plus either a hypercone half-angle
+// or a minimum cosine similarity. With neither set the region is the whole
+// non-negative function space of dimension D. Two nodes given equal specs
+// reconstruct bit-identical regions, which (with seed and chunk index) is
+// everything the deterministic chunk draw depends on.
+type RegionSpec struct {
+	D       int       `json:"d"`
+	Weights []float64 `json:"weights,omitempty"`
+	Theta   float64   `json:"theta,omitempty"`
+	Cosine  float64   `json:"cosine,omitempty"`
+}
+
+// Region reconstructs the geometric region the spec describes.
+func (rs RegionSpec) Region() (geom.Region, error) {
+	if rs.D < 2 {
+		return nil, fmt.Errorf("cluster: region dimension %d < 2", rs.D)
+	}
+	switch {
+	case rs.Theta > 0 && rs.Cosine > 0:
+		return nil, fmt.Errorf("cluster: region has both theta and cosine")
+	case rs.Theta > 0 || rs.Cosine > 0:
+		if len(rs.Weights) != rs.D {
+			return nil, fmt.Errorf("cluster: region weights have %d components, want %d", len(rs.Weights), rs.D)
+		}
+		var (
+			c   geom.Cone
+			err error
+		)
+		if rs.Theta > 0 {
+			c, err = geom.NewCone(geom.NewVector(rs.Weights...), rs.Theta)
+		} else {
+			c, err = geom.NewConeFromCosine(geom.NewVector(rs.Weights...), rs.Cosine)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return geom.FullSpace{D: rs.D}, nil
+	}
+}

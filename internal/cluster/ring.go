@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring placing analyzer keys on a replica set.
+// Every replica builds its ring from the same node list (order-insensitive:
+// nodes are sorted first) and the hash is a fixed FNV-1a, so all replicas
+// agree on every key's owner without any coordination. Virtual nodes smooth
+// the placement; with the default replica count the max/min load ratio over
+// random keys stays close to 1.
+//
+// Ownership is a locality hint, not a correctness boundary: the determinism
+// contract means any node can answer any key identically, so a caller that
+// cannot reach a key's owner simply serves the key itself.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultVirtualNodes is the per-node virtual point count NewRing uses when
+// given replicas <= 0.
+const DefaultVirtualNodes = 128
+
+// NewRing builds a ring over the given node names (base URLs, typically).
+// Duplicate names are collapsed; an empty list yields a ring whose Owner is
+// always "".
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultVirtualNodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*replicas)
+	for _, n := range uniq {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by node name so every
+		// replica still agrees on the winner.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's distinct node names in sorted order.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the node owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// ringHash is FNV-1a pushed through a 64-bit avalanche finalizer. Raw FNV
+// over short, nearly-identical strings ("node#0", "node#1", ...) leaves the
+// high bits badly clustered, which skews ring ownership several-fold; the
+// finalizer restores a near-uniform spread. The function must never change
+// across versions — every replica's routing depends on it.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingAgreesAcrossNodeOrderings(t *testing.T) {
+	a := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	b := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n1"}, 0)
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("node lists disagree: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("dataset-%d|region|seed", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingCoversAllNodesRoughlyEvenly(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		got := counts[n]
+		// Each of 4 nodes should own a meaningful share; with 128 virtual
+		// points per node the spread stays well inside [half, double].
+		if got < keys/8 || got > keys/2 {
+			t.Fatalf("node %s owns %d of %d keys — placement badly skewed: %v", n, got, keys, counts)
+		}
+	}
+}
+
+func TestRingStablePlacementUnderMembershipChange(t *testing.T) {
+	before := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	after := NewRing([]string{"http://n1", "http://n2", "http://n3", "http://n4"}, 0)
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			if oa != "http://n4" {
+				t.Fatalf("key %q moved %q -> %q, not to the new node", key, ob, oa)
+			}
+			moved++
+		}
+	}
+	// Consistent hashing's point: adding 1 of 4 nodes moves ~1/4 of keys,
+	// not most of them.
+	if moved > keys/2 {
+		t.Fatalf("%d of %d keys moved after adding one node", moved, keys)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	solo := NewRing([]string{"http://only"}, 0)
+	for i := 0; i < 100; i++ {
+		if got := solo.Owner(fmt.Sprintf("k%d", i)); got != "http://only" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+}

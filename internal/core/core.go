@@ -65,6 +65,7 @@ type Analyzer struct {
 	workers     int
 	adaptiveErr float64
 	poolCache   PoolCache
+	poolFiller  PoolFiller
 
 	// pool holds the lazily drawn shared sample pool. The indirection via an
 	// atomic pointer to a once-guarded cell (instead of a bare sync.Once on
@@ -128,6 +129,20 @@ type PoolCache interface {
 	Key() string
 	Load() ([]byte, bool)
 	Save(snapshot []byte)
+}
+
+// PoolFiller is an alternative construction strategy for the Monte-Carlo
+// sample pool — the hook stablerankd plugs its cluster coordinator into so a
+// pool can be assembled from chunks computed on remote fill workers. A
+// filler MUST honour the determinism contract: the matrix it returns must be
+// bit-identical to the local draw for the analyzer's (region, seed, n) —
+// the per-chunk seeding makes that natural, since chunk contents never
+// depend on where they were computed. The analyzer treats the filler as
+// best-effort: a filler error (other than context cancellation) or a
+// wrong-shape result falls back to the local draw, which is always safe for
+// the same reason. Implementations must be safe for concurrent use.
+type PoolFiller interface {
+	FillPool(ctx context.Context, total, d int) (vecmat.Matrix, error)
 }
 
 // Option configures an Analyzer.
@@ -230,6 +245,18 @@ func WithWorkers(n int) Option {
 func WithPoolCache(c PoolCache) Option {
 	return func(a *Analyzer) error {
 		a.poolCache = c
+		return nil
+	}
+}
+
+// WithPoolFiller delegates the analyzer's pool construction to an external
+// filler (typically a cluster coordinator farming chunks out to remote
+// workers). The snapshot cache, when also configured, still wins: a filler
+// only runs on a cache miss, and its output is offered back to the cache
+// like any built pool. A nil filler leaves the local draw in place.
+func WithPoolFiller(f PoolFiller) Option {
+	return func(a *Analyzer) error {
+		a.poolFiller = f
 		return nil
 	}
 }
@@ -423,12 +450,31 @@ func (a *Analyzer) obtainPool(ctx context.Context) (vecmat.Matrix, error) {
 func (a *Analyzer) drawPool(ctx context.Context) (vecmat.Matrix, error) {
 	a.poolBuilds.Add(1)
 	start := time.Now()
-	pool, err := mc.BuildPoolMatrix(ctx, mc.ConeSamplers(a.roi, a.seed), a.sampleCount, a.ds.D(), a.workers)
+	pool, err := a.buildPool(ctx)
 	if err != nil {
 		return vecmat.Matrix{}, err
 	}
 	a.poolBuildNanos.Store(time.Since(start).Nanoseconds())
 	return pool, nil
+}
+
+// buildPool runs the configured PoolFiller when one is attached, otherwise
+// (or when the filler fails or returns the wrong shape) the local draw. The
+// fallback is silent by design: the filler's result and the local draw are
+// bit-identical under the determinism contract, so degrading costs latency,
+// never correctness. Context cancellation is the one filler error that
+// propagates — retrying locally after the caller gave up helps nobody.
+func (a *Analyzer) buildPool(ctx context.Context) (vecmat.Matrix, error) {
+	if a.poolFiller != nil {
+		pool, err := a.poolFiller.FillPool(ctx, a.sampleCount, a.ds.D())
+		if err == nil && pool.Rows() == a.sampleCount && pool.Stride() == a.ds.D() {
+			return pool, nil
+		}
+		if ctx.Err() != nil {
+			return vecmat.Matrix{}, ctx.Err()
+		}
+	}
+	return mc.BuildPoolMatrix(ctx, mc.ConeSamplers(a.roi, a.seed), a.sampleCount, a.ds.D(), a.workers)
 }
 
 // PoolMemoryBytes returns the resident size of the shared Monte-Carlo

@@ -1,0 +1,109 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"stablerank/internal/geom"
+	"stablerank/internal/sampling"
+	"stablerank/internal/vecmat"
+)
+
+// Chunk-range fill API: the building blocks of the deterministic pool build,
+// exported so a pool can be assembled from chunks computed anywhere — the
+// distributed layer (internal/cluster) farms chunk ranges out to remote
+// workers and falls back to these same functions locally. Every function
+// here honors the determinism contract at the top of parallel.go: a chunk's
+// contents depend only on (factory, chunk index, chunk range), never on who
+// or where fills it, so a pool stitched together from any mix of local and
+// remote chunk fills is bit-identical to BuildPoolMatrix's output.
+
+// Chunks returns how many PoolChunk-sized shards cover total samples.
+func Chunks(total int) int {
+	if total <= 0 {
+		return 0
+	}
+	return (total + PoolChunk - 1) / PoolChunk
+}
+
+// ChunkRange returns the [lo, hi) sample range of shard `chunk` within a
+// pool of total samples. It returns (0, 0) when chunk is out of range.
+func ChunkRange(chunk, total int) (lo, hi int) {
+	if chunk < 0 || chunk >= Chunks(total) {
+		return 0, 0
+	}
+	lo = chunk * PoolChunk
+	hi = min(lo+PoolChunk, total)
+	return lo, hi
+}
+
+// fillChunkRows draws shard `chunk`'s samples — the [lo, hi) range of a
+// total-sized pool — into rows [off, off+hi-lo) of dst. It is the single
+// fill loop shared by BuildPoolMatrix (off = lo, dst = the whole pool),
+// FillChunk (off = 0, dst = a chunk-sized matrix) and FillChunkInto.
+func fillChunkRows(ctx context.Context, factory SamplerFactory, chunk, lo, hi int, dst vecmat.Matrix, off int) error {
+	s, err := factory(chunk)
+	if err != nil {
+		return err
+	}
+	if s.Dim() != dst.Stride() {
+		return fmt.Errorf("mc: sampler dimension %d != pool dimension %d", s.Dim(), dst.Stride())
+	}
+	into, _ := s.(sampling.IntoSampler)
+	for i := lo; i < hi; i++ {
+		if (i-lo)%512 == 0 && i > lo {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		row := geom.Vector(dst.Row(off + i - lo))
+		if into != nil {
+			err = into.SampleInto(row)
+		} else {
+			err = sampling.Into(s, row)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FillChunk draws shard `chunk` of a total-sized d-dimensional pool into a
+// fresh (hi-lo) x d matrix: exactly the rows BuildPoolMatrix would write at
+// [lo, hi). This is the unit of work a remote fill worker computes.
+func FillChunk(ctx context.Context, factory SamplerFactory, chunk, total, d int) (vecmat.Matrix, error) {
+	if factory == nil {
+		return vecmat.Matrix{}, errors.New("mc: nil sampler factory")
+	}
+	if d < 1 {
+		return vecmat.Matrix{}, fmt.Errorf("mc: dimension %d < 1", d)
+	}
+	lo, hi := ChunkRange(chunk, total)
+	if hi <= lo {
+		return vecmat.Matrix{}, fmt.Errorf("mc: chunk %d out of range for %d samples", chunk, total)
+	}
+	m := vecmat.New(hi-lo, d)
+	if err := fillChunkRows(ctx, factory, chunk, lo, hi, m, 0); err != nil {
+		return vecmat.Matrix{}, err
+	}
+	return m, nil
+}
+
+// FillChunkInto draws shard `chunk` directly into rows [lo, hi) of the
+// shared pool matrix — the local-fallback path a coordinator uses for chunks
+// a remote worker failed to deliver. pool must be the full total x d matrix.
+func FillChunkInto(ctx context.Context, factory SamplerFactory, chunk, total int, pool vecmat.Matrix) error {
+	if factory == nil {
+		return errors.New("mc: nil sampler factory")
+	}
+	if pool.Rows() != total {
+		return fmt.Errorf("mc: pool has %d rows, want %d", pool.Rows(), total)
+	}
+	lo, hi := ChunkRange(chunk, total)
+	if hi <= lo {
+		return fmt.Errorf("mc: chunk %d out of range for %d samples", chunk, total)
+	}
+	return fillChunkRows(ctx, factory, chunk, lo, hi, pool, lo)
+}

@@ -1,0 +1,125 @@
+package mc
+
+import (
+	"context"
+	"testing"
+
+	"stablerank/internal/geom"
+	"stablerank/internal/vecmat"
+)
+
+func TestChunkRange(t *testing.T) {
+	cases := []struct {
+		chunk, total, lo, hi int
+	}{
+		{0, 100, 0, 100},
+		{0, PoolChunk, 0, PoolChunk},
+		{0, PoolChunk + 1, 0, PoolChunk},
+		{1, PoolChunk + 1, PoolChunk, PoolChunk + 1},
+		{2, 3 * PoolChunk, 2 * PoolChunk, 3 * PoolChunk},
+		{-1, 100, 0, 0},
+		{1, 100, 0, 0},
+		{3, 3 * PoolChunk, 0, 0},
+	}
+	for _, c := range cases {
+		lo, hi := ChunkRange(c.chunk, c.total)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("ChunkRange(%d, %d) = [%d, %d), want [%d, %d)", c.chunk, c.total, lo, hi, c.lo, c.hi)
+		}
+	}
+	if got := Chunks(0); got != 0 {
+		t.Errorf("Chunks(0) = %d, want 0", got)
+	}
+	if got := Chunks(2*PoolChunk + 1); got != 3 {
+		t.Errorf("Chunks(%d) = %d, want 3", 2*PoolChunk+1, got)
+	}
+}
+
+// TestFillChunkMatchesBuildPool pins the load-bearing invariant of the
+// distributed layer: every chunk filled standalone (FillChunk) or spliced
+// into a shared matrix (FillChunkInto) is bit-identical to the same rows of
+// a monolithic BuildPoolMatrix build.
+func TestFillChunkMatchesBuildPool(t *testing.T) {
+	const (
+		total = 2*PoolChunk + 777
+		d     = 3
+	)
+	factory := ConeSamplers(geom.FullSpace{D: d}, 42)
+	ctx := context.Background()
+
+	want, err := BuildPoolMatrix(ctx, factory, total, d, 4)
+	if err != nil {
+		t.Fatalf("BuildPoolMatrix: %v", err)
+	}
+
+	stitched := vecmat.New(total, d)
+	for chunk := 0; chunk < Chunks(total); chunk++ {
+		lo, hi := ChunkRange(chunk, total)
+		m, err := FillChunk(ctx, factory, chunk, total, d)
+		if err != nil {
+			t.Fatalf("FillChunk(%d): %v", chunk, err)
+		}
+		if m.Rows() != hi-lo {
+			t.Fatalf("FillChunk(%d) rows = %d, want %d", chunk, m.Rows(), hi-lo)
+		}
+		for i := 0; i < m.Rows(); i++ {
+			stitched.SetRow(lo+i, m.Row(i))
+		}
+	}
+	assertMatrixEqual(t, "FillChunk stitch", want, stitched)
+
+	inPlace := vecmat.New(total, d)
+	for chunk := Chunks(total) - 1; chunk >= 0; chunk-- { // any fill order works
+		if err := FillChunkInto(ctx, factory, chunk, total, inPlace); err != nil {
+			t.Fatalf("FillChunkInto(%d): %v", chunk, err)
+		}
+	}
+	assertMatrixEqual(t, "FillChunkInto", want, inPlace)
+}
+
+func TestFillChunkErrors(t *testing.T) {
+	factory := ConeSamplers(geom.FullSpace{D: 2}, 1)
+	ctx := context.Background()
+	if _, err := FillChunk(ctx, nil, 0, 100, 2); err == nil {
+		t.Error("FillChunk(nil factory): want error")
+	}
+	if _, err := FillChunk(ctx, factory, 5, 100, 2); err == nil {
+		t.Error("FillChunk(out-of-range chunk): want error")
+	}
+	if _, err := FillChunk(ctx, factory, 0, 100, 0); err == nil {
+		t.Error("FillChunk(d=0): want error")
+	}
+	if _, err := FillChunk(ctx, factory, 0, 100, 3); err == nil {
+		t.Error("FillChunk(dimension mismatch): want error")
+	}
+	pool := vecmat.New(50, 2)
+	if err := FillChunkInto(ctx, factory, 0, 100, pool); err == nil {
+		t.Error("FillChunkInto(short pool): want error")
+	}
+	if err := FillChunkInto(ctx, nil, 0, 100, vecmat.New(100, 2)); err == nil {
+		t.Error("FillChunkInto(nil factory): want error")
+	}
+	if err := FillChunkInto(ctx, factory, 9, 100, vecmat.New(100, 2)); err == nil {
+		t.Error("FillChunkInto(out-of-range chunk): want error")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := FillChunk(cancelled, factory, 0, PoolChunk, 2); err == nil {
+		t.Error("FillChunk(cancelled ctx): want error")
+	}
+}
+
+func assertMatrixEqual(t *testing.T, label string, want, got vecmat.Matrix) {
+	t.Helper()
+	if want.Rows() != got.Rows() || want.Stride() != got.Stride() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows(), got.Stride(), want.Rows(), want.Stride())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		wr, gr := want.Row(i), got.Row(i)
+		for j := range wr {
+			if wr[j] != gr[j] {
+				t.Fatalf("%s: row %d col %d = %v, want %v", label, i, j, gr[j], wr[j])
+			}
+		}
+	}
+}

@@ -138,31 +138,7 @@ func BuildPoolMatrix(ctx context.Context, factory SamplerFactory, total, d, work
 	}
 	pool := vecmat.New(total, d)
 	err := sweep(ctx, total, workers, func(chunk, lo, hi int) error {
-		s, err := factory(chunk)
-		if err != nil {
-			return err
-		}
-		if s.Dim() != d {
-			return fmt.Errorf("mc: sampler dimension %d != pool dimension %d", s.Dim(), d)
-		}
-		into, _ := s.(sampling.IntoSampler)
-		for i := lo; i < hi; i++ {
-			if (i-lo)%512 == 0 && i > lo {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			row := geom.Vector(pool.Row(i))
-			if into != nil {
-				err = into.SampleInto(row)
-			} else {
-				err = sampling.Into(s, row)
-			}
-			if err != nil {
-				return err
-			}
-		}
-		return nil
+		return fillChunkRows(ctx, factory, chunk, lo, hi, pool, lo)
 	})
 	if err != nil {
 		return vecmat.Matrix{}, err

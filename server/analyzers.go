@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"stablerank"
+	"stablerank/internal/cluster"
 )
 
 // regionSpec is the canonical form of the region-of-interest query
@@ -133,7 +134,11 @@ type analyzerPool struct {
 	max     int
 	workers int            // sample-pool build workers per analyzer (0 = GOMAXPROCS)
 	snaps   *snapshotCache // nil = no pool-snapshot persistence
-	order   *list.List     // front = most recently used; values *poolItem
+	// coord, when set, assembles sample pools from remote chunk fills
+	// instead of drawing them locally (bit-identically either way; see
+	// cluster.Coordinator). The snapshot cache still takes precedence.
+	coord   *cluster.Coordinator
+	order   *list.List // front = most recently used; values *poolItem
 	entries map[analyzerKey]*list.Element
 
 	builds    atomic.Int64 // Analyzer constructions started
@@ -216,6 +221,9 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 			// The analyzer restores its sample pool from a persisted snapshot
 			// instead of redrawing it, and persists the pool it does draw.
 			opts = append(opts, stablerank.WithPoolCache(p.snaps.cacheFor(ds, key)))
+		}
+		if p.coord != nil {
+			opts = append(opts, stablerank.WithPoolFiller(poolFillerFor(p.coord, ds, key, spec)))
 		}
 		e.a, e.err = stablerank.New(ds, opts...)
 	} else {

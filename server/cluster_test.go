@@ -1,0 +1,436 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"stablerank"
+)
+
+// The cluster integration tests boot real multi-node stablerankd clusters on
+// loopback listeners and pin the distributed layer's one load-bearing
+// invariant: a clustered deployment answers every query bit-identically to a
+// single node — across routing, remote chunk fill, worker death, and owner
+// fallback. The CI cluster lane runs exactly these (go test -race -run
+// 'TestCluster').
+
+// clusterNode is one running stablerankd replica.
+type clusterNode struct {
+	srv *Server
+	url string
+	hs  *http.Server
+	ln  net.Listener
+}
+
+// kill stops the node's listener and HTTP server immediately (the "node
+// died" scenario; Cleanup-registered closes tolerate a prior kill).
+func (n *clusterNode) kill() {
+	n.hs.Close()
+	n.ln.Close()
+}
+
+type clusterOpts struct {
+	// mutate adjusts node i's config; urls lists every node (i included).
+	mutate func(i int, urls []string, cfg *Config)
+	// wrap, when set, wraps node i's root handler (fault injection).
+	wrap func(i int, h http.Handler) http.Handler
+	// peered wires Peers/SelfURL so the nodes route to each other.
+	peered bool
+}
+
+// startCluster boots n nodes with identical registries (same fixture seeds,
+// so identical dataset hashes) on loopback listeners. Listeners are bound
+// before any server is built so every node knows the full URL set.
+func startCluster(t *testing.T, n int, opts clusterOpts) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		reg := NewRegistry()
+		if err := reg.Add("fig1", stablerank.Figure1()); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Add("ind3", stablerank.Independent(rand.New(rand.NewSource(7)), 12, 3)); err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Registry: reg, DefaultSampleCount: 20_000}
+		if opts.peered {
+			cfg.Peers = urls
+			cfg.SelfURL = urls[i]
+		}
+		if opts.mutate != nil {
+			opts.mutate(i, urls, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := s.Handler()
+		if opts.wrap != nil {
+			h = opts.wrap(i, h)
+		}
+		hs := &http.Server{Handler: h}
+		go func(ln net.Listener) { _ = hs.Serve(ln) }(lns[i])
+		nodes[i] = &clusterNode{srv: s, url: urls[i], hs: hs, ln: lns[i]}
+		t.Cleanup(func() { hs.Close(); s.Close() })
+	}
+	return nodes
+}
+
+// postQuery sends a /v1/query body to base and returns status, headers and
+// the raw response body.
+func postQuery(t *testing.T, base, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+func getRaw(t *testing.T, base, path string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+func TestClusterQueriesBitIdenticalToSingleNode(t *testing.T) {
+	_, single := newTestServer(t, nil)
+	nodes := startCluster(t, 3, clusterOpts{peered: true})
+
+	queries := []string{
+		`{"dataset":"ind3","seed":5,"samples":13000,"queries":[{"op":"verify","weights":[1,1,1]},{"op":"toph","h":5}]}`,
+		`{"dataset":"ind3","seed":5,"samples":13000,"theta":0.4,"weights":[0.5,0.3,0.2],"queries":[{"op":"verify","weights":[0.5,0.3,0.2]}]}`,
+		`{"dataset":"fig1","seed":9,"samples":9000,"queries":[{"op":"toph","h":4},{"op":"above","s":0.1}]}`,
+	}
+	for qi, body := range queries {
+		wantStatus, _, want := postQuery(t, single.URL, body)
+		if wantStatus != http.StatusOK {
+			t.Fatalf("query %d: single-node answered %d: %s", qi, wantStatus, want)
+		}
+		var owner string
+		for ni, node := range nodes {
+			gotStatus, hdr, got := postQuery(t, node.url, body)
+			if gotStatus != http.StatusOK {
+				t.Fatalf("query %d via node %d: status %d: %s", qi, ni, gotStatus, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("query %d via node %d: response differs from single node\n got: %s\nwant: %s", qi, ni, got, want)
+			}
+			served := hdr.Get(servedByHeader)
+			if served == "" {
+				t.Fatalf("query %d via node %d: no %s header", qi, ni, servedByHeader)
+			}
+			if owner == "" {
+				owner = served
+			} else if served != owner {
+				t.Fatalf("query %d: node %d says owner %s, earlier nodes said %s", qi, ni, served, owner)
+			}
+		}
+	}
+
+	// The GET surface routes identically.
+	path := "/v1/ind3/verify?weights=1,1,1&seed=5&samples=13000"
+	_, _, want := getRaw(t, single.URL, path)
+	var owner string
+	for ni, node := range nodes {
+		status, hdr, got := getRaw(t, node.url, path)
+		if status != http.StatusOK {
+			t.Fatalf("GET via node %d: status %d: %s", ni, status, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("GET via node %d: response differs from single node", ni)
+		}
+		if served := hdr.Get(servedByHeader); owner == "" {
+			owner = served
+		} else if served != owner {
+			t.Fatalf("GET via node %d: owner flapped %s -> %s", ni, owner, served)
+		}
+	}
+}
+
+func TestClusterPlacementIsDisjointAndStable(t *testing.T) {
+	nodes := startCluster(t, 3, clusterOpts{peered: true})
+
+	// Sweep seeds so the keys spread over the ring; every node must agree
+	// on each key's owner, and the analyzers must end up only on owners.
+	owners := map[int]string{}
+	for seed := 1; seed <= 12; seed++ {
+		body := fmt.Sprintf(`{"dataset":"ind3","seed":%d,"samples":4000,"queries":[{"op":"verify","weights":[1,1,1]}]}`, seed)
+		for ni, node := range nodes {
+			status, hdr, got := postQuery(t, node.url, body)
+			if status != http.StatusOK {
+				t.Fatalf("seed %d via node %d: status %d: %s", seed, ni, status, got)
+			}
+			served := hdr.Get(servedByHeader)
+			if prev, ok := owners[seed]; ok && prev != served {
+				t.Fatalf("seed %d: owner flapped %s -> %s", seed, prev, served)
+			}
+			owners[seed] = served
+		}
+	}
+	distinct := map[string]bool{}
+	for _, o := range owners {
+		distinct[o] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("12 seeds all landed on one node %v — ring not spreading", owners)
+	}
+
+	// Each key's analyzer lives only on its owner: the per-node resident
+	// counts must sum to the number of distinct keys, not 3x.
+	total := 0
+	for _, node := range nodes {
+		var stats struct {
+			Analyzers struct {
+				Resident []json.RawMessage `json:"resident"`
+			} `json:"analyzers"`
+		}
+		_, _, raw := getRaw(t, node.url, "/statsz?scope=local")
+		if err := json.Unmarshal(raw, &stats); err != nil {
+			t.Fatal(err)
+		}
+		total += len(stats.Analyzers.Resident)
+	}
+	if total != len(owners) {
+		t.Fatalf("analyzers resident across cluster = %d, want %d (one per key, on its owner only)", total, len(owners))
+	}
+}
+
+// dieAfterOneChunk lets one fill frame through, then aborts the connection:
+// a worker dying mid-stream, reproducibly.
+type dieAfterOneChunk struct {
+	http.ResponseWriter
+	flushes int
+}
+
+func (d *dieAfterOneChunk) Flush() {
+	d.flushes++
+	if f, ok := d.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (d *dieAfterOneChunk) Write(b []byte) (int, error) {
+	if d.flushes >= 1 {
+		panic(http.ErrAbortHandler)
+	}
+	return d.ResponseWriter.Write(b)
+}
+
+func TestClusterRemoteFillSurvivesWorkerDeath(t *testing.T) {
+	_, single := newTestServer(t, nil)
+	// Node 0 coordinates its pool builds across nodes 1 and 2; node 2's fill
+	// endpoint dies after its first chunk of every request.
+	nodes := startCluster(t, 3, clusterOpts{
+		mutate: func(i int, urls []string, cfg *Config) {
+			if i == 0 {
+				cfg.FillWorkers = []string{urls[1], urls[2]}
+				cfg.FillTimeout = 5 * time.Second
+			}
+		},
+		wrap: func(i int, h http.Handler) http.Handler {
+			if i != 2 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/cluster/v1/fill" {
+					w = &dieAfterOneChunk{ResponseWriter: w}
+				}
+				h.ServeHTTP(w, r)
+			})
+		},
+	})
+
+	// 13000 samples = 4 chunks, so each worker owns 2 and the mid-stream
+	// death is observable; the retry pass recovers the lost chunk remotely.
+	body := `{"dataset":"ind3","seed":21,"samples":13000,"queries":[{"op":"verify","weights":[1,1,1]},{"op":"toph","h":5}]}`
+	_, _, want := postQuery(t, single.URL, body)
+	status, _, got := postQuery(t, nodes[0].url, body)
+	if status != http.StatusOK {
+		t.Fatalf("clustered query: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("remote-filled response differs from single node — determinism contract broken")
+	}
+
+	// Now node 2 drops dead entirely; a fresh pool (new seed) must still
+	// build bit-identically, re-filling the dead worker's share.
+	nodes[2].kill()
+	body2 := `{"dataset":"ind3","seed":22,"samples":13000,"queries":[{"op":"verify","weights":[1,1,1]}]}`
+	_, _, want2 := postQuery(t, single.URL, body2)
+	status2, _, got2 := postQuery(t, nodes[0].url, body2)
+	if status2 != http.StatusOK {
+		t.Fatalf("query after worker death: status %d: %s", status2, got2)
+	}
+	if !bytes.Equal(got2, want2) {
+		t.Fatal("response after worker death differs from single node")
+	}
+
+	// The coordinator's counters must show the whole story: remote chunks,
+	// worker failures, and the local re-fill of the dead worker's share.
+	var stats struct {
+		Fill struct {
+			Coordinator struct {
+				RemoteChunks int64 `json:"remote_chunks"`
+				LocalChunks  int64 `json:"local_fallback_chunks"`
+				WorkerErrors int64 `json:"worker_errors"`
+				PoolsFilled  int64 `json:"pools_filled"`
+			} `json:"coordinator"`
+		} `json:"fill"`
+	}
+	_, _, raw := getRaw(t, nodes[0].url, "/statsz")
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	c := stats.Fill.Coordinator
+	if c.PoolsFilled < 2 || c.RemoteChunks == 0 || c.WorkerErrors == 0 || c.LocalChunks == 0 {
+		t.Fatalf("coordinator stats %+v: want remote chunks, worker errors and local re-fills all recorded", c)
+	}
+}
+
+func TestClusterHealthAndStatsAggregation(t *testing.T) {
+	nodes := startCluster(t, 3, clusterOpts{peered: true})
+
+	var health struct {
+		Status  string `json:"status"`
+		Cluster struct {
+			Self  string       `json:"self"`
+			Peers []peerHealth `json:"peers"`
+		} `json:"cluster"`
+	}
+	_, _, raw := getRaw(t, nodes[0].url, "/healthz")
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Cluster.Peers) != 3 {
+		t.Fatalf("healthz = %s", raw)
+	}
+	selves, oks := 0, 0
+	for _, p := range health.Cluster.Peers {
+		switch p.Status {
+		case "self":
+			selves++
+		case "ok":
+			oks++
+		}
+	}
+	if selves != 1 || oks != 2 {
+		t.Fatalf("peer statuses wrong: %s", raw)
+	}
+
+	var stats struct {
+		Cluster struct {
+			Nodes     int            `json:"nodes"`
+			Reachable int            `json:"reachable"`
+			Peers     []peerStatsRow `json:"peers"`
+			Aggregate map[string]int64
+		} `json:"cluster"`
+	}
+	_, _, raw = getRaw(t, nodes[0].url, "/statsz")
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cluster.Nodes != 3 || stats.Cluster.Reachable != 3 || len(stats.Cluster.Peers) != 3 {
+		t.Fatalf("cluster stats = %s", raw)
+	}
+	if got := stats.Cluster.Aggregate["datasets"]; got != 6 {
+		t.Fatalf("aggregate datasets = %d, want 6 (2 datasets x 3 nodes)", got)
+	}
+
+	// Kill a node: health degrades, stats keep aggregating the survivors.
+	nodes[2].kill()
+	_, _, raw = getRaw(t, nodes[0].url, "/healthz")
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("healthz after kill = %s", raw)
+	}
+	_, _, raw = getRaw(t, nodes[0].url, "/statsz")
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cluster.Reachable != 2 {
+		t.Fatalf("reachable after kill = %d, want 2", stats.Cluster.Reachable)
+	}
+	if got := stats.Cluster.Aggregate["datasets"]; got != 4 {
+		t.Fatalf("aggregate datasets after kill = %d, want 4", got)
+	}
+}
+
+func TestClusterOwnerDownFallsBackLocally(t *testing.T) {
+	_, single := newTestServer(t, nil)
+	nodes := startCluster(t, 3, clusterOpts{peered: true})
+
+	// Find a seed owned by node 2, then kill node 2: the entry node must
+	// answer the query itself, bit-identically.
+	target := ""
+	for seed := 1; seed <= 64 && target == ""; seed++ {
+		body := fmt.Sprintf(`{"dataset":"ind3","seed":%d,"samples":4000,"queries":[{"op":"verify","weights":[1,1,1]}]}`, seed)
+		_, hdr, _ := postQuery(t, nodes[0].url, body)
+		if hdr.Get(servedByHeader) == nodes[2].url {
+			target = body
+		}
+	}
+	if target == "" {
+		t.Fatal("no seed in 1..64 owned by node 2 — ring badly skewed")
+	}
+	_, _, want := postQuery(t, single.URL, target)
+
+	nodes[2].kill()
+	status, hdr, got := postQuery(t, nodes[0].url, target)
+	if status != http.StatusOK {
+		t.Fatalf("query with dead owner: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback response differs from single node")
+	}
+	if served := hdr.Get(servedByHeader); served != nodes[0].url {
+		t.Fatalf("served by %s, want the entry node %s after owner death", served, nodes[0].url)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"http://a", "http://b"}}); err == nil {
+		t.Fatal("Peers without SelfURL accepted")
+	}
+	if _, err := New(Config{Peers: []string{"http://a", "http://b"}, SelfURL: "http://c"}); err == nil {
+		t.Fatal("SelfURL outside Peers accepted")
+	}
+	s, err := New(Config{Peers: []string{"http://a/", " http://b"}, SelfURL: "http://a"})
+	if err != nil {
+		t.Fatalf("normalized peer list rejected: %v", err)
+	}
+	s.Close()
+}

@@ -104,6 +104,9 @@ func (s *Server) routes() *http.ServeMux {
 	// GETs share one dispatcher; "jobs" is therefore a reserved dataset name.
 	mux.HandleFunc("GET /v1/{dataset}/{op}", s.handleV1Get)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	// The chunk-fill protocol (ping + fill): every node serves fills, so
+	// replicas can be configured as each other's fill workers.
+	mux.Handle("/cluster/v1/", s.fillWorker.Handler())
 	return mux
 }
 
@@ -154,7 +157,24 @@ type queryHandler func(r *http.Request, qc *queryContext) (key string, compute f
 // and serves the handler's answer from the LRU cache when an identical
 // query was answered before.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, name string, h queryHandler) {
-	qc, err := s.queryContextNamed(r, name)
+	qp, err := s.parseQueryParams(r, name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// In a cluster, hand the request to the analyzer key's owner so every
+	// replica holds a disjoint slice of the analyzers (and their pools). A
+	// failed hop falls through to local serving: any node can answer any
+	// key bit-identically, so the fallback is invisible to the client.
+	if s.cluster != nil {
+		if owner, remote := s.cluster.owner(r, routingKey(qp.name, qp.spec, qp.seed, qp.samples, 0)); remote {
+			if s.proxy(w, r, owner, nil) {
+				return
+			}
+		}
+	}
+	s.markServedLocally(w)
+	qc, err := s.queryContextFor(qp)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -189,12 +209,24 @@ func serveBody(w http.ResponseWriter, body []byte, cache string) {
 	_, _ = w.Write([]byte("\n"))
 }
 
-// queryContextNamed resolves the named dataset and the shared query
-// parameters into a queryContext; the per-dataset endpoints supply the name
-// from the path, the stream endpoint from ?dataset=. It is also the
-// earliest point at which an already-expired per-request deadline surfaces
-// as a 504 instead of burning analyzer work.
-func (s *Server) queryContextNamed(r *http.Request, name string) (*queryContext, error) {
+// queryParams is the parsed shared query parameters of one GET request —
+// everything cluster routing and analyzer construction need, parsed cheaply
+// enough to run BEFORE deciding which replica serves the request.
+type queryParams struct {
+	name    string
+	ds      *stablerank.Dataset
+	gen     int64
+	spec    regionSpec
+	seed    int64
+	samples int
+}
+
+// parseQueryParams resolves the named dataset and the shared query
+// parameters; the per-dataset endpoints supply the name from the path, the
+// stream endpoint from ?dataset=. It is also the earliest point at which an
+// already-expired per-request deadline surfaces as a 504 instead of burning
+// analyzer work.
+func (s *Server) parseQueryParams(r *http.Request, name string) (*queryParams, error) {
 	if err := r.Context().Err(); err != nil {
 		return nil, err
 	}
@@ -232,15 +264,30 @@ func (s *Server) queryContextNamed(r *http.Request, name string) (*queryContext,
 	if samples < 1 || samples > int64(s.cfg.MaxSampleCount) {
 		return nil, errBadRequest("samples %d out of range [1, %d]", samples, s.cfg.MaxSampleCount)
 	}
-	key := analyzerKey{dataset: name, gen: gen, region: spec.canonical(), seed: seed, samples: int(samples)}
-	a, err := s.analyzers.get(key, ds, spec)
+	return &queryParams{name: name, ds: ds, gen: gen, spec: spec, seed: seed, samples: int(samples)}, nil
+}
+
+// queryContextFor obtains the deduplicated analyzer for parsed parameters.
+func (s *Server) queryContextFor(qp *queryParams) (*queryContext, error) {
+	key := analyzerKey{dataset: qp.name, gen: qp.gen, region: qp.spec.canonical(), seed: qp.seed, samples: qp.samples}
+	a, err := s.analyzers.get(key, qp.ds, qp.spec)
 	if err != nil {
 		if _, isStatus := err.(statusError); isStatus {
 			return nil, err
 		}
 		return nil, errBadRequest("building analyzer: %v", err)
 	}
-	return &queryContext{name: name, ds: ds, analyzer: a, keybase: key.String()}, nil
+	return &queryContext{name: qp.name, ds: qp.ds, analyzer: a, keybase: key.String()}, nil
+}
+
+// queryContextNamed is parseQueryParams + queryContextFor in one step, for
+// callers that never route (the stream endpoint is node-local).
+func (s *Server) queryContextNamed(r *http.Request, name string) (*queryContext, error) {
+	qp, err := s.parseQueryParams(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return s.queryContextFor(qp)
 }
 
 func (s *Server) handleVerify(r *http.Request, qc *queryContext) (string, func() (any, error), error) {
@@ -419,15 +466,28 @@ func (s *Server) handleItemRank(r *http.Request, qc *queryContext) (string, func
 	}, nil
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
 		"status":   "ok",
 		"datasets": s.registry.Len(),
 		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
-	})
+	}
+	// scope=local answers for this node only; it is also what peer probes
+	// request, so probes never fan out transitively.
+	if s.cluster != nil && r.URL.Query().Get("scope") != "local" {
+		peers := s.probePeers(r.Context())
+		for _, p := range peers {
+			if p.Status == "unreachable" {
+				resp["status"] = "degraded"
+				break
+			}
+		}
+		resp["cluster"] = map[string]any{"self": s.cluster.self, "peers": peers}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	hitRate := 0.0
 	if hits+misses > 0 {
@@ -439,7 +499,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		poolBytes += a.PoolBytes
 	}
 	jobs := s.jobs.counts()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"cache": map[string]any{
 			"hits":     hits,
 			"misses":   misses,
@@ -471,7 +531,21 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		"inflight_requests": s.inflightRequests.Load(),
 		"workers":           s.workerCount(),
 		"datasets":          s.registry.Names(),
-	})
+	}
+	// The chunk-fill counters: every node serves fills, coordinators also
+	// delegate their own builds.
+	fill := map[string]any{"worker": s.fillWorker.Stats()}
+	if s.coordinator != nil {
+		fill["coordinator"] = s.coordinator.Stats()
+	}
+	resp["fill"] = fill
+	// The cluster-wide section fans out to every peer's local stats.
+	// ?scope=local suppresses it — which is exactly how the fan-out itself
+	// asks, so two clustered nodes never recurse into each other.
+	if s.cluster != nil && r.URL.Query().Get("scope") != "local" {
+		resp["cluster"] = s.clusterStats(r.Context())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // workerCount resolves the configured per-analyzer worker count for display:

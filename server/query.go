@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -146,23 +147,35 @@ type compiledQuery struct {
 	req *queryRequest
 }
 
-// decodeQueryRequest reads and decodes a /v1/query-shaped body with the
-// standard size cap and strictness.
-func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, error) {
-	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+// readQueryRequest reads and decodes a /v1/query-shaped body with the
+// standard size cap and strictness, returning the raw bytes alongside so a
+// clustered node can replay the body when forwarding to the key's owner.
+func readQueryRequest(w http.ResponseWriter, r *http.Request) ([]byte, *queryRequest, error) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return nil, statusError{code: http.StatusRequestEntityTooLarge, msg: "request body exceeds 1 MiB"}
+			return nil, nil, statusError{code: http.StatusRequestEntityTooLarge, msg: "request body exceeds 1 MiB"}
 		}
-		return nil, errBadRequest("decoding query request: %v", err)
+		return nil, nil, errBadRequest("reading query request: %v", err)
+	}
+	var req queryRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, errBadRequest("decoding query request: %v", err)
 	}
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
-		return nil, errBadRequest("query request has trailing data")
+		return nil, nil, errBadRequest("query request has trailing data")
 	}
-	return &req, nil
+	return raw, &req, nil
+}
+
+// decodeQueryRequest is readQueryRequest for callers that never forward
+// (jobs are node-local).
+func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, error) {
+	_, req, err := readQueryRequest(w, r)
+	return req, err
 }
 
 // compileQuery validates the request against the current dataset and caps.
@@ -398,11 +411,32 @@ func (s *Server) renderOpResult(ds *stablerank.Dataset, spec querySpec, q stable
 
 // handleQuery is POST /v1/query.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	req, err := decodeQueryRequest(w, r)
+	raw, req, err := readQueryRequest(w, r)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	// Cluster routing mirrors the GET path: the analyzer key's owner serves
+	// the request unless it is this node or unreachable. The key is derived
+	// from the raw body without validation — an invalid request fails
+	// identically on every replica, so forwarding it first is harmless.
+	if s.cluster != nil {
+		spec := regionSpec{weights: req.Weights, theta: req.Theta, cosine: req.Cosine}
+		seed := s.cfg.DefaultSeed
+		if req.Seed != nil {
+			seed = *req.Seed
+		}
+		samples := s.cfg.DefaultSampleCount
+		if req.Samples != nil {
+			samples = *req.Samples
+		}
+		if owner, remote := s.cluster.owner(r, routingKey(req.Dataset, spec, seed, samples, req.Adaptive)); remote {
+			if s.proxy(w, r, owner, raw) {
+				return
+			}
+		}
+	}
+	s.markServedLocally(w)
 	cq, err := s.compileQuery(req, s.syncLimits())
 	if err != nil {
 		writeError(w, err)

@@ -23,6 +23,7 @@
 //	GET    /v1/{dataset}/itemrank      Example 1: rank distribution of ?item=
 //	GET    /v1/{dataset}/rankings      Problem 3: paginated enumeration
 //	POST   /batch                      DEPRECATED: use POST /v1/query
+//	*      /cluster/v1/{ping,fill}     chunk-fill worker protocol (binary)
 //
 // POST /v1/query is the uniform surface over the library's query model: the
 // body names a dataset, the shared region/seed/samples parameters, and a
@@ -51,6 +52,19 @@
 // and resumes unfinished jobs past their last checkpoint. Corrupt entries
 // are quarantined and rebuilt, never fatal. The /statsz "store" section
 // reports snapshot hits/misses/bytes and checkpoint resume counters.
+//
+// Servers cluster two ways, separately or together. Config.Peers/SelfURL
+// shard analyzer keys across replicas on a consistent-hash ring: every node
+// computes the same owner for a key, non-owners forward POST /v1/query and
+// GET /v1/{dataset}/{op} one hop (X-Stablerank-Served-By names the
+// answering node), streams and jobs stay local. Config.FillWorkers
+// assembles sample pools from remote chunk fills over /cluster/v1/fill
+// instead of drawing locally. Both are placement-only: chunk contents
+// depend only on (region, seed, chunk index), so any configuration —
+// including every failure fallback — produces byte-identical answers to a
+// single node. /healthz gains per-peer status (status "degraded" when a
+// peer is down) and /statsz gains "fill" and "cluster" sections;
+// ?scope=local confines either endpoint to the queried node.
 package server
 
 import (
@@ -60,6 +74,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stablerank/internal/cluster"
 	"stablerank/internal/store"
 )
 
@@ -130,6 +145,26 @@ type Config struct {
 	// CheckpointEvery is how many enumerated rankings an async job streams
 	// between checkpoints (default 1000; negative disables checkpointing).
 	CheckpointEvery int
+	// Peers is the full replica set of a sharded cluster, this node
+	// included, as base URLs. Analyzer keys are placed on the set by
+	// consistent hashing and POST /v1/query plus the GET /v1/{dataset}/{op}
+	// endpoints are forwarded to each key's owner; an unreachable owner
+	// degrades to serving locally (the pool draw is deterministic, so every
+	// node answers every key bit-identically). Empty (the default) runs
+	// standalone. Every node must be configured with the same set — order
+	// and duplicates do not matter.
+	Peers []string
+	// SelfURL is this node's own entry in Peers (required when Peers is
+	// set): how the node recognizes the keys it owns.
+	SelfURL string
+	// FillWorkers lists remote fill workers (base URLs of stablerankd
+	// nodes, or of -worker processes) that Monte-Carlo pool builds are
+	// farmed out to, chunk by chunk. Failed or corrupt chunks are re-filled
+	// locally, bit-identically. Empty keeps pool builds local.
+	FillWorkers []string
+	// FillTimeout bounds one chunk-range fill request to one worker
+	// (default 30s).
+	FillTimeout time.Duration
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -187,6 +222,9 @@ func (c Config) Defaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 1_000
 	}
+	if c.FillTimeout == 0 {
+		c.FillTimeout = 30 * time.Second
+	}
 	return c
 }
 
@@ -209,6 +247,13 @@ type Server struct {
 	persister      *jobPersister
 	datasetsLoaded int
 
+	// Cluster state (nil without Config.Peers) and the chunk-fill protocol:
+	// every node serves fills (fillWorker); nodes with Config.FillWorkers
+	// also delegate their own pool builds (coordinator).
+	cluster     *clusterState
+	coordinator *cluster.Coordinator
+	fillWorker  *cluster.Worker
+
 	inflightRequests atomic.Int64
 	// streamedRows counts NDJSON enumeration lines served by
 	// GET /v1/query/stream, for /statsz.
@@ -228,6 +273,26 @@ func New(cfg Config) (*Server, error) {
 		analyzers: newAnalyzerPool(cfg.MaxAnalyzers, cfg.Workers),
 		cache:     newLRUCache(cfg.CacheSize),
 		start:     time.Now(),
+		fillWorker: &cluster.Worker{
+			MaxSamples: cfg.MaxSampleCount,
+			Logf:       cfg.Logf,
+		},
+	}
+	if len(cfg.Peers) > 0 {
+		cs, err := newClusterState(cfg.Peers, cfg.SelfURL, cfg.RequestTimeout)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cs
+	}
+	if len(cfg.FillWorkers) > 0 {
+		s.coordinator = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Workers:        cfg.FillWorkers,
+			RequestTimeout: cfg.FillTimeout,
+			LocalWorkers:   cfg.Workers,
+			Logf:           cfg.Logf,
+		})
+		s.analyzers.coord = s.coordinator
 	}
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir)

@@ -141,6 +141,21 @@ const PoolLayoutVersion = store.SnapshotLayoutVersion
 // because the codec round-trips float bits exactly.
 func WithPoolCache(c PoolCache) Option { return core.WithPoolCache(c) }
 
+// PoolFiller is an alternative construction strategy for the sample pool —
+// the hook stablerankd's cluster coordinator plugs in so a pool can be
+// assembled from chunks computed on remote fill workers. A filler must
+// return a matrix bit-identical to the local draw for the analyzer's
+// (region, seed, n); per-chunk deterministic seeding makes that natural.
+// Filler failures (other than context cancellation) and wrong-shape results
+// silently fall back to the local draw — degrading costs latency, never
+// correctness.
+type PoolFiller = core.PoolFiller
+
+// WithPoolFiller delegates pool construction to an external filler. When a
+// PoolCache is also attached the cache still wins: the filler only runs on
+// a miss, and its output is offered back to the cache like any built pool.
+func WithPoolFiller(f PoolFiller) Option { return core.WithPoolFiller(f) }
+
 // RegionOption translates the textual region parameterization that the CLI
 // flags and the HTTP query parameters share — reference weights plus either
 // a hypercone half-angle theta or a minimum cosine similarity — into an
