@@ -3,17 +3,18 @@ GO ?= go
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
 # comparable across the PR sequence. CI derives the artifact path from this
 # via `make -s print-benchjson` instead of hardcoding it in the workflow.
-BENCHJSON ?= BENCH_pr8.json
+BENCHJSON ?= BENCH_pr9.json
 
 # Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
 # benchmark families (pool build, snapshot cold/warm load, every verification
-# path, the fused and adaptive query plans, the flat vecmat/rank kernels, and
-# the remote chunk-fill protocol), the tolerated slowdown, and the noise
-# floor below which 1x timings are not trusted. RemoteChunkFill enters the
-# gate this PR: the gate only compares benchmarks present in both streams, so
-# it starts gating from the next baseline on.
-BENCHBASE ?= BENCH_pr7.json
-GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|QueryAdaptive|SV2D|SVMD|Kernel|RemoteChunkFill
+# path, the fused and adaptive query plans, the flat vecmat/rank kernels, the
+# remote chunk-fill protocol, and the incremental dataset-delta path), the
+# tolerated slowdown, and the noise floor below which 1x timings are not
+# trusted. DeltaApply and DriftStream enter the gate this PR: the gate only
+# compares benchmarks present in both streams, so they start gating from the
+# next baseline on.
+BENCHBASE ?= BENCH_pr8.json
+GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|QueryAdaptive|SV2D|SVMD|Kernel|RemoteChunkFill|DeltaApply|DriftStream
 GATETHRESHOLD ?= 1.25
 # 2ms gates every verification benchmark tier that runs long enough to be
 # stable at -benchtime 1x while skipping microsecond-scale noise.

@@ -12,6 +12,10 @@
 // Regions of interest are set with -weights plus either -theta (radians) or
 // -cosine (minimum cosine similarity); with neither, the whole function
 // space is used.
+//
+// Every invocation analyzes one immutable CSV snapshot. For a long-lived
+// service over datasets that change in place — incremental deltas spliced
+// into warm analyzers, drift streaming — run cmd/stablerankd instead.
 package main
 
 import (

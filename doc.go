@@ -63,16 +63,30 @@
 // in the service's /statsz), and /v1/query takes the same knob per request
 // as its "adaptive" field.
 //
-// Durability: because the pool draw is deterministic in (dataset content,
-// region, seed, sample count), a drawn pool can be snapshotted and restored
+// Durability: because the pool draw is deterministic in (dimension, region,
+// seed, sample count), a drawn pool can be snapshotted and restored
 // bit-identically instead of redrawn. WithPoolCache plugs a PoolCache in at
 // construction; stablerankd wires one backed by internal/store when started
 // with -data (server Config.DataDir), so a restarted service answers its
 // first query from a restored pool — PoolBuilds stays zero, PoolRestores
 // and PoolSnapshotKey make the restore observable — with results identical
-// to a cold build. Snapshots are keyed by content hash plus
-// PoolLayoutVersion, so changed data or an incompatible codec can never
-// alias a stale pool. Typical use:
+// to a cold build. Snapshots are keyed by those draw parameters plus
+// PoolLayoutVersion — never by dataset content, which the draw ignores — so
+// an incompatible codec can never alias a stale pool and dataset mutation
+// invalidates no snapshot.
+//
+// Mutability: the sample pool is a set of weight-space points, so editing
+// the dataset invalidates none of it — only the scores and per-sample
+// ranking positions of the touched items. ApplyDeltas edits a Dataset
+// value; Analyzer.ApplyDelta applies ItemAdd / ItemRemove / AttrUpdate
+// deltas to a warmed analyzer by re-scoring just the changed item against
+// the resident pool and splicing it into each interned ranking (a full
+// per-sample re-sort happens only on score ties), which beats a rebuild by
+// orders of magnitude at realistic pool sizes. The spliced analyzer is
+// bit-identical to one constructed fresh over the mutated dataset;
+// DeltasApplied, DeltaSplices and DeltaResorts make the maintenance
+// observable, and LastDrift prices the most recent batch's rank impact
+// against a pool slice on demand. Typical use:
 //
 //	ds, _ := stablerank.ReadCSV(f, true)
 //	a, _ := stablerank.New(ds, stablerank.WithCosineSimilarity(weights, 0.998))

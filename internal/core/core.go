@@ -97,6 +97,21 @@ type Analyzer struct {
 	// rows those early stops skipped. Both are 0 without WithAdaptive.
 	adaptiveStops     atomic.Int64
 	adaptiveRowsSaved atomic.Int64
+
+	// baseline is the incrementally maintained equal-weights ranking state
+	// that ApplyDelta splices instead of re-sorting, with baselineAttrs the
+	// matching contiguous attrs matrix; both are built lazily under
+	// baselineMu. The delta counters and the last delta record feed /statsz
+	// and the drift stream (see delta.go).
+	baselineMu    sync.Mutex
+	baseline      *rank.Spliced
+	baselineAttrs vecmat.Matrix
+
+	deltasApplied atomic.Int64
+	deltaSpliced  atomic.Int64
+	deltaResorted atomic.Int64
+
+	last *deltaRecord
 }
 
 // poolState is one attempt at building the shared sample pool. The pool is

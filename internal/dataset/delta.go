@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"stablerank/internal/geom"
+)
+
+// DeltaOp names one kind of first-class dataset mutation.
+type DeltaOp uint8
+
+const (
+	// ItemAdd appends a new item (the ID must not already exist).
+	ItemAdd DeltaOp = iota + 1
+	// ItemRemove deletes the item with the given ID; later items keep their
+	// insertion order (their indices shift down by one).
+	ItemRemove
+	// AttrUpdate replaces the attribute vector of the item with the given ID.
+	AttrUpdate
+)
+
+// String renders the op in the wire form the PATCH endpoint accepts.
+func (op DeltaOp) String() string {
+	switch op {
+	case ItemAdd:
+		return "add"
+	case ItemRemove:
+		return "remove"
+	case AttrUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("DeltaOp(%d)", uint8(op))
+}
+
+// Delta is one dataset mutation, resolved by item ID (never by index: indices
+// shift as deltas apply, IDs do not). Attrs is required for ItemAdd and
+// AttrUpdate and must be ignored for ItemRemove.
+type Delta struct {
+	Op    DeltaOp
+	ID    string
+	Attrs geom.Vector
+}
+
+// Applied records how one delta resolved against the evolving dataset: the
+// index the op acted on (the position updated or removed, or the position the
+// new item was appended at) and the attribute vector it displaced (nil for
+// ItemAdd). Incremental maintainers (rank splicing, attrs-matrix upkeep)
+// replay exactly this trace.
+type Applied struct {
+	Delta Delta
+	Index int
+	Prev  geom.Vector
+}
+
+// ApplyDeltas returns a new dataset with the deltas applied in order; ds
+// itself is never modified. The result is identical — item order included —
+// to a dataset built from scratch with the same final content, which is what
+// lets incrementally maintained derived state be checked bit-for-bit against
+// a full rebuild. Any invalid delta (unknown or duplicate ID, wrong
+// dimension, non-finite attribute) fails the whole batch with no effect.
+func ApplyDeltas(ds *Dataset, deltas ...Delta) (*Dataset, error) {
+	out, _, err := ApplyDeltasTrace(ds, deltas...)
+	return out, err
+}
+
+// ApplyDeltasTrace is ApplyDeltas returning the per-delta resolution trace.
+// When the dataset contains duplicate IDs (CSV input does not forbid them),
+// an ID resolves to its first occurrence.
+func ApplyDeltasTrace(ds *Dataset, deltas ...Delta) (*Dataset, []Applied, error) {
+	if ds == nil {
+		return nil, nil, ErrEmptyDataset
+	}
+	out := ds.Clone()
+	index := make(map[string]int, len(out.items))
+	for i := len(out.items) - 1; i >= 0; i-- {
+		index[out.items[i].ID] = i
+	}
+	trace := make([]Applied, 0, len(deltas))
+	for k, dl := range deltas {
+		switch dl.Op {
+		case ItemAdd:
+			if _, ok := index[dl.ID]; ok {
+				return nil, nil, fmt.Errorf("dataset: delta %d adds duplicate item id %q", k, dl.ID)
+			}
+			if err := validDeltaAttrs(dl, out.d); err != nil {
+				return nil, nil, fmt.Errorf("dataset: delta %d: %w", k, err)
+			}
+			out.items = append(out.items, Item{ID: dl.ID, Attrs: dl.Attrs.Clone()})
+			idx := len(out.items) - 1
+			index[dl.ID] = idx
+			trace = append(trace, Applied{Delta: dl, Index: idx})
+		case ItemRemove:
+			idx, ok := index[dl.ID]
+			if !ok {
+				return nil, nil, fmt.Errorf("dataset: delta %d removes unknown item id %q", k, dl.ID)
+			}
+			prev := out.items[idx].Attrs
+			out.items = append(out.items[:idx], out.items[idx+1:]...)
+			delete(index, dl.ID)
+			for id, i := range index {
+				if i > idx {
+					index[id] = i - 1
+				}
+			}
+			trace = append(trace, Applied{Delta: dl, Index: idx, Prev: prev})
+		case AttrUpdate:
+			idx, ok := index[dl.ID]
+			if !ok {
+				return nil, nil, fmt.Errorf("dataset: delta %d updates unknown item id %q", k, dl.ID)
+			}
+			if err := validDeltaAttrs(dl, out.d); err != nil {
+				return nil, nil, fmt.Errorf("dataset: delta %d: %w", k, err)
+			}
+			prev := out.items[idx].Attrs
+			out.items[idx].Attrs = dl.Attrs.Clone()
+			trace = append(trace, Applied{Delta: dl, Index: idx, Prev: prev})
+		default:
+			return nil, nil, fmt.Errorf("dataset: delta %d has unknown op %d", k, dl.Op)
+		}
+	}
+	return out, trace, nil
+}
+
+// validDeltaAttrs enforces the same attribute contract as Add: the dataset
+// dimension and only finite values.
+func validDeltaAttrs(dl Delta, d int) error {
+	if len(dl.Attrs) != d {
+		return fmt.Errorf("item %q has %d attributes, want %d", dl.ID, len(dl.Attrs), d)
+	}
+	for j, v := range dl.Attrs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("item %q attribute %d is not finite (%v)", dl.ID, j, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"stablerank/internal/geom"
+)
+
+func deltaTestDS(t *testing.T, n int) *Dataset {
+	t.Helper()
+	ds := MustNew(2)
+	for i := 0; i < n; i++ {
+		if err := ds.Add(fmt.Sprintf("i%d", i), geom.NewVector(float64(i), float64(n-i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func TestApplyDeltasTrace(t *testing.T) {
+	ds := deltaTestDS(t, 4)
+	out, trace, err := ApplyDeltasTrace(ds,
+		Delta{Op: AttrUpdate, ID: "i1", Attrs: geom.NewVector(9, 9)},
+		Delta{Op: ItemRemove, ID: "i0"},
+		Delta{Op: ItemAdd, ID: "new", Attrs: geom.NewVector(5, 5)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 4 {
+		t.Fatalf("original mutated: n=%d", ds.N())
+	}
+	if out.N() != 4 {
+		t.Fatalf("result n=%d, want 4", out.N())
+	}
+	// Update resolved at index 1, remove at 0, add appended at index 3 (after
+	// the removal shifted everything down).
+	if trace[0].Index != 1 || trace[1].Index != 0 || trace[2].Index != 3 {
+		t.Fatalf("trace indices %d,%d,%d", trace[0].Index, trace[1].Index, trace[2].Index)
+	}
+	if trace[0].Prev == nil || trace[1].Prev == nil || trace[2].Prev != nil {
+		t.Fatalf("trace prevs %v", trace)
+	}
+	if got := out.Item(0).ID; got != "i1" {
+		t.Fatalf("item 0 = %q, want i1", got)
+	}
+	if got := out.Item(0).Attrs; got[0] != 9 || got[1] != 9 {
+		t.Fatalf("update not applied: %v", got)
+	}
+	if got := out.Item(3).ID; got != "new" {
+		t.Fatalf("item 3 = %q, want new", got)
+	}
+	// The result must equal a dataset built from scratch with the same
+	// content — item order included.
+	want := MustNew(2)
+	for i := 0; i < out.N(); i++ {
+		it := out.Item(i)
+		if err := want.Add(it.ID, it.Attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.Hash() != want.Hash() {
+		t.Fatal("delta result differs from from-scratch dataset")
+	}
+}
+
+func TestApplyDeltasErrors(t *testing.T) {
+	ds := deltaTestDS(t, 3)
+	cases := []struct {
+		name  string
+		delta Delta
+		want  string
+	}{
+		{"duplicate add", Delta{Op: ItemAdd, ID: "i0", Attrs: geom.NewVector(1, 1)}, "duplicate"},
+		{"unknown remove", Delta{Op: ItemRemove, ID: "nope"}, "unknown"},
+		{"unknown update", Delta{Op: AttrUpdate, ID: "nope", Attrs: geom.NewVector(1, 1)}, "unknown"},
+		{"wrong dim", Delta{Op: AttrUpdate, ID: "i0", Attrs: geom.NewVector(1)}, "attributes"},
+		{"nan attr", Delta{Op: AttrUpdate, ID: "i0", Attrs: geom.NewVector(1, math.NaN())}, "finite"},
+		{"inf attr", Delta{Op: ItemAdd, ID: "x", Attrs: geom.NewVector(1, math.Inf(1))}, "finite"},
+		{"bad op", Delta{Op: 0, ID: "i0"}, "unknown op"},
+	}
+	for _, tc := range cases {
+		if _, err := ApplyDeltas(ds, tc.delta); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	// A failing batch must leave no partial effect observable.
+	if _, err := ApplyDeltas(ds, Delta{Op: ItemRemove, ID: "i2"}, Delta{Op: ItemRemove, ID: "i2"}); err == nil {
+		t.Fatal("double remove should fail")
+	}
+	if ds.N() != 3 {
+		t.Fatalf("failed batch mutated input: n=%d", ds.N())
+	}
+}
+
+func TestDeltaOpString(t *testing.T) {
+	if ItemAdd.String() != "add" || ItemRemove.String() != "remove" || AttrUpdate.String() != "update" {
+		t.Fatal("op strings drifted from the PATCH wire format")
+	}
+	if !strings.Contains(DeltaOp(99).String(), "99") {
+		t.Fatal("unknown op string should include the value")
+	}
+}

@@ -1,0 +1,87 @@
+package mc
+
+import (
+	"context"
+
+	"stablerank/internal/vecmat"
+)
+
+// Shift summarizes how one item's rank moved across a sample of weight-space
+// points after a dataset delta: the drift of stability mass the delta caused.
+type Shift struct {
+	// Rows is the number of pool samples evaluated.
+	Rows int
+	// Changed counts samples where the item's rank differs before vs after.
+	Changed int
+	// MeanBefore/MeanAfter are the item's mean rank across the samples. A
+	// missing side (item added or removed) counts as rank n+1 of that side's
+	// dataset, i.e. "below everything".
+	MeanBefore float64
+	MeanAfter  float64
+	// MeanAbsShift is the mean |after-before| rank displacement.
+	MeanAbsShift float64
+	// MaxAbsShift is the largest single-sample rank displacement.
+	MaxAbsShift int
+	// Improved/Worsened count samples where the rank got strictly better
+	// (smaller) or strictly worse (larger).
+	Improved int
+	Worsened int
+}
+
+// RankShift measures the rank displacement of one item across the first rows
+// weight samples of the pool (rows <= 0 or beyond the pool means all).
+// oldAttrs/oldItem address the item before the delta and newAttrs/newItem
+// after; pass a negative item index for the side where the item does not
+// exist (oldItem < 0 for an add, newItem < 0 for a remove), which scores as
+// rank n+1 on that side. The sweep is sequential and deterministic: the pool
+// rows are the analyzer's interned weight-space samples, so the same pool
+// yields the same Shift on every replica.
+func RankShift(ctx context.Context, oldAttrs, newAttrs vecmat.Matrix, oldItem, newItem int, pool vecmat.Matrix, rows int) (Shift, error) {
+	if rows <= 0 || rows > pool.Rows() {
+		rows = pool.Rows()
+	}
+	var sh Shift
+	var sumBefore, sumAfter, sumAbs float64
+	for r := 0; r < rows; r++ {
+		if r%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Shift{}, err
+			}
+		}
+		w := pool.Row(r)
+		before := oldAttrs.Rows() + 1
+		if oldItem >= 0 {
+			before = RankOf(oldAttrs, w, oldItem)
+		}
+		after := newAttrs.Rows() + 1
+		if newItem >= 0 {
+			after = RankOf(newAttrs, w, newItem)
+		}
+		sumBefore += float64(before)
+		sumAfter += float64(after)
+		d := after - before
+		if d != 0 {
+			sh.Changed++
+			if d < 0 {
+				sh.Improved++
+			} else {
+				sh.Worsened++
+			}
+		}
+		ad := d
+		if ad < 0 {
+			ad = -ad
+		}
+		sumAbs += float64(ad)
+		if ad > sh.MaxAbsShift {
+			sh.MaxAbsShift = ad
+		}
+	}
+	sh.Rows = rows
+	if rows > 0 {
+		sh.MeanBefore = sumBefore / float64(rows)
+		sh.MeanAfter = sumAfter / float64(rows)
+		sh.MeanAbsShift = sumAbs / float64(rows)
+	}
+	return sh, nil
+}

@@ -1,0 +1,74 @@
+package mc
+
+import (
+	"context"
+	"testing"
+
+	"stablerank/internal/vecmat"
+)
+
+func TestRankShiftUpdate(t *testing.T) {
+	// Three items in 2D; the pool has two weight samples.
+	old, err := vecmat.FromRows(2, [][]float64{{3, 0}, {2, 0}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 2 jumps to the top under both samples.
+	upd, err := vecmat.FromRows(2, [][]float64{{3, 0}, {2, 0}, {9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := vecmat.FromRows(2, [][]float64{{1, 0}, {0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := RankShift(context.Background(), old, upd, 2, 2, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Rows != 2 || sh.Changed != 2 || sh.Improved != 2 || sh.Worsened != 0 {
+		t.Fatalf("shift %+v", sh)
+	}
+	if sh.MeanBefore != 3 || sh.MeanAfter != 1 || sh.MaxAbsShift != 2 || sh.MeanAbsShift != 2 {
+		t.Fatalf("shift %+v", sh)
+	}
+}
+
+func TestRankShiftAddRemove(t *testing.T) {
+	old, _ := vecmat.FromRows(2, [][]float64{{2, 0}, {1, 0}})
+	with, _ := vecmat.FromRows(2, [][]float64{{2, 0}, {1, 0}, {3, 0}})
+	pool, _ := vecmat.FromRows(2, [][]float64{{1, 0}})
+	// Add: before side missing, counted as rank n_old+1 = 3; after rank 1.
+	sh, err := RankShift(context.Background(), old, with, -1, 2, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.MeanBefore != 3 || sh.MeanAfter != 1 || sh.Improved != 1 {
+		t.Fatalf("add shift %+v", sh)
+	}
+	// Remove: after side missing, counted as rank n_new+1 = 3.
+	sh, err = RankShift(context.Background(), with, old, 2, -1, pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.MeanBefore != 1 || sh.MeanAfter != 3 || sh.Worsened != 1 {
+		t.Fatalf("remove shift %+v", sh)
+	}
+}
+
+func TestRankShiftRowCapAndCancel(t *testing.T) {
+	attrs, _ := vecmat.FromRows(2, [][]float64{{1, 0}, {2, 0}})
+	pool := vecmat.New(8, 2)
+	sh, err := RankShift(context.Background(), attrs, attrs, 0, 0, pool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Rows != 3 || sh.Changed != 0 {
+		t.Fatalf("capped shift %+v", sh)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RankShift(ctx, attrs, attrs, 0, 0, pool, 0); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}

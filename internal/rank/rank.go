@@ -104,15 +104,7 @@ func (c *Computer) Compute(w geom.Vector) Ranking {
 	for i, s := range c.scores {
 		c.keys[i] = scoredIdx{key: sortKey(s), idx: int32(i)}
 	}
-	slices.SortFunc(c.keys, func(a, b scoredIdx) int {
-		if a.key != b.key {
-			if a.key < b.key {
-				return -1
-			}
-			return 1
-		}
-		return int(a.idx) - int(b.idx)
-	})
+	slices.SortFunc(c.keys, cmpScored)
 	for i, p := range c.keys {
 		c.order[i] = int(p.idx)
 	}

@@ -1,0 +1,213 @@
+package rank
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// cmpScored is the one total order over argsort elements: ascending key
+// (descending score) with the item index as tie-break. Compute's full sort
+// and Spliced's incremental binary searches share it, which is what makes a
+// spliced order bit-identical to a from-scratch sort.
+func cmpScored(a, b scoredIdx) int {
+	if a.key != b.key {
+		if a.key < b.key {
+			return -1
+		}
+		return 1
+	}
+	return int(a.idx) - int(b.idx)
+}
+
+// Spliced maintains a sorted ranking order under single-item score changes
+// without re-sorting. A score update moves exactly one element, so the new
+// order differs from the old one by one rotation: remove the item's old key,
+// binary-search the insertion point of the new key, and splice. Each
+// operation is O(n) slice movement + O(log n) search instead of an
+// O(n log n) sort — and, more importantly for the Monte-Carlo analyzers, it
+// avoids touching any other item's score.
+//
+// The maintained state is pinned to be bit-identical to a from-scratch
+// Computer over the same scores: identical interned keys, identical order,
+// identical tie-breaks.
+type Spliced struct {
+	keys  []scoredIdx
+	order []int // order[pos] = item index, best first
+	pos   []int // pos[item] = position in order; inverse of order
+	// spliced counts operations resolved by pure splicing; resorted counts
+	// the key-tie cases that fell back to a full sort (the splice position is
+	// technically unambiguous thanks to the index tie-break, but a tie on the
+	// interned key is re-verified with a canonical sort out of caution —
+	// it is the one case where two items compare equal on score).
+	spliced  int64
+	resorted int64
+}
+
+// NewSpliced builds the spliced ranking state over one score per item.
+func NewSpliced(scores []float64) *Spliced {
+	s := &Spliced{
+		keys:  make([]scoredIdx, len(scores)),
+		order: make([]int, len(scores)),
+		pos:   make([]int, len(scores)),
+	}
+	for i, sc := range scores {
+		s.keys[i] = scoredIdx{key: sortKey(sc), idx: int32(i)}
+	}
+	s.sortAll()
+	return s
+}
+
+// Len returns the number of ranked items.
+func (s *Spliced) Len() int { return len(s.order) }
+
+// Counters reports how many operations were resolved by splicing vs full
+// re-sorts.
+func (s *Spliced) Counters() (spliced, resorted int64) { return s.spliced, s.resorted }
+
+// Ranking returns the current order as a Ranking view. The slice is owned by
+// the Spliced state and mutated by later operations; callers retaining it
+// must Clone.
+func (s *Spliced) Ranking() Ranking { return Ranking{Order: s.order} }
+
+// Hash returns an FNV-1a digest of the current order, cheap enough to
+// compare spliced state against a rebuild in tests and /statsz.
+func (s *Spliced) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range s.order {
+		h ^= uint64(v)
+		h *= prime
+	}
+	return h
+}
+
+// Clone returns an independent deep copy, counters included.
+func (s *Spliced) Clone() *Spliced {
+	return &Spliced{
+		keys:     slices.Clone(s.keys),
+		order:    slices.Clone(s.order),
+		pos:      slices.Clone(s.pos),
+		spliced:  s.spliced,
+		resorted: s.resorted,
+	}
+}
+
+// sortAll canonically re-sorts the keys and rebuilds order/pos.
+func (s *Spliced) sortAll() {
+	slices.SortFunc(s.keys, cmpScored)
+	s.reindex(0, len(s.keys))
+}
+
+// reindex refreshes order/pos for positions [lo, hi).
+func (s *Spliced) reindex(lo, hi int) {
+	for p := lo; p < hi; p++ {
+		item := int(s.keys[p].idx)
+		s.order[p] = item
+		s.pos[item] = p
+	}
+}
+
+// searchKeys returns the position where k belongs in the (sorted) keys.
+func (s *Spliced) searchKeys(k scoredIdx) int {
+	return sort.Search(len(s.keys), func(i int) bool {
+		return cmpScored(s.keys[i], k) >= 0
+	})
+}
+
+// Update sets item's score and splices it into place. It reports whether the
+// operation was resolved by splicing (true) or fell back to a full re-sort
+// because the new key ties an existing one (false).
+func (s *Spliced) Update(item int, score float64) bool {
+	nk := scoredIdx{key: sortKey(score), idx: int32(item)}
+	p := s.pos[item]
+	if s.keys[p] == nk {
+		s.spliced++
+		return true
+	}
+	// Remove the stale key, then binary-search the new position in the
+	// remaining sorted keys.
+	copy(s.keys[p:], s.keys[p+1:])
+	s.keys = s.keys[:len(s.keys)-1]
+	t := s.searchKeys(nk)
+	tie := (t > 0 && s.keys[t-1].key == nk.key) || (t < len(s.keys) && s.keys[t].key == nk.key)
+	s.keys = append(s.keys, scoredIdx{})
+	copy(s.keys[t+1:], s.keys[t:])
+	s.keys[t] = nk
+	if tie {
+		// Ambiguous on score: re-establish the order canonically. The sort is
+		// a semantic no-op (the index tie-break already fixed the position)
+		// but guarantees the state matches a rebuild bit for bit.
+		s.resorted++
+		s.sortAll()
+		return false
+	}
+	s.spliced++
+	lo, hi := p, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.reindex(lo, hi+1)
+	return true
+}
+
+// Add appends a new item (index Len()) with the given score and splices it
+// into place, with the same splice/re-sort contract as Update.
+func (s *Spliced) Add(score float64) bool {
+	item := len(s.order)
+	nk := scoredIdx{key: sortKey(score), idx: int32(item)}
+	t := s.searchKeys(nk)
+	tie := (t > 0 && s.keys[t-1].key == nk.key) || (t < len(s.keys) && s.keys[t].key == nk.key)
+	s.keys = append(s.keys, scoredIdx{})
+	copy(s.keys[t+1:], s.keys[t:])
+	s.keys[t] = nk
+	s.order = append(s.order, 0)
+	s.pos = append(s.pos, 0)
+	if tie {
+		s.resorted++
+		s.sortAll()
+		return false
+	}
+	s.spliced++
+	s.reindex(t, len(s.keys))
+	return true
+}
+
+// Remove deletes item, shifting the indices of all later items down by one
+// (matching dataset item removal). Shifting indices preserves the relative
+// order within every key-tie group, so removal never needs a re-sort.
+func (s *Spliced) Remove(item int) {
+	p := s.pos[item]
+	copy(s.keys[p:], s.keys[p+1:])
+	s.keys = s.keys[:len(s.keys)-1]
+	for i := range s.keys {
+		if int(s.keys[i].idx) > item {
+			s.keys[i].idx--
+		}
+	}
+	s.order = s.order[:len(s.order)-1]
+	s.pos = s.pos[:len(s.pos)-1]
+	s.spliced++
+	s.reindex(0, len(s.keys))
+}
+
+// check panics if the internal invariants are violated; used by tests.
+func (s *Spliced) check() {
+	if len(s.keys) != len(s.order) || len(s.order) != len(s.pos) {
+		panic(fmt.Sprintf("rank: spliced length mismatch: %d keys, %d order, %d pos",
+			len(s.keys), len(s.order), len(s.pos)))
+	}
+	for p := 1; p < len(s.keys); p++ {
+		if cmpScored(s.keys[p-1], s.keys[p]) >= 0 {
+			panic(fmt.Sprintf("rank: spliced keys out of order at %d", p))
+		}
+	}
+	for p, item := range s.order {
+		if s.pos[item] != p || int(s.keys[p].idx) != item {
+			panic(fmt.Sprintf("rank: spliced order/pos mismatch at %d", p))
+		}
+	}
+}

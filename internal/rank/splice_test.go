@@ -1,0 +1,106 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSpliced builds the state from scratch over the scores — the oracle the
+// spliced state must match bit for bit.
+func refSpliced(scores []float64) *Spliced { return NewSpliced(scores) }
+
+func requireSameOrder(t *testing.T, got, want *Spliced) {
+	t.Helper()
+	if len(got.order) != len(want.order) {
+		t.Fatalf("order length %d, want %d", len(got.order), len(want.order))
+	}
+	for i := range got.order {
+		if got.order[i] != want.order[i] || got.keys[i] != want.keys[i] {
+			t.Fatalf("position %d: got item %d key %x, want item %d key %x",
+				i, got.order[i], got.keys[i].key, want.order[i], want.keys[i].key)
+		}
+	}
+	if got.Hash() != want.Hash() {
+		t.Fatalf("hash mismatch: %x vs %x", got.Hash(), want.Hash())
+	}
+}
+
+// TestSplicedMatchesResort drives a long random sequence of updates, adds and
+// removes — with a tie-heavy score distribution — and checks after every
+// operation that the spliced state equals a from-scratch rebuild.
+func TestSplicedMatchesResort(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		scores := make([]float64, 32)
+		drawScore := func() float64 {
+			// Half the draws land on a tiny integer grid to force key ties
+			// (including exact 0, exercising the ±0 collapse).
+			if rng.Intn(2) == 0 {
+				return float64(rng.Intn(4))
+			}
+			return rng.NormFloat64()
+		}
+		for i := range scores {
+			scores[i] = drawScore()
+		}
+		s := NewSpliced(scores)
+		s.check()
+		requireSameOrder(t, s, refSpliced(scores))
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0 && len(scores) > 1:
+				item := rng.Intn(len(scores))
+				s.Remove(item)
+				scores = append(scores[:item], scores[item+1:]...)
+			case op == 1:
+				scores = append(scores, drawScore())
+				s.Add(scores[len(scores)-1])
+			default:
+				item := rng.Intn(len(scores))
+				scores[item] = drawScore()
+				s.Update(item, scores[item])
+			}
+			s.check()
+			requireSameOrder(t, s, refSpliced(scores))
+		}
+		spliced, resorted := s.Counters()
+		if spliced == 0 {
+			t.Fatalf("seed %d: no operations spliced", seed)
+		}
+		if resorted == 0 {
+			t.Fatalf("seed %d: tie-heavy scores never forced a re-sort", seed)
+		}
+	}
+}
+
+// TestSplicedMatchesComputer pins the spliced order against the Computer's
+// full sort over the same scores (shared comparator, shared keys).
+func TestSplicedMatchesComputer(t *testing.T) {
+	scores := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 0, -0.0, 2}
+	s := NewSpliced(scores)
+	// Computer sorts scoredIdx the same way; replicate its key build.
+	want := refSpliced(scores)
+	requireSameOrder(t, s, want)
+	// An in-place update to the identical score must be a no-op splice.
+	before := s.Hash()
+	if !s.Update(3, scores[3]) {
+		t.Fatal("same-score update should splice")
+	}
+	if s.Hash() != before {
+		t.Fatal("same-score update changed the order")
+	}
+}
+
+func TestSplicedClone(t *testing.T) {
+	s := NewSpliced([]float64{2, 1, 3})
+	c := s.Clone()
+	c.Update(0, -10)
+	if s.order[0] != 2 || s.order[2] != 1 {
+		t.Fatalf("clone mutation leaked into original: %v", s.order)
+	}
+	sp, _ := s.Counters()
+	csp, _ := c.Counters()
+	if sp != 0 || csp != 1 {
+		t.Fatalf("counters not independent: %d vs %d", sp, csp)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -100,6 +101,10 @@ func (rs regionSpec) options(seed int64, samples, workers int, adaptive float64)
 type analyzerKey struct {
 	dataset string
 	gen     int64
+	// ver is the dataset's delta version within the generation. A PATCH bumps
+	// it, and resident analyzers are migrated to the new key via ApplyDelta
+	// (splicing their state) instead of being rebuilt.
+	ver     int64
 	region  string
 	seed    int64
 	samples int
@@ -110,7 +115,7 @@ type analyzerKey struct {
 }
 
 func (k analyzerKey) String() string {
-	s := fmt.Sprintf("%s@%d|%s|seed=%d|n=%d", k.dataset, k.gen, k.region, k.seed, k.samples)
+	s := fmt.Sprintf("%s@%d.%d|%s|seed=%d|n=%d", k.dataset, k.gen, k.ver, k.region, k.seed, k.samples)
 	if k.adaptive > 0 {
 		s += fmt.Sprintf("|adaptive=%s", strconv.FormatFloat(k.adaptive, 'g', -1, 64))
 	}
@@ -243,6 +248,62 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 		p.mu.Unlock()
 	}
 	return e.a, e.err
+}
+
+// applyDeltas migrates every resident analyzer of the named dataset to the
+// new (gen, ver) key by splicing the deltas into its derived state —
+// ApplyDelta shares the built Monte-Carlo pool, so the migrated analyzers
+// answer queries against the mutated dataset without drawing a sample.
+// In-flight or failed builds are dropped instead (the next request rebuilds
+// under the new key, exactly as before deltas existed). Returns how many
+// analyzers were migrated and dropped, the total splice/re-sort work, and
+// one migrated analyzer (nil if none) for the caller's drift measurement.
+func (p *analyzerPool) applyDeltas(name string, gen, ver int64, deltas []stablerank.Delta) (migrated, dropped int, spliced, resorted int64, first *stablerank.Analyzer) {
+	p.mu.Lock()
+	matches := make([]*poolItem, 0, 4)
+	for key, el := range p.entries {
+		if key.dataset == name {
+			matches = append(matches, el.Value.(*poolItem))
+		}
+	}
+	p.mu.Unlock()
+
+	for _, item := range matches {
+		var na *stablerank.Analyzer
+		if item.e.done() && item.e.err == nil && item.e.a != nil {
+			beforeSp, beforeRs := item.e.a.DeltaSplices(), item.e.a.DeltaResorts()
+			a, err := item.e.a.ApplyDelta(context.Background(), deltas...)
+			if err == nil {
+				na = a
+				spliced += na.DeltaSplices() - beforeSp
+				resorted += na.DeltaResorts() - beforeRs
+			}
+		}
+		nkey := item.key
+		nkey.gen, nkey.ver = gen, ver
+		p.mu.Lock()
+		if el, ok := p.entries[item.key]; ok && el.Value.(*poolItem) == item {
+			p.order.Remove(el)
+			delete(p.entries, item.key)
+		}
+		if na != nil {
+			if _, exists := p.entries[nkey]; !exists {
+				e := &analyzerEntry{ready: make(chan struct{}), a: na}
+				close(e.ready)
+				p.entries[nkey] = p.order.PushFront(&poolItem{key: nkey, e: e})
+			}
+		}
+		p.mu.Unlock()
+		if na != nil {
+			migrated++
+			if first == nil {
+				first = na
+			}
+		} else {
+			dropped++
+		}
+	}
+	return migrated, dropped, spliced, resorted, first
 }
 
 // analyzerStat is one resident analyzer's /statsz row. PoolBytes is the full

@@ -102,7 +102,7 @@ func (s *Server) computeBatch(r *http.Request, req *batchRequest) (*batchRespons
 	if ops := len(req.Verify) + len(req.TopH); ops > s.cfg.MaxBatchOps {
 		return nil, errBadRequest("batch has %d operations, limit %d", ops, s.cfg.MaxBatchOps)
 	}
-	ds, gen, ok := s.registry.Get(req.Dataset)
+	ds, gen, ver, ok := s.registry.Get(req.Dataset)
 	if !ok {
 		return nil, errNotFound("unknown dataset %q", req.Dataset)
 	}
@@ -150,7 +150,7 @@ func (s *Server) computeBatch(r *http.Request, req *batchRequest) (*batchRespons
 		}
 	}
 
-	key := analyzerKey{dataset: req.Dataset, gen: gen, region: spec.canonical(), seed: seed, samples: samples}
+	key := analyzerKey{dataset: req.Dataset, gen: gen, ver: ver, region: spec.canonical(), seed: seed, samples: samples}
 	a, err := s.analyzers.get(key, ds, spec)
 	if err != nil {
 		if _, isStatus := err.(statusError); isStatus {

@@ -93,7 +93,7 @@ func TestBatchExact2D(t *testing.T) {
 // the rest of the batch succeeds.
 func TestBatchPerItemError(t *testing.T) {
 	s, ts := newTestServer(t, nil)
-	ds, _, _ := s.registry.Get("ind3")
+	ds, _, _, _ := s.registry.Get("ind3")
 	// Build a worst-to-best id list; with 12 independent items some adjacent
 	// pair is dominated, making the reversed ranking infeasible. If not,
 	// the entry still answers (with stability ~0), so only assert on the

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -66,6 +67,31 @@ func (c *lruCache) put(key string, val []byte) {
 		delete(c.entries, oldest.Value.(*lruEntry).key)
 	}
 	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// invalidateDataset removes every cached response belonging to the named
+// dataset (keys start with "name@"; see analyzerKey.String) and reports how
+// many entries were removed and how many — belonging to other datasets —
+// survived. This is the fine-grained path dataset deltas use: a PATCH to one
+// dataset leaves every other dataset's cached responses untouched, where the
+// old whole-generation scheme would simply have orphaned them.
+func (c *lruCache) invalidateDataset(name string) (removed, survived int) {
+	prefix := name + "@"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*lruEntry)
+		if strings.HasPrefix(ent.key, prefix) {
+			c.order.Remove(el)
+			delete(c.entries, ent.key)
+			removed++
+		} else {
+			survived++
+		}
+		el = next
+	}
+	return removed, survived
 }
 
 // stats returns the cumulative hit/miss counters and the current size.

@@ -95,6 +95,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /datasets/{name}", s.handleAddDataset)
+	mux.HandleFunc("PATCH /datasets/{name}", s.handlePatchDataset)
+	mux.HandleFunc("PATCH /v1/datasets/{name}", s.handlePatchDataset)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/query/stream", s.handleQueryStream)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
@@ -116,6 +118,10 @@ func (s *Server) handleV1Get(w http.ResponseWriter, r *http.Request) {
 	name, op := r.PathValue("dataset"), r.PathValue("op")
 	if name == "jobs" {
 		s.handleGetJob(w, r, op)
+		return
+	}
+	if op == "drift" {
+		s.handleDrift(w, r, name)
 		return
 	}
 	var h queryHandler
@@ -216,6 +222,7 @@ type queryParams struct {
 	name    string
 	ds      *stablerank.Dataset
 	gen     int64
+	ver     int64
 	spec    regionSpec
 	seed    int64
 	samples int
@@ -230,7 +237,7 @@ func (s *Server) parseQueryParams(r *http.Request, name string) (*queryParams, e
 	if err := r.Context().Err(); err != nil {
 		return nil, err
 	}
-	ds, gen, ok := s.registry.Get(name)
+	ds, gen, ver, ok := s.registry.Get(name)
 	if !ok {
 		return nil, errNotFound("unknown dataset %q", name)
 	}
@@ -264,12 +271,12 @@ func (s *Server) parseQueryParams(r *http.Request, name string) (*queryParams, e
 	if samples < 1 || samples > int64(s.cfg.MaxSampleCount) {
 		return nil, errBadRequest("samples %d out of range [1, %d]", samples, s.cfg.MaxSampleCount)
 	}
-	return &queryParams{name: name, ds: ds, gen: gen, spec: spec, seed: seed, samples: int(samples)}, nil
+	return &queryParams{name: name, ds: ds, gen: gen, ver: ver, spec: spec, seed: seed, samples: int(samples)}, nil
 }
 
 // queryContextFor obtains the deduplicated analyzer for parsed parameters.
 func (s *Server) queryContextFor(qp *queryParams) (*queryContext, error) {
-	key := analyzerKey{dataset: qp.name, gen: qp.gen, region: qp.spec.canonical(), seed: qp.seed, samples: qp.samples}
+	key := analyzerKey{dataset: qp.name, gen: qp.gen, ver: qp.ver, region: qp.spec.canonical(), seed: qp.seed, samples: qp.samples}
 	a, err := s.analyzers.get(key, qp.ds, qp.spec)
 	if err != nil {
 		if _, isStatus := err.(statusError); isStatus {
@@ -527,6 +534,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"cancelled":      jobs.stopped,
 		},
 		"store":             s.storeStats(),
+		"deltas":            s.deltaStats(),
 		"streamed_rows":     s.streamedRows.Load(),
 		"inflight_requests": s.inflightRequests.Load(),
 		"workers":           s.workerCount(),
@@ -566,7 +574,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	names := s.registry.Names()
 	infos := make([]dsInfo, 0, len(names))
 	for _, n := range names {
-		if ds, _, ok := s.registry.Get(n); ok {
+		if ds, _, _, ok := s.registry.Get(n); ok {
 			infos = append(infos, dsInfo{Name: n, N: ds.N(), D: ds.D()})
 		}
 	}
@@ -597,7 +605,7 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("loading dataset: %v", err))
 		return
 	}
-	ds, _, _ := s.registry.Get(name)
+	ds, _, _, _ := s.registry.Get(name)
 	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "n": ds.N(), "d": ds.D()})
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -31,11 +32,14 @@ import (
 // Pool snapshot cache.
 
 // snapshotCache adapts the store's pools namespace to stablerank.PoolCache.
-// Snapshots are keyed by (dataset-hash, region, seed, samples,
-// layout-version): everything the deterministic pool draw depends on, plus
-// the codec version so a format change reads as a miss. Keying by content
-// hash (not dataset name/generation) means a re-uploaded identical dataset
-// still warm-starts, and a changed one can never alias a stale pool.
+// Snapshots are keyed by (dimension, region, seed, samples, layout-version):
+// exactly what the deterministic weight-space draw depends on, plus the codec
+// version so a format change reads as a miss. Dataset content is deliberately
+// NOT part of the key — pool samples are weight-space points, so replacing or
+// patching a dataset of the same dimension reuses the snapshot verbatim. (An
+// earlier scheme keyed on the dataset content hash; those entries were
+// orphaned by every re-upload and are garbage-collected by sweepStale at
+// boot.)
 type snapshotCache struct {
 	st       store.Store
 	maxBytes int64 // whole-store cap; snapshots are evicted oldest-first under it
@@ -47,21 +51,56 @@ type snapshotCache struct {
 	bytesWritten atomic.Int64
 	quarantined  atomic.Int64
 	evictions    atomic.Int64
+	swept        atomic.Int64
 }
 
 func newSnapshotCache(st store.Store, maxBytes int64, logf func(string, ...any)) *snapshotCache {
 	return &snapshotCache{st: st, maxBytes: maxBytes, logf: logf}
 }
 
-// snapshotKey renders the canonical pool identity for one analyzer key.
-func snapshotKey(ds *stablerank.Dataset, key analyzerKey) string {
-	return fmt.Sprintf("%016x|%s|seed=%d|n=%d|layout=%d",
-		ds.Hash(), key.region, key.seed, key.samples, stablerank.PoolLayoutVersion)
+// snapshotKey renders the canonical pool identity for one analyzer key. The
+// dimension is included because the draw emits d components per sample; name,
+// generation and content hash are not, because the draw depends on none of
+// them.
+func snapshotKey(d int, key analyzerKey) string {
+	return fmt.Sprintf("d=%d|%s|seed=%d|n=%d|layout=%d",
+		d, key.region, key.seed, key.samples, stablerank.PoolLayoutVersion)
 }
 
 // cacheFor returns the PoolCache an analyzer built for key should use.
 func (c *snapshotCache) cacheFor(ds *stablerank.Dataset, key analyzerKey) stablerank.PoolCache {
-	return &keyedPoolCache{c: c, key: snapshotKey(ds, key)}
+	return &keyedPoolCache{c: c, key: snapshotKey(ds.D(), key)}
+}
+
+// poolKeyRE matches the current snapshot key format's prefix.
+var poolKeyRE = regexp.MustCompile(`^d=\d+\|`)
+
+// sweepStale garbage-collects pool snapshots that no analyzer can ever load
+// again: entries in an old key format (content-hash keyed, orphaned by each
+// dataset replacement and never reclaimed — the bug this sweep fixes) or an
+// old snapshot layout version. Runs once at boot; the count lands in
+// /statsz store.snapshots.swept.
+func (c *snapshotCache) sweepStale() int {
+	entries, err := c.st.Entries(store.NSPools)
+	if err != nil {
+		c.logf("stablerankd: listing pool snapshots for sweep: %v", err)
+		return 0
+	}
+	layoutSuffix := fmt.Sprintf("|layout=%d", stablerank.PoolLayoutVersion)
+	removed := 0
+	for _, e := range entries {
+		if poolKeyRE.MatchString(e.Key) && strings.HasSuffix(e.Key, layoutSuffix) {
+			continue
+		}
+		if c.st.Delete(store.NSPools, e.Key) == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		c.swept.Add(int64(removed))
+		c.logf("stablerankd: swept %d stale pool snapshot(s)", removed)
+	}
+	return removed
 }
 
 // keyedPoolCache is one (snapshotCache, key) binding; the analyzer calls it
@@ -292,7 +331,7 @@ func (s *Server) execJob(ctx context.Context, j *job) (*queryResponse, error) {
 	if p == nil || s.cfg.CheckpointEvery < 0 || !checkpointable(cq) {
 		return s.execQuery(ctx, cq)
 	}
-	ds, gen, ok := s.registry.Get(cq.dataset)
+	ds, gen, ver, ok := s.registry.Get(cq.dataset)
 	if !ok {
 		return nil, errNotFound("unknown dataset %q", cq.dataset)
 	}
@@ -300,7 +339,7 @@ func (s *Server) execJob(ctx context.Context, j *job) (*queryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples, adaptive: cq.adaptive}
+	key := analyzerKey{dataset: cq.dataset, gen: gen, ver: ver, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples, adaptive: cq.adaptive}
 	a, err := s.analyzers.get(key, ds, cq.spec)
 	if err != nil {
 		if _, isStatus := err.(statusError); isStatus {
@@ -487,6 +526,7 @@ func (s *Server) storeStats() map[string]any {
 			"bytes_written": c.bytesWritten.Load(),
 			"quarantined":   c.quarantined.Load(),
 			"evictions":     c.evictions.Load(),
+			"swept":         c.swept.Load(),
 		}
 	} else {
 		out["snapshots"] = map[string]any{"enabled": false}

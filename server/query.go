@@ -182,7 +182,7 @@ func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, 
 // A list longer than MaxBatchOps is answered 413: the request is
 // well-formed, just bigger than this server accepts.
 func (s *Server) compileQuery(req *queryRequest, limits queryLimits) (*compiledQuery, error) {
-	ds, _, ok := s.registry.Get(req.Dataset)
+	ds, _, _, ok := s.registry.Get(req.Dataset)
 	if !ok {
 		return nil, errNotFound("unknown dataset %q", req.Dataset)
 	}
@@ -323,7 +323,7 @@ func itemIndex(ds *stablerank.Dataset, id string) (int, bool) {
 // Analyzer.Do call, and renders the response. It is shared by the
 // synchronous handler and the job workers.
 func (s *Server) execQuery(ctx context.Context, cq *compiledQuery) (*queryResponse, error) {
-	ds, gen, ok := s.registry.Get(cq.dataset)
+	ds, gen, ver, ok := s.registry.Get(cq.dataset)
 	if !ok {
 		return nil, errNotFound("unknown dataset %q", cq.dataset)
 	}
@@ -331,7 +331,7 @@ func (s *Server) execQuery(ctx context.Context, cq *compiledQuery) (*queryRespon
 	if err != nil {
 		return nil, err
 	}
-	key := analyzerKey{dataset: cq.dataset, gen: gen, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples, adaptive: cq.adaptive}
+	key := analyzerKey{dataset: cq.dataset, gen: gen, ver: ver, region: cq.spec.canonical(), seed: cq.seed, samples: cq.samples, adaptive: cq.adaptive}
 	a, err := s.analyzers.get(key, ds, cq.spec)
 	if err != nil {
 		if _, isStatus := err.(statusError); isStatus {

@@ -27,6 +27,13 @@ type Registry struct {
 type registryEntry struct {
 	ds  *stablerank.Dataset
 	gen int64
+	// ver counts delta applications within one generation: a full replacement
+	// bumps gen and resets ver, a PATCH bumps only ver. Keeping the two apart
+	// lets delta-aware maintenance migrate derived state in place while
+	// replacements still invalidate wholesale. ver is not persisted — every
+	// ver-keyed artifact (analyzers, response cache) is in-memory, so after a
+	// restart ver 0 over the persisted dataset is consistent by construction.
+	ver int64
 }
 
 // datasetNameRE bounds names to something that is safe in URLs and cache
@@ -170,15 +177,47 @@ func (r *Registry) LoadCSVFile(name, path string, hasHeader bool) error {
 }
 
 // Get returns the dataset registered under name together with its
-// generation (monotonic per name, starting at 1).
-func (r *Registry) Get(name string) (ds *stablerank.Dataset, gen int64, ok bool) {
+// generation (monotonic per name, starting at 1) and its delta version
+// (bumped by ApplyDeltas, reset by a full replacement).
+func (r *Registry) Get(name string) (ds *stablerank.Dataset, gen, ver int64, ok bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
 	if !ok {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	return e.ds, e.gen, true
+	return e.ds, e.gen, e.ver, true
+}
+
+// ApplyDeltas mutates the dataset registered under name by applying the
+// deltas in order, installing the result under the same generation with the
+// delta version bumped. Unlike Add, this does NOT bump the generation:
+// derived state is migrated incrementally by the caller, not thrown away.
+// The mutated dataset is persisted (under its unchanged generation) so it
+// survives a restart. The whole batch fails atomically on any invalid delta
+// or if it would empty the dataset.
+func (r *Registry) ApplyDeltas(name string, deltas []stablerank.Delta) (ds *stablerank.Dataset, gen, ver int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, ok := r.entries[name]
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("server: dataset %q not found", name)
+	}
+	nds, err := stablerank.ApplyDeltas(prev.ds, deltas...)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if nds.N() == 0 {
+		return nil, 0, 0, fmt.Errorf("server: deltas would empty dataset %q", name)
+	}
+	e := &registryEntry{ds: nds, gen: prev.gen, ver: prev.ver + 1}
+	if r.store != nil {
+		if err := persistDataset(r.store, name, e); err != nil {
+			return nil, 0, 0, fmt.Errorf("server: persisting dataset %q: %w", name, err)
+		}
+	}
+	r.entries[name] = e
+	return e.ds, e.gen, e.ver, nil
 }
 
 // Names returns the registered dataset names, sorted.

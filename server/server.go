@@ -12,6 +12,8 @@
 //	GET    /statsz                     cache hit rate, analyzers, jobs, streams
 //	GET    /datasets                   registered datasets
 //	POST   /datasets/{name}?header=    register a CSV dataset (request body)
+//	PATCH  /v1/datasets/{name}         apply a JSON delta list (add/remove/update)
+//	GET    /v1/{dataset}/drift         NDJSON stream of per-delta stability drift
 //	POST   /v1/query                   any mix of queries in one shared plan
 //	GET    /v1/query/stream            NDJSON incremental enumeration
 //	POST   /v1/jobs                    run a query list asynchronously
@@ -42,9 +44,20 @@
 // compatibility (it answers with a Deprecation header); new clients should
 // send the same operations to POST /v1/query.
 //
+// Datasets are mutable in place: PATCH /v1/datasets/{name} applies a JSON
+// delta list ({"deltas":[{"op":"update","id":"x","attrs":[...]}, ...]})
+// without invalidating derived state wholesale. Pool samples are weight-space
+// points — independent of dataset content — so resident analyzers migrate by
+// splicing the changed items into their maintained ranking state and keep
+// their sample pools; pool snapshots survive deltas entirely; and the
+// response cache is invalidated per dataset, not globally. Each PATCH's
+// stability drift (score and rank displacement of the touched items across
+// the pool) is published to GET /v1/{dataset}/drift subscribers as NDJSON.
+//
 // With Config.DataDir set the server is durable: registered datasets, built
-// Monte-Carlo sample pools (as checksummed snapshots keyed by dataset
-// content hash, region, seed, samples and codec layout version) and async
+// Monte-Carlo sample pools (as checksummed snapshots keyed by dimension,
+// region, seed, samples and codec layout version — dataset content is
+// irrelevant to the draw) and async
 // job state all persist under that directory, so a restart reloads the
 // catalog, answers its first query from a restored pool without resampling
 // (PoolBuilds stays 0 and results are bit-identical — the pool draw is
@@ -165,6 +178,11 @@ type Config struct {
 	// FillTimeout bounds one chunk-range fill request to one worker
 	// (default 30s).
 	FillTimeout time.Duration
+	// DriftSamples is how many pool rows the per-delta rank-shift measurement
+	// sweeps when publishing to GET /v1/{dataset}/drift (default 2048). Rank
+	// shift costs O(n) per pool row, so this bounds the extra work a PATCH
+	// does when drift subscribers are connected.
+	DriftSamples int
 	// Logf receives one line per request; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -225,6 +243,9 @@ func (c Config) Defaults() Config {
 	if c.FillTimeout == 0 {
 		c.FillTimeout = 30 * time.Second
 	}
+	if c.DriftSamples == 0 {
+		c.DriftSamples = 2048
+	}
 	return c
 }
 
@@ -258,6 +279,20 @@ type Server struct {
 	// streamedRows counts NDJSON enumeration lines served by
 	// GET /v1/query/stream, for /statsz.
 	streamedRows atomic.Int64
+
+	// Dataset-delta state: deltaMu serializes PATCH application per process
+	// (registry mutation, analyzer migration and cache invalidation move as
+	// one unit), drift fans events out to GET /v1/{dataset}/drift
+	// subscribers, and the counters feed /statsz "deltas" (see delta.go).
+	deltaMu          sync.Mutex
+	drift            *driftHub
+	deltasApplied    atomic.Int64
+	deltaSpliced     atomic.Int64
+	deltaResorted    atomic.Int64
+	deltaMigrated    atomic.Int64
+	deltaDropped     atomic.Int64
+	cacheInvalidated atomic.Int64
+	cacheSurvivals   atomic.Int64
 }
 
 // New builds a Server from cfg (zero value fine). With Config.DataDir set it
@@ -277,6 +312,7 @@ func New(cfg Config) (*Server, error) {
 			MaxSamples: cfg.MaxSampleCount,
 			Logf:       cfg.Logf,
 		},
+		drift: newDriftHub(),
 	}
 	if len(cfg.Peers) > 0 {
 		cs, err := newClusterState(cfg.Peers, cfg.SelfURL, cfg.RequestTimeout)
@@ -307,6 +343,9 @@ func New(cfg Config) (*Server, error) {
 		if !cfg.DisableSnapshotCache {
 			s.snapshots = newSnapshotCache(st, cfg.MaxStoreBytes, s.logf)
 			s.analyzers.snaps = s.snapshots
+			// Reclaim snapshots no analyzer can load anymore (old key formats
+			// were content-hash keyed and leaked one entry per replacement).
+			s.snapshots.sweepStale()
 		}
 		s.persister = newJobPersister(st, s.logf)
 	}
