@@ -57,7 +57,8 @@ type deltaRecord struct {
 	oldAttrs vecmat.Matrix
 	newAttrs vecmat.Matrix
 
-	passOnce sync.Once
+	passMu   sync.Mutex
+	passDone bool
 	passErr  error
 	stats    []scoreStat
 }
@@ -204,8 +205,8 @@ func (a *Analyzer) ApplyDelta(ctx context.Context, deltas ...Delta) (*Analyzer, 
 		// Share the built pool verbatim: the poolState cell is immutable once
 		// built, so both analyzers sweep the same backing matrix. The blocked
 		// row-pass pricing the delta against every sample is deferred to
-		// LastDrift (passOnce), so callers that never read drift pay only for
-		// the splice.
+		// LastDrift, so callers that never read drift pay only for the
+		// splice.
 		n.pool.Store(st)
 	} else {
 		n.pool.Store(&poolState{})
@@ -240,15 +241,28 @@ func removeRow(m vecmat.Matrix, idx int) vecmat.Matrix {
 	return out
 }
 
-// pass runs the per-delta score pass over the pool exactly once: one
+// pass runs the per-delta score pass over the pool at most once: one
 // EvalRowsBlocked sweep evaluating every touched item's before/after
 // attribute vectors against every pool sample. Fixed-size chunks are
 // sharded across workers and the partial sums are reduced in chunk order,
 // so the statistics are bit-deterministic for every worker count.
-func (rec *deltaRecord) pass(ctx context.Context, pool vecmat.Matrix, workers int) {
-	rec.passOnce.Do(func() {
-		rec.stats, rec.passErr = rec.scorePass(ctx, pool, workers)
-	})
+// A completed pass (success or deterministic failure) is latched and shared
+// by every later call; a pass aborted by the caller's context is NOT — the
+// cancellation is returned to that caller only, and the next call with a
+// live context retries the sweep.
+func (rec *deltaRecord) pass(ctx context.Context, pool vecmat.Matrix, workers int) ([]scoreStat, error) {
+	rec.passMu.Lock()
+	defer rec.passMu.Unlock()
+	if rec.passDone {
+		return rec.stats, rec.passErr
+	}
+	stats, err := rec.scorePass(ctx, pool, workers)
+	if err != nil && ctx.Err() != nil {
+		return nil, err
+	}
+	rec.stats, rec.passErr = stats, err
+	rec.passDone = true
+	return stats, err
 }
 
 const deltaChunkRows = 4096
@@ -378,9 +392,9 @@ func (a *Analyzer) LastDrift(ctx context.Context, rankRows int) ([]Drift, error)
 	if err != nil {
 		return nil, err
 	}
-	rec.pass(ctx, pool, a.Workers())
-	if rec.passErr != nil {
-		return nil, rec.passErr
+	stats, err := rec.pass(ctx, pool, a.Workers())
+	if err != nil {
+		return nil, err
 	}
 	out := make([]Drift, len(rec.trace))
 	for i, ap := range rec.trace {
@@ -393,9 +407,9 @@ func (a *Analyzer) LastDrift(ctx context.Context, rankRows int) ([]Drift, error)
 		out[i] = Drift{
 			ID:               ap.Delta.ID,
 			Op:               ap.Delta.Op,
-			PoolRows:         rec.stats[i].rows,
-			MeanScoreDelta:   rec.stats[i].mean,
-			MaxAbsScoreDelta: rec.stats[i].maxAbs,
+			PoolRows:         stats[i].rows,
+			MeanScoreDelta:   stats[i].mean,
+			MaxAbsScoreDelta: stats[i].maxAbs,
 			Shift:            sh,
 		}
 	}

@@ -137,6 +137,36 @@ func TestApplyDeltaErrors(t *testing.T) {
 	}
 }
 
+// TestLastDriftRetriesAfterCancel: a context cancelled during the drift
+// score pass must not be latched into the delta record — the same caller's
+// next LastDrift with a live context gets the real statistics.
+func TestLastDriftRetriesAfterCancel(t *testing.T) {
+	ctx := context.Background()
+	a, err := New(deltaDS(t, 12, 2, 4), WithSampleCount(1000), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Warm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	na, err := a.ApplyDelta(ctx, Delta{Op: AttrUpdate, ID: "i1", Attrs: geom.NewVector(100, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := na.LastDrift(cctx, 8); err == nil {
+		t.Fatal("LastDrift with a cancelled context should fail")
+	}
+	drift, err := na.LastDrift(ctx, 8)
+	if err != nil {
+		t.Fatalf("LastDrift after a cancelled attempt: %v", err)
+	}
+	if len(drift) != 1 || drift[0].PoolRows != 1000 || drift[0].MeanScoreDelta <= 0 {
+		t.Fatalf("retried drift = %+v", drift)
+	}
+}
+
 func TestLastDrift(t *testing.T) {
 	ctx := context.Background()
 	a, err := New(deltaDS(t, 12, 2, 4), WithSampleCount(1000), WithSeed(5))

@@ -250,15 +250,24 @@ func (p *analyzerPool) get(key analyzerKey, ds *stablerank.Dataset, spec regionS
 	return e.a, e.err
 }
 
-// applyDeltas migrates every resident analyzer of the named dataset to the
-// new (gen, ver) key by splicing the deltas into its derived state —
-// ApplyDelta shares the built Monte-Carlo pool, so the migrated analyzers
-// answer queries against the mutated dataset without drawing a sample.
-// In-flight or failed builds are dropped instead (the next request rebuilds
-// under the new key, exactly as before deltas existed). Returns how many
-// analyzers were migrated and dropped, the total splice/re-sort work, and
-// one migrated analyzer (nil if none) for the caller's drift measurement.
-func (p *analyzerPool) applyDeltas(name string, gen, ver int64, deltas []stablerank.Delta) (migrated, dropped int, spliced, resorted int64, first *stablerank.Analyzer) {
+// applyDeltas migrates resident analyzers of the named dataset from the
+// exact pre-PATCH (oldGen, oldVer) key to the new (gen, ver) key by splicing
+// the deltas into their derived state — ApplyDelta shares the built
+// Monte-Carlo pool, so the migrated analyzers answer queries against the
+// mutated dataset without drawing a sample. Every other name-matching entry
+// is dropped, not spliced: an analyzer left over from an older generation
+// (or inserted by a racing build against a different version) holds state
+// derived from different dataset content, and splicing the deltas into it
+// would rekey stale results under the current key. In-flight or failed
+// builds are likewise dropped (the next request rebuilds under the new key,
+// exactly as before deltas existed). Returns how many analyzers were
+// migrated and dropped, the total splice/re-sort work, and the drift
+// analyzer: the full-space migrated analyzer with a built pool whose key
+// sorts first (deterministic regardless of map iteration order), or nil when
+// none qualifies — region-restricted analyzers sample a different weight
+// space, so pricing drift on one would publish numbers that depend on which
+// analyzers happen to be resident.
+func (p *analyzerPool) applyDeltas(name string, oldGen, oldVer, gen, ver int64, deltas []stablerank.Delta) (migrated, dropped int, spliced, resorted int64, driftA *stablerank.Analyzer) {
 	p.mu.Lock()
 	matches := make([]*poolItem, 0, 4)
 	for key, el := range p.entries {
@@ -268,9 +277,11 @@ func (p *analyzerPool) applyDeltas(name string, gen, ver int64, deltas []stabler
 	}
 	p.mu.Unlock()
 
+	var driftKey string
 	for _, item := range matches {
 		var na *stablerank.Analyzer
-		if item.e.done() && item.e.err == nil && item.e.a != nil {
+		if item.key.gen == oldGen && item.key.ver == oldVer &&
+			item.e.done() && item.e.err == nil && item.e.a != nil {
 			beforeSp, beforeRs := item.e.a.DeltaSplices(), item.e.a.DeltaResorts()
 			a, err := item.e.a.ApplyDelta(context.Background(), deltas...)
 			if err == nil {
@@ -296,14 +307,16 @@ func (p *analyzerPool) applyDeltas(name string, gen, ver int64, deltas []stabler
 		p.mu.Unlock()
 		if na != nil {
 			migrated++
-			if first == nil {
-				first = na
+			if item.key.region == "full" && na.PoolBuilt() {
+				if k := nkey.String(); driftA == nil || k < driftKey {
+					driftA, driftKey = na, k
+				}
 			}
 		} else {
 			dropped++
 		}
 	}
-	return migrated, dropped, spliced, resorted, first
+	return migrated, dropped, spliced, resorted, driftA
 }
 
 // analyzerStat is one resident analyzer's /statsz row. PoolBytes is the full

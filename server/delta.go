@@ -169,20 +169,25 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 
 // applyDeltas moves the whole server to the post-delta dataset as one unit:
 // registry version bump, resident-analyzer splice migration, per-dataset
-// cache invalidation, counters, and the drift publication. deltaMu serializes
-// concurrent PATCHes so two batches can never interleave their migrations.
+// cache invalidation, and counters. deltaMu serializes concurrent PATCHes so
+// two batches can never interleave their migrations; the pre-PATCH (gen, ver)
+// read under the lock is what gates which resident analyzers may be spliced
+// forward. Drift is priced after the lock is released — LastDrift sweeps the
+// analyzer's whole pool, and holding deltaMu for that would block every
+// PATCH to every dataset for the duration.
 func (s *Server) applyDeltas(name string, deltas []stablerank.Delta) (deltaResponse, error) {
 	s.deltaMu.Lock()
-	defer s.deltaMu.Unlock()
-	oldDS, _, _, ok := s.registry.Get(name)
+	oldDS, oldGen, oldVer, ok := s.registry.Get(name)
 	if !ok {
+		s.deltaMu.Unlock()
 		return deltaResponse{}, errNotFound("unknown dataset %q", name)
 	}
 	ds, gen, ver, err := s.registry.ApplyDeltas(name, deltas)
 	if err != nil {
+		s.deltaMu.Unlock()
 		return deltaResponse{}, errBadRequest("applying deltas: %v", err)
 	}
-	migrated, dropped, spliced, resorted, first := s.analyzers.applyDeltas(name, gen, ver, deltas)
+	migrated, dropped, spliced, resorted, driftA := s.analyzers.applyDeltas(name, oldGen, oldVer, gen, ver, deltas)
 	removed, survived := s.cache.invalidateDataset(name)
 
 	s.deltasApplied.Add(int64(len(deltas)))
@@ -192,9 +197,10 @@ func (s *Server) applyDeltas(name string, deltas []stablerank.Delta) (deltaRespo
 	s.deltaDropped.Add(int64(dropped))
 	s.cacheInvalidated.Add(int64(removed))
 	s.cacheSurvivals.Add(int64(survived))
+	s.deltaMu.Unlock()
 
 	if s.drift.hasSubscribers(name) {
-		s.publishDrift(name, gen, ver, oldDS, deltas, first)
+		s.publishDrift(name, gen, ver, oldDS, deltas, driftA)
 	}
 	return deltaResponse{
 		Dataset:           name,
@@ -213,10 +219,13 @@ func (s *Server) applyDeltas(name string, deltas []stablerank.Delta) (deltaRespo
 }
 
 // publishDrift prices the batch's stability drift and fans it out to the
-// dataset's drift subscribers. A migrated analyzer measures against its own
-// (already built) pool; with none resident, a throwaway DriftSamples-row pool
-// prices the batch instead — either way the cost is bounded by DriftSamples
-// rank passes, so a PATCH with subscribers stays cheap.
+// dataset's drift subscribers. migrated, when non-nil, is a full-space
+// migrated analyzer with an already built pool (analyzerPool.applyDeltas
+// selects it deterministically), so LastDrift never draws a pool here and
+// the published numbers have stable semantics; with none resident, a
+// throwaway DriftSamples-row pool prices the batch instead — either way the
+// rank-shift cost is bounded by DriftSamples rank passes, so a PATCH with
+// subscribers stays cheap.
 func (s *Server) publishDrift(name string, gen, ver int64, oldDS *stablerank.Dataset, deltas []stablerank.Delta, migrated *stablerank.Analyzer) {
 	ctx := context.Background()
 	var (

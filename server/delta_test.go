@@ -131,6 +131,51 @@ func TestPatchDatasetSplicesState(t *testing.T) {
 	}
 }
 
+// TestPatchDropsStaleGenerationAnalyzers: an analyzer left resident after a
+// full dataset replacement (Add bumps the generation but never purges the
+// pool) holds state derived from the replaced content, so a later PATCH must
+// drop it rather than splice it forward — the next query rebuilds against
+// the current dataset.
+func TestPatchDropsStaleGenerationAnalyzers(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	if code, _ := get(t, ts, "/v1/ind3/verify?weights=1,1,1", nil); code != http.StatusOK {
+		t.Fatalf("warm ind3 = %d", code)
+	}
+	// Replace ind3 wholesale: generation 1 -> 2, the gen-1 analyzer stays
+	// resident.
+	if err := s.registry.Add("ind3", seedDataset(12, 3, 99)); err != nil {
+		t.Fatal(err)
+	}
+	buildsBefore := s.analyzers.builds.Load()
+
+	var pr deltaResponse
+	code, body := patchRaw(t, ts.URL, "ind3", `{"deltas":[{"op":"update","id":"i0","attrs":[9,9,9]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("patch = %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatalf("patch body: %v\n%s", err, body)
+	}
+	if pr.AnalyzersMigrated != 0 || pr.AnalyzersDropped != 1 {
+		t.Fatalf("migrated %d / dropped %d, want 0 / 1: a stale-generation analyzer must not be spliced forward", pr.AnalyzersMigrated, pr.AnalyzersDropped)
+	}
+
+	// The next query cannot be served from the dropped analyzer: it rebuilds
+	// against the replaced-and-patched dataset.
+	var after struct {
+		Ranking []itemRef `json:"ranking"`
+	}
+	if code, _ := get(t, ts, "/v1/ind3/verify?weights=1,1,1", &after); code != http.StatusOK {
+		t.Fatalf("post-patch verify = %d", code)
+	}
+	if got := s.analyzers.builds.Load(); got != buildsBefore+1 {
+		t.Fatalf("post-patch verify triggered %d builds, want 1 (stale analyzer must be gone)", got-buildsBefore)
+	}
+	if len(after.Ranking) != 12 {
+		t.Fatalf("post-patch ranking has %d items, want 12", len(after.Ranking))
+	}
+}
+
 // TestPatchDatasetValidation pins the PATCH error surface, including batch
 // atomicity: one bad op rejects the whole batch and nothing changes.
 func TestPatchDatasetValidation(t *testing.T) {
