@@ -3,24 +3,23 @@ GO ?= go
 # Benchmark-trajectory artifact name; CI uploads one per PR so perf is
 # comparable across the PR sequence. CI derives the artifact path from this
 # via `make -s print-benchjson` instead of hardcoding it in the workflow.
-BENCHJSON ?= BENCH_pr9.json
+BENCHJSON ?= BENCH_pr10.json
 
 # Perf-gate knobs: the previous PR's checked-in benchmark stream, the gated
 # benchmark families (pool build, snapshot cold/warm load, every verification
 # path, the fused and adaptive query plans, the flat vecmat/rank kernels, the
 # remote chunk-fill protocol, and the incremental dataset-delta path), the
 # tolerated slowdown, and the noise floor below which 1x timings are not
-# trusted. DeltaApply and DriftStream enter the gate this PR: the gate only
-# compares benchmarks present in both streams, so they start gating from the
-# next baseline on.
-BENCHBASE ?= BENCH_pr8.json
+# trusted. With the baseline rolled to PR 9's stream, DeltaApply and
+# DriftStream are present on both sides and now gate.
+BENCHBASE ?= BENCH_pr9.json
 GATEMATCH ?= PoolBuild|SnapshotLoad|VerifyBatch|QueryFused|QueryAdaptive|SV2D|SVMD|Kernel|RemoteChunkFill|DeltaApply|DriftStream
 GATETHRESHOLD ?= 1.25
 # 2ms gates every verification benchmark tier that runs long enough to be
 # stable at -benchtime 1x while skipping microsecond-scale noise.
 GATEMIN ?= 2ms
 
-.PHONY: all build test race vet fmt bench bench-short benchjson perfgate print-benchjson cluster-test cover apicheck apisnapshot clean-data ci
+.PHONY: all build test race vet fmt analyze bench bench-short benchjson perfgate print-benchjson cluster-test cover apicheck apisnapshot clean-data ci
 
 all: build
 
@@ -41,6 +40,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+## analyze: run the srlint determinism/concurrency analyzers (detrange,
+## onceerr, lockscope, ctxflow) over the whole tree; -stats prints the
+## //srlint: suppression census so justified exceptions stay visible
+analyze:
+	$(GO) run ./cmd/srlint -stats ./...
+
 ## fmt: fail if any file is not gofmt-clean
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -53,11 +58,15 @@ bench:
 bench-short:
 	$(GO) test -bench='BenchmarkFig10SV2D' -benchtime=1x -run '^$$' .
 
-## benchjson: run every benchmark once and emit test2json events to
-## $(BENCHJSON) — the benchmark-regression artifact CI uploads so future
-## PRs have a perf trajectory to compare against
+## benchjson: run every benchmark BENCHCOUNT times at one iteration each and
+## emit test2json events to $(BENCHJSON) — the benchmark-regression artifact
+## CI uploads so future PRs have a perf trajectory to compare against.
+## benchgate reduces the repeats to the per-benchmark minimum, and -p 1
+## serializes the package test binaries: both counter the scheduler noise
+## that dominates single-iteration timings on small runners.
+BENCHCOUNT ?= 3
 benchjson:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > $(BENCHJSON)
+	$(GO) test -p 1 -run '^$$' -bench . -benchtime 1x -count $(BENCHCOUNT) -json ./... > $(BENCHJSON)
 
 ## perfgate: fail if the fresh benchmark stream ($(BENCHJSON)) regressed
 ## beyond GATETHRESHOLD against the checked-in baseline ($(BENCHBASE))
@@ -107,4 +116,4 @@ clean-data:
 	rm -f coverage.out coverage.html .api.current.txt
 
 ## ci: everything the CI workflow's core job runs
-ci: build fmt vet test race apicheck
+ci: build fmt vet analyze test race apicheck

@@ -9,7 +9,9 @@
 // Only benchmarks present in BOTH streams and matching -match are gated;
 // baselines faster than -min are skipped, because single-iteration timings
 // of micro-benchmarks are dominated by scheduler noise rather than code.
-// New and vanished benchmarks are reported informationally.
+// When a stream repeats a benchmark (captured with -count N) the minimum
+// sample is used — repetition only adds noise, never speed. New and
+// vanished benchmarks are reported informationally.
 package main
 
 import (
@@ -145,7 +147,13 @@ func parse(r io.Reader) (map[string]float64, error) {
 				continue
 			}
 			name := cpuSuffix.ReplaceAllString(m[1], "")
-			results[name] = ns
+			// A stream captured with -count N repeats each benchmark; keep
+			// the minimum. Single-iteration timings only gain noise (GC,
+			// scheduler, a busy neighbor on the runner), so the fastest
+			// sample is the best estimate of the code's true cost.
+			if prev, ok := results[name]; !ok || ns < prev {
+				results[name] = ns
+			}
 		}
 	}
 	return results, nil

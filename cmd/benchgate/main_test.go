@@ -112,6 +112,51 @@ func TestGateReportsNewAndGone(t *testing.T) {
 	}
 }
 
+// TestCandidateOnlyFamilyIsReported pins the contract for brand-new
+// benchmark families: a family present only in the candidate stream (the
+// usual state of a benchmark added in the same PR that should start gating
+// next PR) must surface as an explicit "new" row naming the benchmark — not
+// be silently dropped just because the baseline has nothing to compare it
+// against — and must not fail the gate, even when -match selects it.
+func TestCandidateOnlyFamilyIsReported(t *testing.T) {
+	base := write(t, "base.json", stream(
+		"BenchmarkPoolBuild/workers=1-8\t1\t100000000 ns/op",
+	))
+	cand := write(t, "cand.json", stream(
+		"BenchmarkPoolBuild/workers=1-8\t1\t100000000 ns/op",
+		"BenchmarkDeltaApply/batch=16-8\t1\t900000000 ns/op",
+		"BenchmarkDeltaApply/batch=256-8\t1\t900000000 ns/op",
+	))
+	var out, errOut strings.Builder
+	code := run([]string{"-baseline", base, "-candidate", cand,
+		"-match", "PoolBuild|DeltaApply", "-threshold", "1.25"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("candidate-only family failed the gate (code %d):\n%s%s", code, out.String(), errOut.String())
+	}
+	for _, name := range []string{"BenchmarkDeltaApply/batch=16", "BenchmarkDeltaApply/batch=256"} {
+		if !strings.Contains(out.String(), "new       "+name) {
+			t.Errorf("candidate-only benchmark %s not reported as new:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestParseTakesMinimumOfRepeats: a stream captured with -count N repeats
+// each benchmark; parse must keep the fastest sample, the best estimate of
+// true cost under scheduler noise.
+func TestParseTakesMinimumOfRepeats(t *testing.T) {
+	got, err := parse(strings.NewReader(stream(
+		"BenchmarkPoolBuild/workers=1-8\t1\t120000000 ns/op",
+		"BenchmarkPoolBuild/workers=1-8\t1\t100000000 ns/op",
+		"BenchmarkPoolBuild/workers=1-8\t1\t150000000 ns/op",
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkPoolBuild/workers=1"] != 100000000 {
+		t.Errorf("repeated benchmark = %v, want the 100000000 minimum", got["BenchmarkPoolBuild/workers=1"])
+	}
+}
+
 func TestGateUsageErrors(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(nil, &out, &errOut); code != 2 {

@@ -1,0 +1,295 @@
+// Command srlint runs the stablerank determinism and concurrency analyzers
+// (detrange, onceerr, lockscope, ctxflow) over Go packages.
+//
+// Standalone:
+//
+//	srlint [-checks=...] [-stats] ./...
+//
+// findings print to stdout as file:line:col: [analyzer] message and the exit
+// status is 1 when any survive suppression. -stats appends the //srlint:
+// suppression census so justified exceptions stay visible.
+//
+// As a vet tool:
+//
+//	go vet -vettool=$(which srlint) ./...
+//
+// srlint speaks the go vet driver protocol: -V=full prints a build-ID
+// version line, -flags describes the supported flags as JSON, and a lone
+// *.cfg argument runs one analysis unit from the JSON config the go command
+// prepared (files, import map, export data). Test files are skipped in both
+// modes so fixtures and test helpers can use maps and contexts freely.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"stablerank/internal/lint"
+	"stablerank/internal/lint/ctxflow"
+	"stablerank/internal/lint/detrange"
+	"stablerank/internal/lint/load"
+	"stablerank/internal/lint/lockscope"
+	"stablerank/internal/lint/onceerr"
+)
+
+var (
+	flagV      = flag.String("V", "", "print version and exit (go vet tool handshake; use -V=full)")
+	flagFlags  = flag.Bool("flags", false, "print the supported flags as JSON and exit (go vet tool handshake)")
+	flagStats  = flag.Bool("stats", false, "print the //srlint: suppression census after findings")
+	flagChecks = flag.String("checks", "", "comma-separated analyzer names to run (default: all of detrange,onceerr,lockscope,ctxflow)")
+
+	flagDetrangePkgs = flag.String("detrange.pkgs", "",
+		"comma-separated determinism-critical import paths for detrange (\"*\" = every package; default: the stablerank core list)")
+	flagLockExpensive = flag.String("lockscope.expensive", "",
+		"comma-separated substrings of type-qualified call names lockscope treats as expensive under a mutex")
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Parse()
+	if *flagV != "" {
+		printVersion()
+		return 0
+	}
+	if *flagFlags {
+		printFlags()
+		return 0
+	}
+
+	analyzers, err := buildAnalyzers()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srlint: %v\n", err)
+		return 1
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0], analyzers)
+	}
+	return standalone(args, analyzers)
+}
+
+// buildAnalyzers assembles the analyzer set from the -checks selection and
+// the per-analyzer configuration flags.
+func buildAnalyzers() ([]*lint.Analyzer, error) {
+	var detrangePkgs []string
+	if *flagDetrangePkgs != "" {
+		detrangePkgs = splitList(*flagDetrangePkgs)
+	}
+	var expensive []string
+	if *flagLockExpensive != "" {
+		expensive = splitList(*flagLockExpensive)
+	}
+	all := []*lint.Analyzer{
+		detrange.New(detrangePkgs...),
+		onceerr.New(),
+		lockscope.New(expensive...),
+		ctxflow.New(),
+	}
+	if *flagChecks == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range splitList(*flagChecks) {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q in -checks (have: detrange, onceerr, lockscope, ctxflow)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// standalone loads packages by pattern and reports findings to stdout.
+func standalone(patterns []string, analyzers []*lint.Analyzer) int {
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srlint: %v\n", err)
+		return 1
+	}
+	res := lint.Run(pkgs, analyzers)
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	if *flagStats {
+		printStats(res)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "srlint: %d finding(s)\n", len(res.Findings))
+		return 1
+	}
+	return 0
+}
+
+// printStats reports the suppression census: every //srlint: directive in
+// the analyzed packages and how many findings each absorbed.
+func printStats(res lint.Result) {
+	absorbed := 0
+	for _, s := range res.Suppressions {
+		absorbed += s.Hits
+	}
+	fmt.Printf("srlint: %d suppression directive(s), %d finding(s) absorbed\n",
+		len(res.Suppressions), absorbed)
+	for _, s := range res.Suppressions {
+		fmt.Printf("  %s: //srlint:%s (hits %d): %s\n", s.Pos, s.Name, s.Hits, s.Reason)
+	}
+}
+
+// vetConfig is the JSON unit config the go command hands a -vettool, one
+// package per invocation (the same schema x/tools' unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one go vet unit described by the JSON config at cfgPath.
+// Findings go to stderr (the go command relays them) and exit status 2
+// signals diagnostics, matching the unitchecker convention.
+func vetUnit(cfgPath string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "srlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the vetx output file to exist afterwards, even
+	// though srlint exports no facts.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "srlint: %v\n", err)
+			return false
+		}
+		return true
+	}
+
+	// Skip test files (and pure test packages): fixtures and test helpers
+	// may use maps and contexts freely, same as standalone mode, where the
+	// loader only sees GoFiles.
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if cfg.VetxOnly || len(goFiles) == 0 {
+		if !writeVetx() {
+			return 1
+		}
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := load.FromFiles(cfg.ImportPath, cfg.Dir, goFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			if !writeVetx() {
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "srlint: %v\n", err)
+		return 1
+	}
+
+	res := lint.Run([]*load.Package{pkg}, analyzers)
+	if !writeVetx() {
+		return 1
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(res.Findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion emits the -V=full line the go command uses to build the vet
+// tool's cache ID; the hash of our own executable keys cached results to
+// this exact build of the analyzers.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("srlint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// printFlags describes the supported flags as JSON for `go vet`, which
+// validates user-provided analyzer flags against this list.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		_, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srlint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

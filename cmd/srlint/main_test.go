@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stablerank/internal/lint"
+)
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitList[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuildAnalyzersSelection(t *testing.T) {
+	defer flag.Set("checks", "")
+	flag.Set("checks", "detrange,ctxflow")
+	as, err := buildAnalyzers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "detrange" || as[1].Name != "ctxflow" {
+		t.Errorf("buildAnalyzers(-checks=detrange,ctxflow) = %v", names(as))
+	}
+
+	flag.Set("checks", "nosuch")
+	if _, err := buildAnalyzers(); err == nil {
+		t.Error("buildAnalyzers(-checks=nosuch) succeeded, want error")
+	}
+
+	flag.Set("checks", "")
+	as, err = buildAnalyzers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 4 {
+		t.Errorf("default analyzer set has %d analyzers, want 4 (%v)", len(as), names(as))
+	}
+}
+
+func names(as []*lint.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// buildBinary compiles srlint once per test binary into a temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "srlint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building srlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestStandalone runs the built binary over the demo and clean fixtures:
+// findings mean exit 1 with positions on stdout, a clean tree exits 0, and
+// -checks narrows the analyzer set.
+func TestStandalone(t *testing.T) {
+	bin := buildBinary(t)
+
+	out, err := exec.Command(bin, "./testdata/src/demo").CombinedOutput()
+	if err == nil {
+		t.Errorf("srlint ./testdata/src/demo exited 0, want findings\n%s", out)
+	}
+	if !strings.Contains(string(out), "demo.go") || !strings.Contains(string(out), "context.Background()") {
+		t.Errorf("missing ctxflow finding in output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "./testdata/src/clean").CombinedOutput()
+	if err != nil {
+		t.Errorf("srlint ./testdata/src/clean failed: %v\n%s", err, out)
+	}
+
+	// Deselecting ctxflow silences the demo finding.
+	out, err = exec.Command(bin, "-checks=detrange,onceerr,lockscope", "./testdata/src/demo").CombinedOutput()
+	if err != nil {
+		t.Errorf("srlint -checks without ctxflow failed: %v\n%s", err, out)
+	}
+}
+
+// TestVetTool drives the full go vet driver protocol against the built
+// binary: -V=full handshake, unit .cfg analysis, diagnostics relayed through
+// the go command, and a clean package passing.
+func TestVetTool(t *testing.T) {
+	bin := buildBinary(t)
+
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("srlint -V=full: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "srlint version ") {
+		t.Fatalf("srlint -V=full output %q, want 'srlint version ...' prefix", out)
+	}
+
+	out, err = exec.Command("go", "vet", "-vettool="+bin, "./testdata/src/demo").CombinedOutput()
+	if err == nil {
+		t.Errorf("go vet -vettool on demo exited 0, want findings\n%s", out)
+	}
+	if !strings.Contains(string(out), "demo.go") || !strings.Contains(string(out), "context.Background()") {
+		t.Errorf("go vet did not relay the ctxflow finding:\n%s", out)
+	}
+
+	out, err = exec.Command("go", "vet", "-vettool="+bin, "./testdata/src/clean").CombinedOutput()
+	if err != nil {
+		t.Errorf("go vet -vettool on clean package failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,6 @@
+// Package clean is a fixture for the srlint command tests: no findings.
+package clean
+
+import "context"
+
+func Plumbed(ctx context.Context) error { return ctx.Err() }

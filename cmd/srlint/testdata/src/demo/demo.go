@@ -1,0 +1,11 @@
+// Package demo is a fixture for the srlint command tests: one ctxflow
+// violation, nothing else.
+package demo
+
+import "context"
+
+func Detached() error {
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

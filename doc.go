@@ -63,6 +63,16 @@
 // in the service's /statsz), and /v1/query takes the same knob per request
 // as its "adaptive" field.
 //
+// The determinism invariants above are machine-checked, not aspirational:
+// cmd/srlint (run by `make analyze` and CI) rejects map iteration and
+// multi-ready selects in the determinism-critical internal packages unless
+// the order comes from a sort, sync.Once closures that latch a
+// context-derived error into shared state, expensive work performed while a
+// mutex is held or `// guarded by <mu>` fields touched without the lock, and
+// context.Context values minted outside main or stored in struct fields.
+// Every exception in the tree carries a justified //srlint: directive; the
+// suite's own tests pin the bug classes that motivated it.
+//
 // Durability: because the pool draw is deterministic in (dimension, region,
 // seed, sample count), a drawn pool can be snapshotted and restored
 // bit-identically instead of redrawn. WithPoolCache plugs a PoolCache in at

@@ -104,8 +104,8 @@ type Analyzer struct {
 	// baselineMu. The delta counters and the last delta record feed /statsz
 	// and the drift stream (see delta.go).
 	baselineMu    sync.Mutex
-	baseline      *rank.Spliced
-	baselineAttrs vecmat.Matrix
+	baseline      *rank.Spliced // guarded by baselineMu
+	baselineAttrs vecmat.Matrix // guarded by baselineMu
 
 	deltasApplied atomic.Int64
 	deltaSpliced  atomic.Int64
@@ -411,7 +411,7 @@ func (a *Analyzer) samplePool(ctx context.Context) (vecmat.Matrix, error) {
 	for {
 		st := a.pool.Load()
 		st.once.Do(func() {
-			st.samples, st.err = a.obtainPool(ctx)
+			st.samples, st.err = a.obtainPool(ctx) //srlint:onceerr not latched: the retry loop below swaps out a failed cell, and callers with live contexts rebuild
 			if st.err == nil && a.poolCache != nil {
 				st.key = a.poolCache.Key()
 			}
@@ -784,7 +784,7 @@ func (a *Analyzer) ItemRankDistribution(ctx context.Context, item, n int) (mc.Ra
 // (the Section 8 "characterize the boundaries" future work; see
 // md.Boundary). It works in any dimension. It is a wrapper over Do.
 func (a *Analyzer) Boundary(r rank.Ranking) ([]md.BoundaryFacet, error) {
-	res, err := a.Do(context.Background(), BoundaryQuery{Ranking: r})
+	res, err := a.Do(context.Background(), BoundaryQuery{Ranking: r}) //srlint:ctxflow boundary facets are exact geometry, no sampling; exported signature predates context plumbing
 	if err != nil {
 		return nil, err
 	}

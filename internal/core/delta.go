@@ -187,8 +187,8 @@ func (a *Analyzer) ApplyDelta(ctx context.Context, deltas ...Delta) (*Analyzer, 
 		poolCache:   a.poolCache,
 		poolFiller:  a.poolFiller,
 	}
-	n.baseline = nsp
-	n.baselineAttrs = nattrs
+	n.baseline = nsp         //srlint:lockscope n is freshly constructed and unshared; no other goroutine can see it yet
+	n.baselineAttrs = nattrs //srlint:lockscope n is freshly constructed and unshared; no other goroutine can see it yet
 	carry(&n.poolBuilds, &a.poolBuilds)
 	carry(&n.poolBuildNanos, &a.poolBuildNanos)
 	carry(&n.poolRestores, &a.poolRestores)

@@ -1,0 +1,86 @@
+// Package ctxflow enforces context plumbing discipline: contexts flow down
+// call chains as parameters from a root owned by main. Minting
+// context.Background() or context.TODO() mid-stack detaches the work below
+// it from caller cancellation, and storing a context in a struct field
+// freezes one request's deadline into state that outlives the request.
+// Package main (and tests, which the loader never analyzes) are exempt:
+// that is where roots legitimately live.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stablerank/internal/lint"
+)
+
+// New returns the ctxflow analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "ctxflow",
+		Doc: "flags context.Background()/TODO() outside package main and " +
+			"context.Context stored in struct fields",
+		Run: run,
+	}
+}
+
+func run(pass *lint.Pass) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isMain {
+					return true
+				}
+				if name := rootCtor(pass, n); name != "" {
+					pass.Reportf(n.Pos(),
+						"context.%s() outside package main detaches this call tree from caller cancellation; "+
+							"accept a ctx parameter instead (//srlint:ctxflow <reason> to justify)",
+						name)
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if !isContext(pass.TypeOf(field.Type)) {
+						continue
+					}
+					pos := field.Type.Pos()
+					if len(field.Names) > 0 {
+						pos = field.Names[0].Pos()
+					}
+					pass.Reportf(pos,
+						"context.Context stored in a struct field outlives the request that created it; "+
+							"pass ctx as a parameter instead (//srlint:ctxflow <reason> to justify)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rootCtor returns "Background" or "TODO" if the call is the corresponding
+// context constructor, else "".
+func rootCtor(pass *lint.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Background", "TODO":
+		return obj.Name()
+	}
+	return ""
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

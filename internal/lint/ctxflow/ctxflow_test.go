@@ -1,0 +1,17 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"stablerank/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", New())
+}
+
+// TestMainExempt: package main is where root contexts belong; the analyzer
+// must stay silent there.
+func TestMainExempt(t *testing.T) {
+	linttest.Run(t, "testdata/src/mainpkg", New())
+}

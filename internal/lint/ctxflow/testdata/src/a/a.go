@@ -1,0 +1,43 @@
+// Package a exercises the ctxflow analyzer: mid-stack context roots and
+// struct-stored contexts are flagged; parameter plumbing is clean.
+package a
+
+import "context"
+
+// detached mints its own root mid-stack.
+func detached() error {
+	ctx := context.Background() // want `context\.Background\(\) outside package main`
+	return work(ctx)
+}
+
+// todoStub parks a TODO that will never get cleaned up.
+func todoStub() error {
+	return work(context.TODO()) // want `context\.TODO\(\) outside package main`
+}
+
+// plumbed accepts its context like everything should.
+func plumbed(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+type badJob struct {
+	ctx  context.Context // want `context\.Context stored in a struct field`
+	name string
+}
+
+type goodJob struct {
+	name string
+}
+
+func (j *badJob) run() error                     { return work(j.ctx) }
+func (j *goodJob) run(ctx context.Context) error { return work(ctx) }
+
+// justified: a detached root for background maintenance, with a reason.
+func maintenance() error {
+	ctx := context.Background() //srlint:ctxflow maintenance loop owns its own lifetime, detached from any request
+	return work(ctx)
+}
+
+var _ = badJob{}

@@ -1,0 +1,12 @@
+// Command mainpkg shows the package-main exemption: root contexts
+// legitimately live here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,24 @@
+package detrange
+
+import (
+	"testing"
+
+	"stablerank/internal/lint/linttest"
+)
+
+func TestDetrange(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", New("*"))
+}
+
+// TestDriftPickRegression pins the PR 9 review bug (fixed in ae926f8) as a
+// permanent fixture: selecting the drift analyzer by map-iteration order
+// must be flagged, and the sorted-smallest-key fix must pass clean.
+func TestDriftPickRegression(t *testing.T) {
+	linttest.Run(t, "testdata/src/driftpick", New("*"))
+}
+
+// TestPackageScope: outside the determinism-critical package list the
+// analyzer stays silent, so the rest of the tree can use maps freely.
+func TestPackageScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/scoped", New("some/other/pkg"))
+}

@@ -1,0 +1,96 @@
+// Package a exercises the detrange analyzer: plain map ranges are flagged,
+// the collect-and-sort idiom passes, justified //srlint:ordered directives
+// suppress, and unjustified ones are themselves findings.
+package a
+
+import (
+	"sort"
+)
+
+func plainRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m iterates in runtime-randomized order`
+		total += v
+	}
+	return total
+}
+
+func collectAndSort(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func collectWithFilterGuard(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for k, v := range m {
+		if v == 0 {
+			continue
+		}
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for k := range m { // want `range over map m iterates`
+		names = append(names, k)
+	}
+	return names
+}
+
+func sideEffectBody(m map[string]int, sink func(string)) []string {
+	names := make([]string, 0, len(m))
+	for k := range m { // want `range over map m iterates`
+		sink(k)
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func justified(m map[string]int) int {
+	total := 0
+	//srlint:ordered summation is commutative; order never escapes
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func justifiedTrailing(m map[string]int) {
+	for k := range m { //srlint:ordered delete set is order-independent
+		delete(m, k)
+	}
+}
+
+func sliceRangeIsFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func multiReadySelect(a, b chan int) int {
+	select { // want `select with 2 communication cases picks a ready case pseudorandomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singleCaseSelect(stop chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}

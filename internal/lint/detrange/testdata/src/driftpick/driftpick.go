@@ -1,0 +1,44 @@
+// Package driftpick is the regression fixture distilled from the PR 9
+// review bug fixed in ae926f8: analyzerPool.applyDeltas picked "the first
+// migrated analyzer" while ranging over the resident-entries map, so the
+// analyzer that priced published drift numbers depended on map iteration
+// order — different on every run. detrange must flag the selection loop.
+package driftpick
+
+import "sort"
+
+type analyzer struct {
+	key  string
+	full bool
+}
+
+type pool struct {
+	entries map[string]*analyzer
+}
+
+// firstByIteration is the buggy shape: the "first" match depends on
+// runtime-randomized map order.
+func (p *pool) firstByIteration() *analyzer {
+	for _, a := range p.entries { // want `range over map p.entries iterates in runtime-randomized order`
+		if a.full {
+			return a
+		}
+	}
+	return nil
+}
+
+// smallestKey is the ae926f8 fix: collect the keys, sort them, and take the
+// deterministic minimum.
+func (p *pool) smallestKey() *analyzer {
+	keys := make([]string, 0, len(p.entries))
+	for k := range p.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if a := p.entries[k]; a.full {
+			return a
+		}
+	}
+	return nil
+}

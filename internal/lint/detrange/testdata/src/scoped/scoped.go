@@ -1,0 +1,11 @@
+// Package scoped holds a map range that detrange must ignore when the
+// package is not on the determinism-critical list.
+package scoped
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,240 @@
+// Package lint is a small, dependency-free analysis framework in the shape
+// of golang.org/x/tools/go/analysis, carrying the project's determinism and
+// concurrency invariants as mechanical checks. Each Analyzer inspects one
+// type-checked package (loaded by internal/lint/load) and reports findings;
+// the driver applies //srlint: suppression directives, so every exception to
+// an invariant is written down next to the code it excuses.
+//
+// The invariants themselves (why map iteration, latched once-errors, and
+// expensive work under mutexes are bugs here) are documented on the
+// individual analyzers in the sibling packages detrange, onceerr, lockscope,
+// and ctxflow.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"stablerank/internal/lint/load"
+)
+
+// Analyzer is one invariant check over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and selects it on the
+	// srlint command line.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Directive is the //srlint:<Directive> name that suppresses this
+	// analyzer's findings at a site. Empty means Name.
+	Directive string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// DirectiveName returns the suppression directive for the analyzer.
+func (a *Analyzer) DirectiveName() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is Info.TypeOf with a nil guard for robustness in analyzers.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Suppression is one //srlint: directive site and how many findings it
+// absorbed. Directives are themselves counted so `srlint -stats` can report
+// how much of the tree lives on justified exceptions.
+type Suppression struct {
+	Pos    token.Position
+	Name   string // directive name, e.g. "ordered"
+	Reason string
+	Hits   int
+}
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages: the surviving findings (position-sorted) and every suppression
+// directive encountered.
+type Result struct {
+	Findings     []Finding
+	Suppressions []Suppression
+}
+
+// directivePrefix introduces a suppression comment: //srlint:<name> <reason>.
+const directivePrefix = "//srlint:"
+
+// directive is one parsed //srlint: comment.
+type directive struct {
+	pos    token.Position
+	name   string
+	reason string
+	hits   int
+}
+
+// parseDirectives scans a file's comments for //srlint: directives, keyed by
+// the line they justify: a trailing directive suppresses its own line, a
+// directive alone on a line suppresses the line below.
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var ds []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			ds = append(ds, &directive{
+				pos:    fset.Position(c.Pos()),
+				name:   name,
+				reason: strings.TrimSpace(reason),
+			})
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether d excuses a finding by an analyzer with
+// directive name at line in the same file.
+func (d *directive) suppresses(name string, file string, line int) bool {
+	return d.name == name && d.reason != "" && d.pos.Filename == file &&
+		(d.pos.Line == line || d.pos.Line == line-1)
+}
+
+// Run executes the analyzers over each package, validates and applies
+// //srlint: directives, and returns surviving findings plus the suppression
+// census. Directive misuse (an unknown name, or a directive with no reason)
+// is itself a finding: an unexplained exception is exactly the rot these
+// checks exist to stop.
+func Run(pkgs []*load.Package, analyzers []*Analyzer) Result {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.DirectiveName()] = true
+	}
+
+	var res Result
+	for _, pkg := range pkgs {
+		var findings []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+
+		var directives []*directive
+		for _, f := range pkg.Files {
+			directives = append(directives, parseDirectives(pkg.Fset, f)...)
+		}
+		for _, d := range directives {
+			switch {
+			case !known[d.name]:
+				findings = append(findings, Finding{
+					Analyzer: "srlint",
+					Pos:      d.pos,
+					Message: fmt.Sprintf("unknown directive %q (known: %s)",
+						directivePrefix+d.name, strings.Join(directiveNames(analyzers), ", ")),
+				})
+			case d.reason == "":
+				findings = append(findings, Finding{
+					Analyzer: "srlint",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("%s%s requires a non-empty justification", directivePrefix, d.name),
+				})
+			}
+		}
+
+		byName := make(map[string]string, len(analyzers)) // analyzer -> directive
+		for _, a := range analyzers {
+			byName[a.Name] = a.DirectiveName()
+		}
+		for _, f := range findings {
+			dname := byName[f.Analyzer]
+			suppressed := false
+			for _, d := range directives {
+				if dname != "" && d.suppresses(dname, f.Pos.Filename, f.Pos.Line) {
+					d.hits++
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				res.Findings = append(res.Findings, f)
+			}
+		}
+		for _, d := range directives {
+			res.Suppressions = append(res.Suppressions, Suppression{
+				Pos: d.pos, Name: d.name, Reason: d.reason, Hits: d.hits,
+			})
+		}
+	}
+
+	sort.Slice(res.Findings, func(i, j int) bool { return posLess(res.Findings[i].Pos, res.Findings[j].Pos) })
+	sort.Slice(res.Suppressions, func(i, j int) bool { return posLess(res.Suppressions[i].Pos, res.Suppressions[j].Pos) })
+	return res
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func directiveNames(analyzers []*Analyzer) []string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.DirectiveName())
+	}
+	sort.Strings(names)
+	return names
+}

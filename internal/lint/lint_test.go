@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"stablerank/internal/lint"
+	"stablerank/internal/lint/detrange"
+	"stablerank/internal/lint/load"
+)
+
+// TestDirectiveMisuse checks the driver's directive validation directly
+// (want-comments can't express these cases: a directive comment runs to end
+// of line, so a same-line want would become part of its reason). The fixture
+// has three map-range loops: one with an empty-reason directive, one with an
+// unknown directive name, one correctly justified.
+func TestDirectiveMisuse(t *testing.T) {
+	pkgs, err := load.Packages("", "./testdata/src/directives")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	res := lint.Run(pkgs, []*lint.Analyzer{detrange.New("*")})
+
+	var driver, ranges []lint.Finding
+	for _, f := range res.Findings {
+		switch f.Analyzer {
+		case "srlint":
+			driver = append(driver, f)
+		case "detrange":
+			ranges = append(ranges, f)
+		}
+	}
+
+	// The empty-reason and unknown-name directives are driver findings...
+	if len(driver) != 2 {
+		t.Fatalf("driver findings = %d, want 2: %v", len(driver), driver)
+	}
+	if !strings.Contains(driver[0].Message, "//srlint:ordered requires a non-empty justification") {
+		t.Errorf("empty-reason finding = %q", driver[0].Message)
+	}
+	if !strings.Contains(driver[1].Message, `unknown directive "//srlint:nosuchcheck"`) ||
+		!strings.Contains(driver[1].Message, "known: ordered") {
+		t.Errorf("unknown-name finding = %q", driver[1].Message)
+	}
+
+	// ...and neither suppresses its loop, while the justified loop is clean.
+	if len(ranges) != 2 {
+		t.Fatalf("detrange findings = %d, want 2 (misused directives must not suppress): %v", len(ranges), ranges)
+	}
+
+	// The suppression census lists all three directives; only the justified
+	// one absorbed a finding.
+	if len(res.Suppressions) != 3 {
+		t.Fatalf("suppressions = %d, want 3: %v", len(res.Suppressions), res.Suppressions)
+	}
+	hits := 0
+	for _, s := range res.Suppressions {
+		hits += s.Hits
+		if s.Hits > 0 && (s.Name != "ordered" || s.Reason == "") {
+			t.Errorf("unexpected suppression credited: %+v", s)
+		}
+	}
+	if hits != 1 {
+		t.Errorf("total suppression hits = %d, want 1", hits)
+	}
+}
+
+// TestDirectiveNameFallback: an analyzer without an explicit Directive uses
+// its Name.
+func TestDirectiveNameFallback(t *testing.T) {
+	a := &lint.Analyzer{Name: "demo"}
+	if got := a.DirectiveName(); got != "demo" {
+		t.Errorf("DirectiveName() = %q, want %q", got, "demo")
+	}
+	a.Directive = "other"
+	if got := a.DirectiveName(); got != "other" {
+		t.Errorf("DirectiveName() = %q, want %q", got, "other")
+	}
+}

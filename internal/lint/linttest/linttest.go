@@ -1,0 +1,102 @@
+// Package linttest runs lint analyzers over testdata fixture packages and
+// checks their findings against // want "regexp" comments, in the manner of
+// golang.org/x/tools/go/analysis/analysistest: a finding must land on the
+// exact line of a matching want comment, every want comment must be hit, and
+// anything else fails the test. Fixtures may carry //srlint: directives, so
+// suppression behavior is under test too.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stablerank/internal/lint"
+	"stablerank/internal/lint/load"
+)
+
+// Run loads the fixture package at pkgdir (relative to the test's working
+// directory, e.g. "testdata/src/a"), runs the analyzers over it through the
+// directive-aware driver, and diffs findings against // want comments.
+func Run(t *testing.T, pkgdir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Packages("", "./"+strings.TrimPrefix(pkgdir, "./"))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgdir, err)
+	}
+	res := lint.Run(pkgs, analyzers)
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := parseWants(pkg.Fset, f)
+			if err != nil {
+				t.Fatalf("fixture %s: %v", pkgdir, err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, f := range res.Findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts // want "re" ["re" ...] comments. The expectation
+// anchors to the line the comment sits on.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(text)
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s: malformed want comment (expected quoted regexp): %s", pos, c.Text)
+				}
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: malformed want comment: %v", pos, err)
+				}
+				pat, _ := strconv.Unquote(q)
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				rest = strings.TrimSpace(rest[len(q):])
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,167 @@
+// Package load builds type-checked syntax trees for Go packages without
+// depending on golang.org/x/tools. It shells out to `go list -export` for
+// package discovery and compiled export data (the go command produces both
+// offline), parses the target packages' sources with go/parser, and
+// type-checks them with go/types against the export data of their
+// dependencies — the same pipeline go/packages runs in LoadTypes|LoadSyntax
+// mode, reduced to what the srlint analyzers need.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // parsed GoFiles, with comments
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matching patterns, resolving
+// imports through the export data `go list -export` emits for every
+// transitive dependency. dir is the working directory for the go command
+// (the module the patterns are relative to); empty means the current one.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		filenames := make([]string, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			filenames = append(filenames, filepath.Join(lp.Dir, name))
+		}
+		pkg, err := typecheck(fset, imp, lp.ImportPath, lp.Dir, filenames)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// FromFiles parses and type-checks a single package from an explicit file
+// list, resolving imports through lookup (an opener of compiled export data
+// keyed by import path). This is the entry point for driving analyzers from
+// a `go vet -vettool` unit config, where the go command has already planned
+// the build and hands us the file and export-data lists directly.
+func FromFiles(importPath, dir string, goFiles []string, lookup func(path string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return typecheck(fset, imp, importPath, dir, goFiles)
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

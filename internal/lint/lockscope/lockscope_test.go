@@ -1,0 +1,18 @@
+package lockscope
+
+import (
+	"testing"
+
+	"stablerank/internal/lint/linttest"
+)
+
+func TestLockscope(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", New())
+}
+
+// TestDeltaMuRegression pins the PR 9 review bug (fixed in ae926f8): drift
+// was priced by a full pool sweep while deltaMu was held. The buggy shape
+// must be flagged and the price-then-lock rewrite must pass clean.
+func TestDeltaMuRegression(t *testing.T) {
+	linttest.Run(t, "testdata/src/deltamu", New())
+}

@@ -1,0 +1,80 @@
+// Package a exercises both halves of the lockscope analyzer: "guarded by"
+// field-comment enforcement and expensive-call-while-locked detection.
+package a
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	free  int
+}
+
+// get visibly locks mu, so the guarded access is fine.
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// peek touches the guarded field with no lock in sight.
+func (s *store) peek(k string) int {
+	return s.items[k] // want `field items is guarded by mu`
+}
+
+// sizeLocked declares via the suffix convention that its caller holds mu.
+func (s *store) sizeLocked() int {
+	return len(s.items)
+}
+
+// spare reads an unguarded field; no annotation, no finding.
+func (s *store) spare() int { return s.free }
+
+// approxSize is a deliberate unlocked read, justified.
+func (s *store) approxSize() int {
+	return len(s.items) //srlint:lockscope approximate size for metrics only; torn reads acceptable
+}
+
+// BuildPool stands in for the repo's pool-scale sweep; its name is on the
+// default expensive list.
+func BuildPool() {}
+
+// rebuild runs the sweep inside the critical section.
+func (s *store) rebuild() {
+	s.mu.Lock()
+	BuildPool() // want `call to .*BuildPool while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// rebuildOutside releases the lock first.
+func (s *store) rebuildOutside() {
+	s.mu.Lock()
+	s.free = 0
+	s.mu.Unlock()
+	BuildPool()
+}
+
+// rebuildDeferred: a deferred Unlock holds the mutex to function exit, so
+// the sweep still runs locked.
+func (s *store) rebuildDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	BuildPool() // want `call to .*BuildPool while holding s\.mu`
+}
+
+// rebuildAsync hands the sweep to a goroutine; the goroutine body starts
+// with an empty held set.
+func (s *store) rebuildAsync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		BuildPool()
+	}()
+}
+
+// rebuildJustified keeps the sweep under the lock on purpose.
+func (s *store) rebuildJustified() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	BuildPool() //srlint:lockscope startup path, nothing else contends for mu yet
+}

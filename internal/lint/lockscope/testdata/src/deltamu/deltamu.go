@@ -1,0 +1,38 @@
+// Package deltamu is the regression fixture distilled from the PR 9 review
+// bug fixed in ae926f8: delta application priced drift via LastDrift — a
+// full pool sweep — while still holding deltaMu, serializing every
+// concurrent delta and query behind one sweep. lockscope must flag the old
+// shape; the price-then-lock rewrite must pass clean.
+package deltamu
+
+import "sync"
+
+type pool struct{ n int }
+
+// LastDrift sweeps the whole pool to price drift; it is on the default
+// expensive-call list.
+func (p *pool) LastDrift() float64 {
+	return float64(p.n)
+}
+
+type deltaState struct {
+	deltaMu sync.Mutex
+	drift   float64
+}
+
+// applyBuggy is the pre-ae926f8 shape: the sweep runs inside the critical
+// section.
+func (d *deltaState) applyBuggy(p *pool) {
+	d.deltaMu.Lock()
+	defer d.deltaMu.Unlock()
+	d.drift = p.LastDrift() // want `call to .*LastDrift.* while holding d\.deltaMu`
+}
+
+// applyFixed is the ae926f8 rewrite: price the drift first, take the lock
+// only to publish the number.
+func (d *deltaState) applyFixed(p *pool) {
+	drift := p.LastDrift()
+	d.deltaMu.Lock()
+	defer d.deltaMu.Unlock()
+	d.drift = drift
+}

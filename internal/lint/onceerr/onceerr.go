@@ -1,0 +1,208 @@
+// Package onceerr flags sync.Once closures that latch a context-derived
+// error into state outside the closure. A sync.Once runs its function
+// exactly once per lifetime — if the first caller arrives with an
+// already-cancelled (or mid-flight-cancelled) context and the closure stores
+// the resulting error, every later caller with a perfectly healthy context
+// replays that cancellation forever. This is the exact bug fixed in ae926f8:
+// deltaRecord.pass latched ctx.Err() through a sync.Once, so one cancelled
+// LastDrift poisoned the delta record for good. The fix shape is a mutex
+// plus a done flag that declines to latch when ctx.Err() != nil, or
+// returning the error without storing it.
+//
+// Heuristic: a closure passed to (sync.Once).Do, sync.OnceFunc,
+// sync.OnceValue, or sync.OnceValues is flagged when it (a) uses a
+// context.Context and (b) assigns an error-typed value to a variable or
+// field declared outside the closure (or, for OnceValue/OnceValues, returns
+// an error type, which the runtime latches for you).
+package onceerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stablerank/internal/lint"
+)
+
+// New returns the onceerr analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "onceerr",
+		Doc: "flags sync.Once closures that capture a context-derived error into outer state: " +
+			"a cancelled first call is replayed to every later caller",
+		Run: run,
+	}
+}
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lit, kind := onceClosure(pass, call)
+			if lit == nil {
+				return true
+			}
+			if !usesContext(pass, lit) {
+				return true
+			}
+			for _, assign := range latchingAssignments(pass, lit) {
+				pass.Reportf(assign.Pos(),
+					"%s latches this error for the lifetime of the Once, and the closure uses a context.Context: "+
+						"a cancelled first call would be replayed to every later caller; "+
+						"return the error without storing it, or guard the latch on ctx.Err() == nil (//srlint:onceerr to justify)",
+					kind)
+			}
+			if kind != "(*sync.Once).Do" && returnsError(pass, lit) {
+				pass.Reportf(lit.Pos(),
+					"%s memoizes this closure's error result, and the closure uses a context.Context: "+
+						"a cancelled first call would be replayed to every later caller (//srlint:onceerr to justify)",
+					kind)
+			}
+			return true
+		})
+	}
+}
+
+// onceClosure returns the func literal handed to a sync.Once-family call and
+// which API it was: (*sync.Once).Do, sync.OnceFunc, sync.OnceValue, or
+// sync.OnceValues.
+func onceClosure(pass *lint.Pass, call *ast.CallExpr) (*ast.FuncLit, string) {
+	if len(call.Args) != 1 {
+		return nil, ""
+	}
+	lit, ok := call.Args[0].(*ast.FuncLit)
+	if !ok {
+		return nil, ""
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			if m, ok := sel.Obj().(*types.Func); ok && m.FullName() == "(*sync.Once).Do" {
+				return lit, "(*sync.Once).Do"
+			}
+			return nil, ""
+		}
+		// Package-qualified call: sync.OnceFunc and friends.
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "OnceFunc", "OnceValue", "OnceValues":
+				return lit, "sync." + obj.Name()
+			}
+		}
+	}
+	return nil, ""
+}
+
+// usesContext reports whether the closure uses a context.Context captured
+// from outside it — a caller-specific context whose cancellation could be
+// latched. Contexts minted inside the closure (context.Background() and the
+// like) don't count: they can't carry a first caller's deadline.
+func usesContext(pass *lint.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if !isContext(pass.TypeOf(e)) {
+			return true
+		}
+		if root := rootIdent(e); root != nil && declaredOutside(pass, root, lit) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// latchingAssignments returns assignments inside the closure whose target is
+// an error-typed variable or field rooted outside the closure.
+func latchingAssignments(pass *lint.Pass, lit *ast.FuncLit) []*ast.AssignStmt {
+	var out []*ast.AssignStmt
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // a nested closure is somebody else's latch
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if !isError(pass.TypeOf(lhs)) {
+				continue
+			}
+			if root := rootIdent(lhs); root != nil && declaredOutside(pass, root, lit) {
+				out = append(out, assign)
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// returnsError reports whether the closure's result list includes an
+// error-typed result (OnceValue/OnceValues latch results themselves).
+func returnsError(pass *lint.Pass, lit *ast.FuncLit) bool {
+	if lit.Type.Results == nil {
+		return false
+	}
+	for _, field := range lit.Type.Results.List {
+		if isError(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isError(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// rootIdent walks x.y.z / x[i] chains down to the base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether id's object is declared outside the
+// closure's extent (a captured variable, receiver, or parameter of the
+// enclosing function).
+func declaredOutside(pass *lint.Pass, id *ast.Ident, lit *ast.FuncLit) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}

@@ -1,0 +1,19 @@
+package onceerr
+
+import (
+	"testing"
+
+	"stablerank/internal/lint/linttest"
+)
+
+func TestOnceErr(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", New())
+}
+
+// TestLatchRegression pins the PR 9 review bug (fixed in ae926f8): the
+// sync.Once in deltaRecord.pass latched a context-cancellation error for the
+// record's lifetime. The buggy shape must be flagged and the fixed shape
+// must pass clean.
+func TestLatchRegression(t *testing.T) {
+	linttest.Run(t, "testdata/src/latch", New())
+}

@@ -1,0 +1,89 @@
+// Package a exercises the onceerr analyzer: sync.Once-family closures that
+// use a context and latch an error into outer state must be flagged;
+// ctx-free or latch-free uses must stay silent.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+type holder struct {
+	once sync.Once
+	err  error
+	n    int
+}
+
+// latchField: the classic bug — a ctx-derived error stored in a field.
+func (h *holder) latchField(ctx context.Context) error {
+	h.once.Do(func() {
+		h.err = work(ctx) // want `latches this error for the lifetime of the Once`
+	})
+	return h.err
+}
+
+// latchOuterVar: same bug with a captured local instead of a field.
+func latchOuterVar(ctx context.Context) error {
+	var once sync.Once
+	var err error
+	once.Do(func() {
+		err = work(ctx) // want `latches this error for the lifetime of the Once`
+	})
+	return err
+}
+
+// noContext: latching an error is fine when no context is involved — the
+// result can't encode a caller-specific cancellation.
+func (h *holder) noContext() error {
+	h.once.Do(func() {
+		h.err = work(context.Background())
+	})
+	return h.err
+}
+
+// noLatch: uses ctx but only stores a non-error value.
+func (h *holder) noLatch(ctx context.Context) int {
+	h.once.Do(func() {
+		if work(ctx) == nil {
+			h.n = 1
+		}
+	})
+	return h.n
+}
+
+// localError: the error never escapes the closure.
+func (h *holder) localError(ctx context.Context) {
+	h.once.Do(func() {
+		if err := work(ctx); err == nil {
+			h.n++
+		}
+	})
+}
+
+// onceValue: sync.OnceValue memoizes the closure's results itself, so a
+// ctx-using closure returning error is the same latch.
+func onceValue(ctx context.Context) func() error {
+	return sync.OnceValue(func() error { // want `memoizes this closure's error result`
+		return work(ctx)
+	})
+}
+
+// onceFunc: latching through sync.OnceFunc into a captured variable.
+func onceFunc(ctx context.Context) (func(), *error) {
+	var err error
+	f := sync.OnceFunc(func() {
+		err = work(ctx) // want `latches this error for the lifetime of the Once`
+	})
+	return f, &err
+}
+
+// justified: the latch is intentional (e.g. the ctx is the process-lifetime
+// root), so a reasoned directive silences it.
+func (h *holder) justified(ctx context.Context) error {
+	h.once.Do(func() {
+		h.err = work(ctx) //srlint:onceerr ctx is the process root context, never cancelled before shutdown
+	})
+	return h.err
+}

@@ -1,0 +1,52 @@
+// Package latch is the regression fixture distilled from the PR 9 review bug
+// fixed in ae926f8: deltaRecord.pass ran its scoring pass under a sync.Once
+// and stored the pass error alongside the stats. The first caller to arrive
+// with a cancelled context latched context.Canceled into the record, and
+// every later caller — healthy context or not — got the cancellation
+// replayed. onceerr must flag the old shape; the mutex-plus-done-flag
+// rewrite (which declines to latch a ctx-derived failure) must pass clean.
+package latch
+
+import (
+	"context"
+	"sync"
+)
+
+type record struct {
+	passOnce sync.Once
+	passMu   sync.Mutex
+	passDone bool
+	passErr  error
+	stats    []float64
+}
+
+func scorePass(ctx context.Context) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return []float64{1}, nil
+}
+
+// pass is the pre-ae926f8 shape: one cancelled caller poisons the record.
+func (r *record) pass(ctx context.Context) ([]float64, error) {
+	r.passOnce.Do(func() {
+		r.stats, r.passErr = scorePass(ctx) // want `latches this error for the lifetime of the Once`
+	})
+	return r.stats, r.passErr
+}
+
+// passFixed is the ae926f8 rewrite: a mutex and a done flag, and a
+// ctx-derived failure is returned to its caller without being latched.
+func (r *record) passFixed(ctx context.Context) ([]float64, error) {
+	r.passMu.Lock()
+	defer r.passMu.Unlock()
+	if r.passDone {
+		return r.stats, r.passErr
+	}
+	stats, err := scorePass(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.stats, r.passDone = stats, true
+	return r.stats, nil
+}

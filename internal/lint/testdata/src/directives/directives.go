@@ -1,0 +1,19 @@
+// Package directives exercises the driver's handling of //srlint: misuse:
+// an empty-reason directive must not suppress anything and must itself be a
+// finding, an unknown directive name must be a finding, and a well-formed
+// directive must suppress exactly one finding and be counted.
+package directives
+
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m { //srlint:ordered
+		t += v
+	}
+	for _, v := range m { //srlint:nosuchcheck accumulation is commutative
+		t += v
+	}
+	for _, v := range m { //srlint:ordered integer addition is commutative
+		t += v
+	}
+	return t
+}

@@ -95,10 +95,10 @@ func (t *internTable) lookup(sel []int) *internEntry {
 
 // forEach visits every distinct entry (iteration order is unspecified).
 func (t *internTable) forEach(fn func(*internEntry)) {
-	for _, e := range t.entries {
+	for _, e := range t.entries { //srlint:ordered visits are commutative; best() breaks count ties by entry key, not visit order
 		fn(e)
 	}
-	for _, e := range t.overflow {
+	for _, e := range t.overflow { //srlint:ordered visits are commutative; best() breaks count ties by entry key, not visit order
 		fn(e)
 	}
 }

@@ -40,7 +40,7 @@ func (d RankDistribution) ProbabilityTopK(k int) float64 {
 		return 0
 	}
 	total := 0
-	for r, c := range d.Counts {
+	for r, c := range d.Counts { //srlint:ordered integer summation is exact and commutative
 		if r <= k {
 			total += c
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -143,8 +144,8 @@ type analyzerPool struct {
 	// instead of drawing them locally (bit-identically either way; see
 	// cluster.Coordinator). The snapshot cache still takes precedence.
 	coord   *cluster.Coordinator
-	order   *list.List // front = most recently used; values *poolItem
-	entries map[analyzerKey]*list.Element
+	order   *list.List                    // guarded by mu; front = most recently used; values *poolItem
+	entries map[analyzerKey]*list.Element // guarded by mu
 
 	builds    atomic.Int64 // Analyzer constructions started
 	dedupHits atomic.Int64 // requests served by an existing entry
@@ -271,11 +272,15 @@ func (p *analyzerPool) applyDeltas(name string, oldGen, oldVer, gen, ver int64, 
 	p.mu.Lock()
 	matches := make([]*poolItem, 0, 4)
 	for key, el := range p.entries {
-		if key.dataset == name {
-			matches = append(matches, el.Value.(*poolItem))
+		if key.dataset != name {
+			continue
 		}
+		matches = append(matches, el.Value.(*poolItem))
 	}
 	p.mu.Unlock()
+	// Migrate in sorted-key order so splice/resort counters and eviction
+	// order don't depend on map iteration order.
+	sort.Slice(matches, func(i, j int) bool { return matches[i].key.String() < matches[j].key.String() })
 
 	var driftKey string
 	for _, item := range matches {
@@ -283,7 +288,7 @@ func (p *analyzerPool) applyDeltas(name string, oldGen, oldVer, gen, ver int64, 
 		if item.key.gen == oldGen && item.key.ver == oldVer &&
 			item.e.done() && item.e.err == nil && item.e.a != nil {
 			beforeSp, beforeRs := item.e.a.DeltaSplices(), item.e.a.DeltaResorts()
-			a, err := item.e.a.ApplyDelta(context.Background(), deltas...)
+			a, err := item.e.a.ApplyDelta(context.Background(), deltas...) //srlint:ctxflow splice must complete atomically for every resident analyzer, not just the patching request's
 			if err == nil {
 				na = a
 				spliced += na.DeltaSplices() - beforeSp
@@ -347,6 +352,9 @@ func (p *analyzerPool) snapshot() (stats []analyzerStat, builds, dedupHits, infl
 		items = append(items, el.Value.(*poolItem))
 	}
 	p.mu.Unlock()
+	// Sorted keys pin the /statsz resident list: two consecutive renders of
+	// an idle server must be byte-identical.
+	sort.Slice(items, func(i, j int) bool { return items[i].key.String() < items[j].key.String() })
 	stats = make([]analyzerStat, 0, len(items))
 	for _, item := range items {
 		if !item.e.done() {

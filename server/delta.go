@@ -227,7 +227,7 @@ func (s *Server) applyDeltas(name string, deltas []stablerank.Delta) (deltaRespo
 // rank-shift cost is bounded by DriftSamples rank passes, so a PATCH with
 // subscribers stays cheap.
 func (s *Server) publishDrift(name string, gen, ver int64, oldDS *stablerank.Dataset, deltas []stablerank.Delta, migrated *stablerank.Analyzer) {
-	ctx := context.Background()
+	ctx := context.Background() //srlint:ctxflow drift pricing runs after the PATCH response; tying it to the request context would cancel published numbers
 	var (
 		drifts []stablerank.Drift
 		err    error

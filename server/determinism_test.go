@@ -1,0 +1,67 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fetchBody GETs path and returns the raw response bytes.
+func fetchBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestStatszRendersByteIdentical pins the determinism contract srlint's
+// detrange analyzer enforces structurally: with no intervening traffic, two
+// consecutive /statsz renders are byte-identical. Before the PR 10 sweep the
+// analyzers.resident list came straight out of a map range, so its order —
+// and therefore the response bytes — changed run to run.
+func TestStatszRendersByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	// Populate the analyzer pool with several resident analyzers so the
+	// resident list has an order worth pinning.
+	for _, path := range []string{
+		"/v1/fig1/verify?weights=1,1",
+		"/v1/ind3/verify?weights=1,1,1&samples=2000",
+		"/v1/ind3/verify?weights=2,1,1&samples=2000",
+	} {
+		if status, _ := get(t, ts, path, nil); status != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, status)
+		}
+	}
+
+	first := fetchBody(t, ts.URL+"/statsz")
+	second := fetchBody(t, ts.URL+"/statsz")
+	if string(first) != string(second) {
+		t.Errorf("consecutive /statsz renders differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestHealthzRendersByteIdentical: same contract for /healthz. Uptime is
+// genuinely time-dependent, so the test pins the server's clock hook; with
+// the clock frozen the whole render must be stable.
+func TestHealthzRendersByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.now = func() time.Time { return s.start.Add(1500 * time.Millisecond) }
+
+	first := fetchBody(t, ts.URL+"/healthz")
+	second := fetchBody(t, ts.URL+"/healthz")
+	if string(first) != string(second) {
+		t.Errorf("consecutive /healthz renders differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

@@ -53,7 +53,7 @@ const driftChanCap = 16
 // blocks: PATCH handling must not be hostage to a slow stream reader.
 type driftHub struct {
 	mu   sync.Mutex
-	subs map[string]map[chan driftEvent]struct{}
+	subs map[string]map[chan driftEvent]struct{} // guarded by mu
 
 	events   atomic.Int64 // events published (per delta, not per PATCH)
 	dropped  atomic.Int64 // events lost to full subscriber buffers
@@ -103,7 +103,7 @@ func (h *driftHub) publish(name string, events []driftEvent) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.events.Add(int64(len(events)))
-	for ch := range h.subs[name] {
+	for ch := range h.subs[name] { //srlint:ordered each subscriber sees events in order; delivery order across subscribers is unobservable
 		for _, ev := range events {
 			select {
 			case ch <- ev:
@@ -139,6 +139,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request, name string
 		flusher.Flush()
 	}
 	for {
+		//srlint:ordered disconnect-vs-event race; events within ch stay ordered and a lost final event is indistinguishable from disconnecting earlier
 		select {
 		case <-r.Context().Done():
 			return

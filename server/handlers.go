@@ -450,7 +450,7 @@ func (s *Server) handleItemRank(r *http.Request, qc *queryContext) (string, func
 			return nil, err
 		}
 		counts := make(map[string]int, len(dist.Counts))
-		for rnk, c := range dist.Counts {
+		for rnk, c := range dist.Counts { //srlint:ordered map-to-map rekey; json.Marshal renders object keys sorted
 			counts[strconv.Itoa(rnk)] = c
 		}
 		resp := itemRankResponse{
@@ -477,7 +477,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"status":   "ok",
 		"datasets": s.registry.Len(),
-		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
+		"uptime":   s.now().Sub(s.start).Round(time.Millisecond).String(),
 	}
 	// scope=local answers for this node only; it is also what peer probes
 	// request, so probes never fan out transitively.

@@ -47,7 +47,7 @@ type job struct {
 // must not outlive Server.Close).
 type jobStore struct {
 	mu   sync.Mutex
-	jobs map[string]*job
+	jobs map[string]*job // guarded by mu
 
 	queue   chan *job
 	workers int
@@ -56,7 +56,7 @@ type jobStore struct {
 	exec    func(context.Context, *job) (*queryResponse, error)
 	persist *jobPersister // nil = no persistence
 
-	baseCtx   context.Context
+	baseCtx   context.Context //srlint:ctxflow worker-pool lifetime context, owned by the store and cancelled in close()
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
 	seq       atomic.Int64
@@ -75,7 +75,7 @@ func newJobStore(workers, queueSize int, ttl, timeout time.Duration, exec func(c
 	if queueSize < 1 {
 		queueSize = 1
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //srlint:ctxflow jobs outlive the submitting request by design; the pool root is cancelled in close()
 	st := &jobStore{
 		jobs:      make(map[string]*job),
 		queue:     make(chan *job, queueSize),
@@ -104,6 +104,7 @@ func (st *jobStore) close() {
 func (st *jobStore) worker() {
 	defer st.wg.Done()
 	for {
+		//srlint:ordered shutdown-vs-dequeue race; in-flight jobs are cancelled through baseCtx either way
 		select {
 		case <-st.baseCtx.Done():
 			return
@@ -261,7 +262,7 @@ func (st *jobStore) stop(id string) (jobState, bool) {
 // purgeLocked forgets finished jobs past their TTL. Callers hold st.mu.
 func (st *jobStore) purgeLocked() {
 	now := time.Now()
-	for id, j := range st.jobs {
+	for id, j := range st.jobs { //srlint:ordered expiry test and delete are per-entry; no cross-entry order dependence
 		if !j.expires.IsZero() && now.After(j.expires) {
 			switch j.state {
 			case jobDone, jobFailed, jobCancelled:
@@ -290,7 +291,7 @@ func (st *jobStore) counts() jobCounts {
 		failed:    st.failed.Load(),
 		stopped:   st.cancelled.Load(),
 	}
-	for _, j := range st.jobs {
+	for _, j := range st.jobs { //srlint:ordered counting is commutative
 		switch j.state {
 		case jobQueued:
 			c.queued++

@@ -379,7 +379,7 @@ func (s *Server) renderOpResult(ds *stablerank.Dataset, spec querySpec, q stable
 		dist := res.RankDistribution
 		idx := q.(stablerank.ItemRankQuery).Item
 		counts := make(map[string]int, len(dist.Counts))
-		for rnk, c := range dist.Counts {
+		for rnk, c := range dist.Counts { //srlint:ordered map-to-map rekey; json.Marshal renders object keys sorted
 			counts[strconv.Itoa(rnk)] = c
 		}
 		out.Item = &itemRef{Index: idx, ID: spec.Item}

@@ -20,8 +20,8 @@ import (
 // every registration is persisted and reloaded on the next boot.
 type Registry struct {
 	mu      sync.RWMutex
-	entries map[string]*registryEntry
-	store   store.Store // nil until AttachStore
+	entries map[string]*registryEntry // guarded by mu
+	store   store.Store               // nil until AttachStore
 }
 
 type registryEntry struct {
@@ -144,12 +144,17 @@ func (r *Registry) AttachStore(st store.Store, logf func(format string, args ...
 		loaded++
 	}
 	// First boot with startup CSVs: persist the entries the store has never
-	// seen.
-	for name, e := range r.entries {
+	// seen, in sorted order so the store sees a stable write sequence.
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if persisted[name] {
 			continue
 		}
-		if err := persistDataset(st, name, e); err != nil {
+		if err := persistDataset(st, name, r.entries[name]); err != nil {
 			return loaded, fmt.Errorf("server: persisting dataset %q: %w", name, err)
 		}
 	}

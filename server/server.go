@@ -260,6 +260,7 @@ type Server struct {
 	jobs      *jobStore
 	handler   http.Handler
 	start     time.Time
+	now       func() time.Time // clock hook; tests pin it for byte-stable /statsz
 	closeOnce sync.Once
 
 	// Persistence (nil/zero without Config.DataDir).
@@ -308,6 +309,7 @@ func New(cfg Config) (*Server, error) {
 		analyzers: newAnalyzerPool(cfg.MaxAnalyzers, cfg.Workers),
 		cache:     newLRUCache(cfg.CacheSize),
 		start:     time.Now(),
+		now:       time.Now,
 		fillWorker: &cluster.Worker{
 			MaxSamples: cfg.MaxSampleCount,
 			Logf:       cfg.Logf,

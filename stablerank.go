@@ -359,7 +359,7 @@ func (a *Analyzer) Boundary(r Ranking) ([]BoundaryFacet, error) {
 // sampling loop.
 func orBackground(ctx context.Context) context.Context {
 	if ctx == nil {
-		return context.Background()
+		return context.Background() //srlint:ctxflow nil-tolerance shim for pre-context facade callers; live callers' contexts pass through
 	}
 	return ctx
 }
